@@ -1,0 +1,81 @@
+// E2 — Figure 5: label sizes of all labeling schemes on datasets D1-D6.
+//
+// The datasets are seeded synthetic stand-ins calibrated to the published
+// Table 2 shape statistics (see DESIGN.md). For every scheme we report the
+// average stored label size in bits per node; the paper's figure plots the
+// same quantity. Expected shape: Prime >> everything; Float-point the
+// largest containment scheme; V-CDBS == V-Binary and F-CDBS == F-Binary
+// (most compact); QED slightly above CDBS; OrdPath2 > OrdPath1 > QED-Prefix.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "labeling/registry.h"
+#include "util/stopwatch.h"
+#include "xml/generator.h"
+#include "xml/stats.h"
+
+namespace {
+
+using cdbs::labeling::AllSchemes;
+using cdbs::xml::ComputeDatasetStats;
+using cdbs::xml::DatasetSpec;
+using cdbs::xml::Document;
+using cdbs::xml::FormatDatasetStats;
+using cdbs::xml::GenerateDatasetById;
+using cdbs::xml::Table2Specs;
+
+}  // namespace
+
+int main() {
+  cdbs::bench::Heading("Table 2: generated dataset characteristics");
+  std::vector<std::vector<Document>> datasets;
+  for (const DatasetSpec& spec : Table2Specs()) {
+    cdbs::util::Stopwatch timer;
+    datasets.push_back(GenerateDatasetById(spec.id));
+    const auto stats = ComputeDatasetStats(datasets.back());
+    std::printf(
+        "%s %-18s %-45s (spec: %zu files, %llu nodes, fan-out %zu/%zu, "
+        "depth %d/%d) [%.1fs]\n",
+        spec.id.c_str(), spec.topic.c_str(),
+        FormatDatasetStats(stats).c_str(), spec.num_files,
+        static_cast<unsigned long long>(spec.total_nodes), spec.max_fanout,
+        spec.avg_fanout, spec.max_depth, spec.avg_depth,
+        timer.ElapsedSeconds());
+  }
+
+  cdbs::bench::Heading(
+      "Figure 5: average stored label size (bits per node) on D1-D6");
+  std::printf("%-26s", "scheme");
+  for (const DatasetSpec& spec : Table2Specs()) {
+    std::printf(" %8s", spec.id.c_str());
+  }
+  std::printf("\n");
+
+  for (const auto& scheme : AllSchemes()) {
+    std::printf("%-26s", scheme->name().c_str());
+    std::fflush(stdout);
+    for (const auto& files : datasets) {
+      uint64_t total_bits = 0;
+      uint64_t total_nodes = 0;
+      for (const Document& doc : files) {
+        const auto labeling = scheme->Label(doc);
+        total_bits += labeling->TotalLabelBits();
+        total_nodes += labeling->num_nodes();
+      }
+      std::printf(" %8.1f",
+                  static_cast<double>(total_bits) /
+                      static_cast<double>(total_nodes));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected shape (paper): Prime largest by far; "
+      "V-CDBS == V-Binary and F-CDBS == F-Binary (most compact); "
+      "QED-Containment slightly above V-CDBS; Float-point above fixed "
+      "binary; QED-Prefix below OrdPath1 < OrdPath2.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// E1 — Table 1 and the Section 4.2 size analysis.
+//
+// Prints the paper's Table 1 (V-Binary / V-CDBS / F-Binary / F-CDBS codes
+// for 1..18 with total sizes), then validates the closed-form size formulas
+// (2), (3) and (5) against exact measurements for growing N, then runs
+// micro-benchmarks of the hot encoding operations.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/binary_codec.h"
+#include "core/bit_string.h"
+#include "core/cdbs.h"
+#include "util/random.h"
+
+namespace {
+
+using cdbs::core::AssignMiddleBinaryString;
+using cdbs::core::BitString;
+using cdbs::core::EncodeRange;
+using cdbs::core::EncodeRangeFixed;
+using cdbs::core::FBinaryCode;
+using cdbs::core::FixedWidthForCount;
+using cdbs::core::FTotalBitsExact;
+using cdbs::core::FTotalBitsFormula;
+using cdbs::core::VBinaryCode;
+using cdbs::core::VCodeTotalBitsExact;
+using cdbs::core::VCodeTotalBitsFormula;
+using cdbs::core::VTotalBitsFormula;
+
+void PrintTable1() {
+  cdbs::bench::Heading("Table 1: binary and CDBS encodings of 1..18");
+  const auto v_cdbs = EncodeRange(18);
+  const auto f_cdbs = EncodeRangeFixed(18);
+  uint64_t v_binary_bits = 0;
+  uint64_t v_cdbs_bits = 0;
+  std::printf("%-8s %-9s %-8s %-9s %-7s\n", "number", "V-Binary", "V-CDBS",
+              "F-Binary", "F-CDBS");
+  for (uint64_t i = 1; i <= 18; ++i) {
+    const BitString vb = VBinaryCode(i);
+    v_binary_bits += vb.size();
+    v_cdbs_bits += v_cdbs[i - 1].size();
+    std::printf("%-8llu %-9s %-8s %-9s %-7s\n",
+                static_cast<unsigned long long>(i), vb.ToString().c_str(),
+                v_cdbs[i - 1].ToString().c_str(),
+                FBinaryCode(i, 18).ToString().c_str(),
+                f_cdbs[i - 1].ToString().c_str());
+  }
+  std::printf("%-8s %-9llu %-8llu %-9d %-7d   (paper: 64 64 90 90)\n",
+              "total", static_cast<unsigned long long>(v_binary_bits),
+              static_cast<unsigned long long>(v_cdbs_bits),
+              18 * FixedWidthForCount(18), 18 * FixedWidthForCount(18));
+}
+
+void PrintSizeAnalysis() {
+  cdbs::bench::Heading(
+      "Section 4.2 size analysis: closed forms vs exact totals (bits)");
+  std::printf("%-10s %14s %14s %14s %14s\n", "N", "V exact", "V formula(2)",
+              "F exact", "F formula(5)");
+  for (uint64_t n = 1 << 6; n <= (1 << 20); n <<= 2) {
+    const double v_formula = VCodeTotalBitsFormula(static_cast<double>(n));
+    const double f_formula = FTotalBitsFormula(static_cast<double>(n));
+    std::printf("%-10llu %14llu %14.0f %14llu %14.0f\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(VCodeTotalBitsExact(n)),
+                v_formula,
+                static_cast<unsigned long long>(FTotalBitsExact(n)),
+                f_formula);
+  }
+  std::printf(
+      "(V code totals are identical for V-Binary and V-CDBS — Theorem 4.4;\n"
+      " with length fields, formula (3) at N=2^16: %.0f bits)\n",
+      VTotalBitsFormula(static_cast<double>(1 << 16)));
+}
+
+void BM_EncodeRange(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeRange(n));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EncodeRange)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_AssignMiddle(benchmark::State& state) {
+  // Adjacent pair drawn from a realistic encoding.
+  const auto codes = EncodeRange(1 << 12);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        AssignMiddleBinaryString(codes[i], codes[i + 1]));
+    i = (i + 1) % (codes.size() - 1);
+  }
+}
+BENCHMARK(BM_AssignMiddle);
+
+void BM_LexicographicCompare(benchmark::State& state) {
+  const auto codes = EncodeRange(1 << 12);
+  cdbs::util::Random rng(5);
+  size_t a = rng.Uniform(codes.size());
+  size_t b = rng.Uniform(codes.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codes[a].Compare(codes[b]));
+    a = (a + 17) % codes.size();
+    b = (b + 31) % codes.size();
+  }
+}
+BENCHMARK(BM_LexicographicCompare);
+
+void BM_SkewedInsertionChain(benchmark::State& state) {
+  // Worst case: the code grows one bit per insertion (Section 5.2.2).
+  for (auto _ : state) {
+    BitString left = BitString::FromString("01");
+    const BitString right = BitString::FromString("1");
+    for (int i = 0; i < 256; ++i) {
+      left = AssignMiddleBinaryString(left, right);
+    }
+    benchmark::DoNotOptimize(left);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_SkewedInsertionChain);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable1();
+  PrintSizeAnalysis();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,31 @@
+#ifndef CDBS_BENCH_BENCH_UTIL_H_
+#define CDBS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+/// \file
+/// Small shared helpers for the experiment harness binaries. Each bench
+/// prints its paper table/figure reproduction on stdout first, then (where
+/// registered) runs google-benchmark micro-benchmarks.
+
+namespace cdbs::bench {
+
+/// Reads a positive integer knob from the environment, with a default —
+/// e.g. CDBS_SCALE to shrink the Figure 6 corpus for smoke runs.
+inline uint64_t EnvKnob(const char* name, uint64_t default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return default_value;
+  const long long v = std::atoll(raw);
+  return v > 0 ? static_cast<uint64_t>(v) : default_value;
+}
+
+/// Prints a section heading.
+inline void Heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace cdbs::bench
+
+#endif  // CDBS_BENCH_BENCH_UTIL_H_

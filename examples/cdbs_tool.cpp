@@ -1,0 +1,153 @@
+// cdbs_tool — end-to-end command-line front door for the library.
+//
+// Usage:
+//   cdbs_tool label  <file.xml> [scheme]          label a document, print stats
+//   cdbs_tool query  <file.xml> <xpath> [scheme]  evaluate an XPath subset query
+//   cdbs_tool insert <file.xml> <xpath> <tag> [scheme]
+//                                                 insert <tag/> before the
+//                                                 (unique) match, print the
+//                                                 updated XML
+//   cdbs_tool demo                                run on a generated play
+//
+// Scheme defaults to V-CDBS-Containment; any name from
+// labeling::AllSchemes() works (see README).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "engine/xml_db.h"
+#include "labeling/registry.h"
+#include "util/stopwatch.h"
+#include "xml/parser.h"
+#include "xml/shakespeare.h"
+#include "xml/writer.h"
+
+namespace {
+
+using cdbs::engine::XmlDb;
+using cdbs::engine::XmlDbOptions;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cdbs_tool label  <file.xml> [scheme]\n"
+               "       cdbs_tool query  <file.xml> <xpath> [scheme]\n"
+               "       cdbs_tool insert <file.xml> <xpath> <tag> [scheme]\n"
+               "       cdbs_tool demo\n");
+  return 2;
+}
+
+cdbs::Result<std::unique_ptr<XmlDb>> OpenFile(const std::string& path,
+                                              const char* scheme) {
+  auto parsed = cdbs::xml::ParseXmlFile(path);
+  if (!parsed.ok()) return parsed.status();
+  XmlDbOptions options;
+  if (scheme != nullptr) options.scheme_name = scheme;
+  return XmlDb::Open(std::move(parsed).value(), options);
+}
+
+int CmdLabel(const std::string& path, const char* scheme) {
+  cdbs::util::Stopwatch timer;
+  auto db = OpenFile(path, scheme);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const auto stats = (*db)->Stats();
+  std::printf("scheme:      %s\n", (*db)->labeling().scheme_name().c_str());
+  std::printf("nodes:       %zu\n", stats.node_count);
+  std::printf("label bits:  %llu total, %.1f per node\n",
+              static_cast<unsigned long long>(stats.label_bits),
+              stats.avg_label_bits);
+  std::printf("labeled in:  %.2f ms\n", timer.ElapsedMillis());
+  return 0;
+}
+
+int CmdQuery(const std::string& path, const std::string& xpath,
+             const char* scheme) {
+  auto db = OpenFile(path, scheme);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  cdbs::util::Stopwatch timer;
+  auto matches = (*db)->Query(xpath);
+  if (!matches.ok()) {
+    std::fprintf(stderr, "%s\n", matches.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu matches in %.2f ms\n", matches->size(),
+              timer.ElapsedMillis());
+  for (size_t i = 0; i < matches->size() && i < 10; ++i) {
+    std::printf("  <%s> (node %u)\n", (*db)->TagOf((*matches)[i]).c_str(),
+                (*matches)[i]);
+  }
+  if (matches->size() > 10) std::printf("  ...\n");
+  return 0;
+}
+
+int CmdInsert(const std::string& path, const std::string& xpath,
+              const std::string& tag, const char* scheme) {
+  auto db = OpenFile(path, scheme);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto target = (*db)->QueryOne(xpath);
+  if (!target.ok()) {
+    std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
+    return 1;
+  }
+  auto inserted = (*db)->InsertElementBefore(*target, tag);
+  if (!inserted.ok()) {
+    std::fprintf(stderr, "%s\n", inserted.status().ToString().c_str());
+    return 1;
+  }
+  const auto stats = (*db)->Stats();
+  std::fprintf(stderr, "inserted <%s/> before %s; re-labeled %llu nodes\n",
+               tag.c_str(), xpath.c_str(),
+               static_cast<unsigned long long>(stats.relabeled_total));
+  std::printf("%s\n", (*db)->ToXml().c_str());
+  return 0;
+}
+
+int CmdDemo() {
+  cdbs::xml::Document play = cdbs::xml::GeneratePlay(11, 1500);
+  auto db = XmlDb::Open(std::move(play), {});
+  if (!db.ok()) return 1;
+  std::printf("generated play: %zu nodes, %.1f bits/label (%s)\n",
+              (*db)->Stats().node_count, (*db)->Stats().avg_label_bits,
+              (*db)->labeling().scheme_name().c_str());
+  for (const char* q : {"/play/act", "//speech", "//act[2]/scene",
+                        "/play/*//line"}) {
+    auto count = (*db)->Count(q);
+    std::printf("  %-22s -> %llu matches\n", q,
+                static_cast<unsigned long long>(count.ok() ? *count : 0));
+  }
+  auto act3 = (*db)->QueryOne("/play/act[3]");
+  if (act3.ok()) {
+    (void)(*db)->InsertElementBefore(*act3, "interlude");
+    std::printf("inserted <interlude/> before act[3]: re-labeled %llu nodes\n",
+                static_cast<unsigned long long>(
+                    (*db)->Stats().relabeled_total));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "demo") return CmdDemo();
+  if (cmd == "label" && argc >= 3) {
+    return CmdLabel(argv[2], argc > 3 ? argv[3] : nullptr);
+  }
+  if (cmd == "query" && argc >= 4) {
+    return CmdQuery(argv[2], argv[3], argc > 4 ? argv[4] : nullptr);
+  }
+  if (cmd == "insert" && argc >= 5) {
+    return CmdInsert(argv[2], argv[3], argv[4], argc > 5 ? argv[5] : nullptr);
+  }
+  return Usage();
+}

@@ -1,0 +1,273 @@
+#include "bigint/bigint.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cdbs::bigint {
+
+using uint128 = unsigned __int128;
+
+BigInt::BigInt(uint64_t value) {
+  if (value != 0) limbs_.push_back(value);
+}
+
+BigInt BigInt::FromDecimalString(std::string_view text) {
+  CDBS_CHECK(!text.empty());
+  BigInt out;
+  for (const char c : text) {
+    CDBS_CHECK(c >= '0' && c <= '9');
+    out = out.MulSmall(10).Add(BigInt(static_cast<uint64_t>(c - '0')));
+  }
+  return out;
+}
+
+void BigInt::TrimLeadingZeros() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  const uint64_t top = limbs_.back();
+  // top is nonzero (no leading zero limbs). Note: a shift-count loop would
+  // invoke UB at 64 when bit 63 is set; use clz instead.
+  const size_t bits = 64 - static_cast<size_t>(__builtin_clzll(top));
+  return (limbs_.size() - 1) * 64 + bits;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt BigInt::Add(const BigInt& other) const {
+  BigInt out;
+  const size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t a = i < limbs_.size() ? limbs_[i] : 0;
+    const uint64_t b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const uint128 sum = static_cast<uint128>(a) + b + carry;
+    out.limbs_.push_back(static_cast<uint64_t>(sum));
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  if (carry != 0) out.limbs_.push_back(carry);
+  return out;
+}
+
+BigInt BigInt::Sub(const BigInt& other) const {
+  CDBS_CHECK(Compare(other) >= 0);
+  BigInt out;
+  out.limbs_.reserve(limbs_.size());
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const uint128 need = static_cast<uint128>(b) + borrow;
+    uint64_t limb;
+    if (static_cast<uint128>(limbs_[i]) >= need) {
+      limb = static_cast<uint64_t>(limbs_[i] - need);
+      borrow = 0;
+    } else {
+      limb = static_cast<uint64_t>((static_cast<uint128>(1) << 64) +
+                                   limbs_[i] - need);
+      borrow = 1;
+    }
+    out.limbs_.push_back(limb);
+  }
+  CDBS_CHECK(borrow == 0);
+  out.TrimLeadingZeros();
+  return out;
+}
+
+BigInt BigInt::MulSmall(uint64_t multiplier) const {
+  if (multiplier == 0 || IsZero()) return BigInt();
+  BigInt out;
+  out.limbs_.reserve(limbs_.size() + 1);
+  uint64_t carry = 0;
+  for (const uint64_t limb : limbs_) {
+    const uint128 prod = static_cast<uint128>(limb) * multiplier + carry;
+    out.limbs_.push_back(static_cast<uint64_t>(prod));
+    carry = static_cast<uint64_t>(prod >> 64);
+  }
+  if (carry != 0) out.limbs_.push_back(carry);
+  return out;
+}
+
+BigInt BigInt::Mul(const BigInt& other) const {
+  if (IsZero() || other.IsZero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      const uint128 cur = static_cast<uint128>(out.limbs_[i + j]) +
+                          static_cast<uint128>(limbs_[i]) * other.limbs_[j] +
+                          carry;
+      out.limbs_[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    out.limbs_[i + other.limbs_.size()] = carry;
+  }
+  out.TrimLeadingZeros();
+  return out;
+}
+
+BigInt BigInt::DivModSmall(uint64_t divisor, uint64_t* remainder) const {
+  CDBS_CHECK(divisor != 0);
+  BigInt quotient;
+  quotient.limbs_.assign(limbs_.size(), 0);
+  uint64_t rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    const uint128 cur = (static_cast<uint128>(rem) << 64) | limbs_[i];
+    quotient.limbs_[i] = static_cast<uint64_t>(cur / divisor);
+    rem = static_cast<uint64_t>(cur % divisor);
+  }
+  quotient.TrimLeadingZeros();
+  if (remainder != nullptr) *remainder = rem;
+  return quotient;
+}
+
+uint64_t BigInt::ModSmall(uint64_t divisor) const {
+  uint64_t rem = 0;
+  DivModSmall(divisor, &rem);
+  return rem;
+}
+
+BigInt BigInt::ShiftLeft(size_t bits) const {
+  if (IsZero() || bits == 0) return *this;
+  const size_t limb_shift = bits / 64;
+  const size_t bit_shift = bits % 64;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.TrimLeadingZeros();
+  return out;
+}
+
+void BigInt::DivMod(const BigInt& divisor, BigInt* quotient,
+                    BigInt* remainder) const {
+  CDBS_CHECK(!divisor.IsZero());
+  if (divisor.limbs_.size() == 1) {
+    uint64_t rem = 0;
+    BigInt q = DivModSmall(divisor.limbs_[0], &rem);
+    if (quotient != nullptr) *quotient = std::move(q);
+    if (remainder != nullptr) *remainder = BigInt(rem);
+    return;
+  }
+  // Binary long division: adequate for the few-hundred-bit operands the
+  // Prime scheme produces.
+  BigInt rem;  // running remainder
+  BigInt quot;
+  const size_t total_bits = BitLength();
+  if (total_bits >= divisor.BitLength()) {
+    quot.limbs_.assign((total_bits + 63) / 64, 0);
+  }
+  for (size_t i = total_bits; i-- > 0;) {
+    // rem = rem * 2 + bit(i)
+    rem = rem.ShiftLeft(1);
+    const uint64_t bit = (limbs_[i / 64] >> (i % 64)) & 1;
+    if (bit != 0) {
+      if (rem.limbs_.empty()) {
+        rem.limbs_.push_back(1);
+      } else {
+        rem.limbs_[0] |= 1;
+      }
+    }
+    if (rem.Compare(divisor) >= 0) {
+      rem = rem.Sub(divisor);
+      quot.limbs_[i / 64] |= (1ULL << (i % 64));
+    }
+  }
+  quot.TrimLeadingZeros();
+  if (quotient != nullptr) *quotient = std::move(quot);
+  if (remainder != nullptr) *remainder = std::move(rem);
+}
+
+BigInt BigInt::Mod(const BigInt& divisor) const {
+  BigInt rem;
+  DivMod(divisor, nullptr, &rem);
+  return rem;
+}
+
+bool BigInt::IsDivisibleBy(const BigInt& divisor) const {
+  return Mod(divisor).IsZero();
+}
+
+uint64_t BigInt::ToUint64() const {
+  CDBS_CHECK(limbs_.size() <= 1);
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+std::string BigInt::ToDecimalString() const {
+  if (IsZero()) return "0";
+  std::string digits;
+  BigInt cur = *this;
+  while (!cur.IsZero()) {
+    uint64_t rem = 0;
+    cur = cur.DivModSmall(10, &rem);
+    digits.push_back(static_cast<char>('0' + rem));
+  }
+  return std::string(digits.rbegin(), digits.rend());
+}
+
+uint64_t ModularInverse(uint64_t a, uint64_t m) {
+  CDBS_CHECK(m >= 2);
+  // Extended Euclid over signed 128-bit accumulators.
+  __int128 old_r = static_cast<__int128>(a % m);
+  __int128 r = m;
+  __int128 old_s = 1;
+  __int128 s = 0;
+  while (r != 0) {
+    const __int128 q = old_r / r;
+    const __int128 tmp_r = old_r - q * r;
+    old_r = r;
+    r = tmp_r;
+    const __int128 tmp_s = old_s - q * s;
+    old_s = s;
+    s = tmp_s;
+  }
+  CDBS_CHECK(old_r == 1);  // gcd must be 1
+  __int128 inv = old_s % static_cast<__int128>(m);
+  if (inv < 0) inv += m;
+  CDBS_CHECK(inv > 0);
+  return static_cast<uint64_t>(inv);
+}
+
+BigInt CrtCombine(const std::vector<uint64_t>& residues,
+                  const std::vector<uint64_t>& moduli) {
+  CDBS_CHECK(residues.size() == moduli.size());
+  CDBS_CHECK(!moduli.empty());
+  // M = prod(moduli); x = sum residues[i] * (M/m_i) * inv(M/m_i mod m_i),
+  // reduced mod M.
+  BigInt big_m(1);
+  for (const uint64_t m : moduli) big_m = big_m.MulSmall(m);
+  BigInt x;
+  for (size_t i = 0; i < moduli.size(); ++i) {
+    CDBS_CHECK(residues[i] < moduli[i]);
+    uint64_t rem_unused = 0;
+    const BigInt mi = big_m.DivModSmall(moduli[i], &rem_unused);
+    CDBS_CHECK(rem_unused == 0);
+    const uint64_t mi_mod = mi.ModSmall(moduli[i]);
+    const uint64_t inv = ModularInverse(mi_mod, moduli[i]);
+    // term = residues[i] * inv (fits well within 128 bits) * mi
+    const BigInt coeff = BigInt(residues[i]).MulSmall(inv);
+    x = x.Add(mi.Mul(coeff));
+  }
+  return x.Mod(big_m);
+}
+
+}  // namespace cdbs::bigint

@@ -1,0 +1,113 @@
+#ifndef CDBS_BIGINT_BIGINT_H_
+#define CDBS_BIGINT_BIGINT_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Arbitrary-precision unsigned integers. Built for the Prime labeling
+/// scheme (Wu et al., ICDE 2004 — the paper's ref [16]): node labels are
+/// products of primes along the root path, and document order is carried by
+/// "simultaneous congruence" (SC) values computed with the Chinese Remainder
+/// Theorem over groups of self-label primes. Both exceed 64 bits quickly, so
+/// the scheme needs real big integers — their cost is the point of the
+/// paper's comparison.
+
+namespace cdbs::bigint {
+
+/// Unsigned big integer; 64-bit limbs, little-endian, no leading zero limbs.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From a machine integer.
+  explicit BigInt(uint64_t value);
+
+  BigInt(const BigInt&) = default;
+  BigInt& operator=(const BigInt&) = default;
+  BigInt(BigInt&&) = default;
+  BigInt& operator=(BigInt&&) = default;
+
+  /// Parses a decimal string (digits only). Aborts on bad input; intended
+  /// for tests and tooling.
+  static BigInt FromDecimalString(std::string_view text);
+
+  bool IsZero() const { return limbs_.empty(); }
+
+  /// Number of significant bits (0 for zero).
+  size_t BitLength() const;
+
+  /// Storage: number of 64-bit limbs.
+  size_t limb_count() const { return limbs_.size(); }
+
+  /// Three-way comparison.
+  int Compare(const BigInt& other) const;
+  bool operator==(const BigInt& other) const { return limbs_ == other.limbs_; }
+  std::strong_ordering operator<=>(const BigInt& other) const {
+    const int c = Compare(other);
+    if (c < 0) return std::strong_ordering::less;
+    if (c > 0) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  /// this + other.
+  BigInt Add(const BigInt& other) const;
+
+  /// this - other; requires this >= other.
+  BigInt Sub(const BigInt& other) const;
+
+  /// this * multiplier (machine word).
+  BigInt MulSmall(uint64_t multiplier) const;
+
+  /// this * other (schoolbook; operands here stay small).
+  BigInt Mul(const BigInt& other) const;
+
+  /// Division by a machine word: stores the remainder in `*remainder` and
+  /// returns the quotient. `divisor` must be nonzero.
+  BigInt DivModSmall(uint64_t divisor, uint64_t* remainder) const;
+
+  /// this mod divisor (machine word, nonzero).
+  uint64_t ModSmall(uint64_t divisor) const;
+
+  /// Full division: *quotient = this / divisor, *remainder = this % divisor.
+  /// `divisor` must be nonzero. Either output may be nullptr.
+  void DivMod(const BigInt& divisor, BigInt* quotient, BigInt* remainder) const;
+
+  /// this mod divisor (nonzero).
+  BigInt Mod(const BigInt& divisor) const;
+
+  /// True iff divisor (nonzero) divides this exactly.
+  bool IsDivisibleBy(const BigInt& divisor) const;
+
+  /// Value as uint64_t; requires BitLength() <= 64.
+  uint64_t ToUint64() const;
+
+  /// Decimal rendering.
+  std::string ToDecimalString() const;
+
+ private:
+  void TrimLeadingZeros();
+  // Left-shift by `bits` (used by long division).
+  BigInt ShiftLeft(size_t bits) const;
+
+  std::vector<uint64_t> limbs_;
+};
+
+/// Modular inverse of a mod m over machine words via the extended Euclidean
+/// algorithm. Requires gcd(a, m) == 1 and m >= 2. Returns a value in [1, m).
+uint64_t ModularInverse(uint64_t a, uint64_t m);
+
+/// Chinese Remainder Theorem over machine-word moduli: returns the unique
+/// x in [0, prod(moduli)) with x ≡ residues[i] (mod moduli[i]) for all i.
+/// Moduli must be pairwise coprime (they are distinct primes in the Prime
+/// scheme); residues[i] must be < moduli[i].
+BigInt CrtCombine(const std::vector<uint64_t>& residues,
+                  const std::vector<uint64_t>& moduli);
+
+}  // namespace cdbs::bigint
+
+#endif  // CDBS_BIGINT_BIGINT_H_

@@ -1,0 +1,42 @@
+#include "core/binary_codec.h"
+
+#include "core/cdbs.h"
+#include "util/check.h"
+
+namespace cdbs::core {
+
+size_t VBinaryCodeBits(uint64_t value) {
+  CDBS_CHECK(value >= 1);
+  return 64 - static_cast<size_t>(__builtin_clzll(value));
+}
+
+size_t VLengthFieldBits(uint64_t n) {
+  // Field wide enough to express sizes up to W + 2, where W is the widest
+  // initial code (see Example 4.2: W = 5 -> 3 bits). The same convention is
+  // used for V-CDBS so the two schemes' stored sizes match bit for bit
+  // (Theorem 4.4) while leaving the insertion headroom Section 6 discusses.
+  const uint64_t max_expressible =
+      static_cast<uint64_t>(FixedWidthForCount(n)) + 2;
+  size_t field = 0;
+  while (max_expressible >> field) ++field;
+  return field;
+}
+
+size_t VBinaryStoredBits(uint64_t value, uint64_t n) {
+  return VLengthFieldBits(n) + VBinaryCodeBits(value);
+}
+
+size_t FBinaryStoredBits(uint64_t n) {
+  return static_cast<size_t>(FixedWidthForCount(n));
+}
+
+BitString VBinaryCode(uint64_t value) {
+  return BitString::FromUint(value, static_cast<int>(VBinaryCodeBits(value)));
+}
+
+BitString FBinaryCode(uint64_t value, uint64_t n) {
+  CDBS_CHECK(value <= n);
+  return BitString::FromUint(value, FixedWidthForCount(n));
+}
+
+}  // namespace cdbs::core

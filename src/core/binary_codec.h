@@ -1,0 +1,45 @@
+#ifndef CDBS_CORE_BINARY_CODEC_H_
+#define CDBS_CORE_BINARY_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/bit_string.h"
+
+/// \file
+/// The paper's baseline integer encodings: V-Binary (variable-length binary
+/// of an integer plus a per-code length field) and F-Binary (fixed-width
+/// binary). Their stored sizes are what Table 1 and Section 4.2 account for;
+/// semantically they are plain integers — which is exactly why a value can
+/// never be inserted between two consecutive codes without re-labeling.
+
+namespace cdbs::core {
+
+/// Bits of the V-Binary code of `value` (floor(log2 value) + 1).
+/// `value` must be >= 1.
+size_t VBinaryCodeBits(uint64_t value);
+
+/// Bits of the per-code length field when codes for a universe of `n` values
+/// are stored with variable length: enough to express the maximum code size,
+/// i.e. ceil(log2(maxbits + 1)).
+size_t VLengthFieldBits(uint64_t n);
+
+/// Total stored bits for one V-Binary code of `value` in a universe of `n`:
+/// length field + code bits.
+size_t VBinaryStoredBits(uint64_t value, uint64_t n);
+
+/// Stored bits for one F-Binary code in a universe of `n` values
+/// (ceil(log2(n+1)); the width itself is stored once per relation, not per
+/// code).
+size_t FBinaryStoredBits(uint64_t n);
+
+/// The V-Binary code of `value` as a bit string (e.g. 6 -> "110").
+BitString VBinaryCode(uint64_t value);
+
+/// The F-Binary code of `value` for a universe of `n` (e.g. 6, n=18 ->
+/// "00110").
+BitString FBinaryCode(uint64_t value, uint64_t n);
+
+}  // namespace cdbs::core
+
+#endif  // CDBS_CORE_BINARY_CODEC_H_

@@ -1,0 +1,197 @@
+#include "core/bit_string.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace cdbs::core {
+
+namespace {
+
+// Mask selecting the top `bits` bits of a byte (bits in [0,8]).
+uint8_t HighMask(size_t bits) {
+  return bits == 0 ? 0 : static_cast<uint8_t>(0xFF << (8 - bits));
+}
+
+}  // namespace
+
+BitString BitString::FromString(std::string_view bits) {
+  BitString out;
+  for (const char c : bits) {
+    CDBS_CHECK(c == '0' || c == '1');
+    out.AppendBit(c == '1');
+  }
+  return out;
+}
+
+BitString BitString::FromUint(uint64_t value, int width) {
+  CDBS_CHECK(width >= 0 && width <= 64);
+  CDBS_CHECK(width == 64 || value < (1ULL << width));
+  BitString out;
+  out.size_ = static_cast<size_t>(width);
+  out.word_ = width == 0 ? 0 : value << (64 - width);
+  return out;
+}
+
+bool BitString::bit(size_t i) const {
+  CDBS_DCHECK(i < size_);
+  if (is_inline()) return (word_ >> (63 - i)) & 1;
+  return (bytes_[i >> 3] >> (7 - (i & 7))) & 1;
+}
+
+void BitString::Spill() {
+  // Convert the inline word (exactly 64 bits) to bytes.
+  bytes_.resize(8);
+  for (size_t i = 0; i < 8; ++i) {
+    bytes_[i] = static_cast<uint8_t>(word_ >> (56 - 8 * i));
+  }
+  word_ = 0;
+}
+
+void BitString::AppendBit(bool value) {
+  if (size_ < kInlineBits) {
+    if (value) word_ |= 1ULL << (63 - size_);
+    ++size_;
+    return;
+  }
+  if (size_ == kInlineBits && bytes_.empty()) Spill();
+  if ((size_ & 7) == 0) bytes_.push_back(0);
+  if (value) {
+    bytes_[size_ >> 3] |= static_cast<uint8_t>(1u << (7 - (size_ & 7)));
+  }
+  ++size_;
+}
+
+void BitString::Append(const BitString& other) {
+  // Bit-by-bit is fine here: appends are short (one or two bits) on the hot
+  // update path; bulk appends happen only at initial encoding.
+  for (size_t i = 0; i < other.size_; ++i) AppendBit(other.bit(i));
+}
+
+void BitString::PopBit() {
+  CDBS_CHECK(size_ > 0);
+  Truncate(size_ - 1);
+}
+
+void BitString::SetBit(size_t i, bool value) {
+  CDBS_DCHECK(i < size_);
+  if (is_inline()) {
+    const uint64_t mask = 1ULL << (63 - i);
+    if (value) {
+      word_ |= mask;
+    } else {
+      word_ &= ~mask;
+    }
+    return;
+  }
+  const uint8_t mask = static_cast<uint8_t>(1u << (7 - (i & 7)));
+  if (value) {
+    bytes_[i >> 3] |= mask;
+  } else {
+    bytes_[i >> 3] &= static_cast<uint8_t>(~mask);
+  }
+}
+
+void BitString::Truncate(size_t new_size) {
+  CDBS_CHECK(new_size <= size_);
+  if (!is_inline() && new_size <= kInlineBits) {
+    // Shrink back into the inline word.
+    uint64_t word = 0;
+    for (size_t i = 0; i < 8 && i < bytes_.size(); ++i) {
+      word |= static_cast<uint64_t>(bytes_[i]) << (56 - 8 * i);
+    }
+    bytes_.clear();
+    word_ = word;
+    size_ = kInlineBits;
+  }
+  size_ = new_size;
+  if (is_inline()) {
+    // Re-establish zero padding below the logical size.
+    word_ = size_ == 0 ? 0 : word_ & ~((size_ == 64) ? 0ULL : (~0ULL >> size_));
+    return;
+  }
+  bytes_.resize((size_ + 7) / 8);
+  if (!bytes_.empty()) {
+    const size_t used = size_ & 7;
+    if (used != 0) bytes_.back() &= HighMask(used);
+  }
+}
+
+bool BitString::IsPrefixOf(const BitString& other) const {
+  if (size_ > other.size_) return false;
+  if (is_inline() && other.is_inline()) {
+    const uint64_t mask =
+        size_ == 0 ? 0 : (size_ == 64 ? ~0ULL : ~(~0ULL >> size_));
+    return (word_ & mask) == (other.word_ & mask);
+  }
+  const size_t full = size_ >> 3;
+  for (size_t i = 0; i < full; ++i) {
+    if (ByteAt(i) != other.ByteAt(i)) return false;
+  }
+  const size_t rem = size_ & 7;
+  if (rem != 0) {
+    const uint8_t mask = HighMask(rem);
+    if ((ByteAt(full) & mask) != (other.ByteAt(full) & mask)) return false;
+  }
+  return true;
+}
+
+uint8_t BitString::ByteAt(size_t i) const {
+  if (is_inline()) return static_cast<uint8_t>(word_ >> (56 - 8 * i));
+  return bytes_[i];
+}
+
+int BitString::CompareSlow(const BitString& other) const {
+  const size_t min_bits = size_ < other.size_ ? size_ : other.size_;
+  const size_t full = min_bits >> 3;
+  for (size_t i = 0; i < full; ++i) {
+    const uint8_t a = ByteAt(i);
+    const uint8_t b = other.ByteAt(i);
+    if (a != b) return a < b ? -1 : 1;
+  }
+  const size_t rem = min_bits & 7;
+  if (rem != 0) {
+    const uint8_t mask = HighMask(rem);
+    const uint8_t a = static_cast<uint8_t>(ByteAt(full) & mask);
+    const uint8_t b = static_cast<uint8_t>(other.ByteAt(full) & mask);
+    if (a != b) return a < b ? -1 : 1;
+  }
+  // All shared bits equal: the shorter string is a prefix, hence smaller
+  // (Definition 3.1(b)).
+  if (size_ == other.size_) return 0;
+  return size_ < other.size_ ? -1 : 1;
+}
+
+std::string BitString::ToString() const {
+  std::string out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) out.push_back(bit(i) ? '1' : '0');
+  return out;
+}
+
+uint64_t BitString::ToUint() const {
+  CDBS_CHECK(size_ <= 64);
+  if (size_ == 0) return 0;
+  return word_ >> (64 - size_);
+}
+
+std::vector<uint8_t> BitString::packed_bytes() const {
+  if (!is_inline()) return bytes_;
+  std::vector<uint8_t> out((size_ + 7) / 8);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = ByteAt(i);
+  return out;
+}
+
+size_t BitString::Hash() const {
+  // FNV-1a over the packed bytes, mixed with the bit length so "0" and "00"
+  // hash differently.
+  uint64_t h = 14695981039346656037ULL;
+  const size_t byte_count = (size_ + 7) / 8;
+  for (size_t i = 0; i < byte_count; ++i) {
+    h = (h ^ ByteAt(i)) * 1099511628211ULL;
+  }
+  h = (h ^ size_) * 1099511628211ULL;
+  return static_cast<size_t>(h);
+}
+
+}  // namespace cdbs::core

@@ -1,0 +1,144 @@
+#ifndef CDBS_CORE_BIT_STRING_H_
+#define CDBS_CORE_BIT_STRING_H_
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Bit-packed binary strings compared in *lexicographical* order
+/// (Definition 3.1 of the paper): comparison proceeds bit by bit from the
+/// left; a proper prefix is smaller than any of its extensions. This is the
+/// foundation type for CDBS codes.
+
+namespace cdbs::core {
+
+/// A sequence of bits with lexicographic ordering.
+///
+/// Codes up to 64 bits — every code a balanced encoding ever produces —
+/// live inline in a single machine word, MSB-aligned, so lexicographic
+/// comparison is one integer comparison plus the prefix rule (zero padding
+/// beyond the logical size makes the word order agree with bit order).
+/// Longer codes (possible only under sustained skewed insertion) spill to a
+/// heap byte vector, MSB-first per byte, zero-padded.
+///
+/// The empty bit string is a valid value: it is lexicographically smaller
+/// than every non-empty string and serves as the "virtual" left/right
+/// neighbour in CDBS insertion (Section 4.1 of the paper).
+class BitString {
+ public:
+  /// Constructs the empty bit string.
+  BitString() = default;
+
+  BitString(const BitString&) = default;
+  BitString& operator=(const BitString&) = default;
+  BitString(BitString&&) = default;
+  BitString& operator=(BitString&&) = default;
+
+  /// Parses a string of '0'/'1' characters, e.g. "0101".
+  /// Aborts on any other character (programming error).
+  static BitString FromString(std::string_view bits);
+
+  /// The `width` low bits of `value`, most significant first — the plain
+  /// binary encoding of an integer (the paper's F-Binary building block).
+  /// Requires width <= 64 and value < 2^width.
+  static BitString FromUint(uint64_t value, int width);
+
+  /// Number of bits.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The i-th bit (0-based from the left). Requires i < size().
+  bool bit(size_t i) const;
+
+  /// Appends one bit at the right end.
+  void AppendBit(bool value);
+
+  /// Appends all bits of `other` at the right end (the paper's ⊕).
+  void Append(const BitString& other);
+
+  /// Removes the last bit. Requires non-empty.
+  void PopBit();
+
+  /// Overwrites the i-th bit. Requires i < size().
+  void SetBit(size_t i, bool value);
+
+  /// Keeps only the first `new_size` bits. Requires new_size <= size().
+  void Truncate(size_t new_size);
+
+  /// True iff the final bit exists and is 1 (the CDBS code invariant).
+  bool EndsWithOne() const { return size_ > 0 && bit(size_ - 1); }
+
+  /// True iff *this is a (not necessarily proper) prefix of `other`.
+  bool IsPrefixOf(const BitString& other) const;
+
+  /// Three-way lexicographic comparison per Definition 3.1:
+  /// returns exactly -1, 0 or 1 for *this ≺, ==, ≻ `other`.
+  int Compare(const BitString& other) const {
+    if (is_inline() && other.is_inline()) {
+      // One word comparison: zero padding makes word order match bit order
+      // up to the prefix rule, which the size tiebreak supplies.
+      if (word_ != other.word_) return word_ < other.word_ ? -1 : 1;
+      if (size_ == other.size_) return 0;
+      return size_ < other.size_ ? -1 : 1;
+    }
+    return CompareSlow(other);
+  }
+
+  bool operator==(const BitString& other) const {
+    return size_ == other.size_ && Compare(other) == 0;
+  }
+  std::strong_ordering operator<=>(const BitString& other) const {
+    const int c = Compare(other);
+    if (c < 0) return std::strong_ordering::less;
+    if (c > 0) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  /// Renders as a '0'/'1' string, e.g. "00111".
+  std::string ToString() const;
+
+  /// Interprets the bits as an unsigned binary number (left bit most
+  /// significant). Requires size() <= 64. The empty string is 0.
+  uint64_t ToUint() const;
+
+  /// Bytes of backing storage currently used (for size accounting).
+  size_t storage_bytes() const {
+    return is_inline() ? (size_ + 7) / 8 : bytes_.size();
+  }
+
+  /// Packed MSB-first bytes (the final byte zero-padded); materialized on
+  /// demand for inline strings.
+  std::vector<uint8_t> packed_bytes() const;
+
+  /// Stable hash of the bit contents.
+  size_t Hash() const;
+
+ private:
+  static constexpr size_t kInlineBits = 64;
+
+  bool is_inline() const { return size_ <= kInlineBits; }
+  // Moves the inline word into the byte vector (called when growing past
+  // 64 bits).
+  void Spill();
+  int CompareSlow(const BitString& other) const;
+  uint8_t ByteAt(size_t i) const;  // i-th packed byte, either representation
+
+  // Inline representation: first bit at word bit 63, zero padding below.
+  uint64_t word_ = 0;
+  // Heap representation (size_ > 64): MSB-first packed bytes.
+  std::vector<uint8_t> bytes_;
+  size_t size_ = 0;  // in bits
+};
+
+/// std::hash adapter so BitString can key unordered containers.
+struct BitStringHash {
+  size_t operator()(const BitString& b) const { return b.Hash(); }
+};
+
+}  // namespace cdbs::core
+
+#endif  // CDBS_CORE_BIT_STRING_H_

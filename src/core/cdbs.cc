@@ -1,0 +1,136 @@
+#include "core/cdbs.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cdbs::core {
+
+namespace {
+
+// Midpoint with round-half-up, matching the paper's round((PL+PR)/2)
+// (e.g. round(9.5) == 10 in the Table 1 walkthrough).
+uint64_t RoundMid(uint64_t lo, uint64_t hi) { return (lo + hi + 1) / 2; }
+
+// Recursive SubEncoding of Algorithm 2. codes[0] and codes[n+1] stay empty
+// (the virtual numbers 0 and N+1). Depth is O(log n).
+void SubEncoding(std::vector<BitString>* codes, uint64_t left, uint64_t right) {
+  if (left + 1 >= right) return;
+  const uint64_t mid = RoundMid(left, right);
+  (*codes)[mid] = AssignMiddleBinaryString((*codes)[left], (*codes)[right]);
+  SubEncoding(codes, left, mid);
+  SubEncoding(codes, mid, right);
+}
+
+}  // namespace
+
+BitString AssignMiddleBinaryString(const BitString& left,
+                                   const BitString& right) {
+  CDBS_CHECK(left.empty() || left.EndsWithOne());
+  CDBS_CHECK(right.empty() || right.EndsWithOne());
+  if (!left.empty() && !right.empty()) {
+    CDBS_CHECK(left.Compare(right) < 0);
+  }
+  if (left.size() >= right.size()) {
+    // Case (1): extend the left neighbour by one "1" bit.
+    BitString mid = left;
+    mid.AppendBit(true);
+    return mid;
+  }
+  // Case (2): the right neighbour with its last "1" changed to "01".
+  BitString mid = right;
+  mid.SetBit(mid.size() - 1, false);
+  mid.AppendBit(true);
+  return mid;
+}
+
+std::pair<BitString, BitString> AssignTwoMiddleBinaryStrings(
+    const BitString& left, const BitString& right) {
+  BitString first = AssignMiddleBinaryString(left, right);
+  BitString second = AssignMiddleBinaryString(first, right);
+  return {std::move(first), std::move(second)};
+}
+
+std::vector<BitString> EncodeRange(uint64_t n) {
+  // codes[i] is the code of number i; 0 and n+1 are the virtual sentinels.
+  std::vector<BitString> codes(n + 2);
+  SubEncoding(&codes, 0, n + 1);
+  // Drop the sentinels; shift down so index 0 is the code of number 1.
+  std::vector<BitString> out;
+  out.reserve(n);
+  for (uint64_t i = 1; i <= n; ++i) out.push_back(std::move(codes[i]));
+  return out;
+}
+
+int FixedWidthForCount(uint64_t n) {
+  // ceil(log2(n + 1)): width of the binary representation of n.
+  if (n == 0) return 1;
+  return 64 - __builtin_clzll(n);
+}
+
+std::vector<BitString> EncodeRangeFixed(uint64_t n) {
+  std::vector<BitString> codes = EncodeRange(n);
+  const size_t width = static_cast<size_t>(FixedWidthForCount(n));
+  for (BitString& code : codes) {
+    CDBS_CHECK(code.size() <= width);
+    while (code.size() < width) code.AppendBit(false);
+  }
+  return codes;
+}
+
+uint64_t RankOfCode(const BitString& code, uint64_t n) {
+  CDBS_CHECK(!code.empty());
+  // Walk the same subdivision tree Algorithm 2 builds, re-deriving the code
+  // at each midpoint; descend left/right by lexicographic comparison.
+  uint64_t left_pos = 0;
+  uint64_t right_pos = n + 1;
+  BitString left_code;   // empty sentinel
+  BitString right_code;  // empty sentinel
+  while (left_pos + 1 < right_pos) {
+    const uint64_t mid_pos = RoundMid(left_pos, right_pos);
+    BitString mid_code = AssignMiddleBinaryString(left_code, right_code);
+    const int cmp = code.Compare(mid_code);
+    if (cmp == 0) return mid_pos;
+    if (cmp < 0) {
+      right_pos = mid_pos;
+      right_code = std::move(mid_code);
+    } else {
+      left_pos = mid_pos;
+      left_code = std::move(mid_code);
+    }
+  }
+  CDBS_CHECK(false && "code is not a member of EncodeRange(n)");
+  return 0;
+}
+
+double VCodeTotalBitsFormula(double n) {
+  return n * std::log2(n + 1) - n + std::log2(n + 1);
+}
+
+double VTotalBitsFormula(double n) {
+  return VCodeTotalBitsFormula(n) + n * std::log2(std::log2(n));
+}
+
+double FTotalBitsFormula(double n) {
+  return n * std::log2(n) + std::log2(std::log2(n));
+}
+
+uint64_t VCodeTotalBitsExact(uint64_t n) {
+  // One 1-bit code, two 2-bit codes, four 3-bit codes, ... both for V-Binary
+  // (number i takes floor(log2 i)+1 bits) and for V-CDBS (Theorem 4.4).
+  uint64_t total = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    total += static_cast<uint64_t>(64 - __builtin_clzll(i));
+  }
+  return total;
+}
+
+uint64_t FTotalBitsExact(uint64_t n) {
+  const uint64_t width = static_cast<uint64_t>(FixedWidthForCount(n));
+  // Width field stored once; its size is ceil(log2(width+1)).
+  uint64_t width_field = 0;
+  while (width >> width_field) ++width_field;
+  return n * width + width_field;
+}
+
+}  // namespace cdbs::core

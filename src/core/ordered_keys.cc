@@ -1,0 +1,53 @@
+#include "core/ordered_keys.h"
+
+#include "core/cdbs.h"
+#include "util/check.h"
+
+namespace cdbs::core {
+
+BitString KeyBetween(const BitString* left, const BitString* right) {
+  static const BitString kEmpty;
+  return AssignMiddleBinaryString(left ? *left : kEmpty,
+                                  right ? *right : kEmpty);
+}
+
+OrderedKeyList::OrderedKeyList(uint64_t initial_count) {
+  if (initial_count > 0) keys_ = EncodeRange(initial_count);
+}
+
+const BitString& OrderedKeyList::at(size_t index) const {
+  CDBS_CHECK(index < keys_.size());
+  return keys_[index];
+}
+
+const BitString& OrderedKeyList::InsertAt(size_t index) {
+  CDBS_CHECK(index <= keys_.size());
+  const BitString* left = index > 0 ? &keys_[index - 1] : nullptr;
+  const BitString* right = index < keys_.size() ? &keys_[index] : nullptr;
+  BitString key = KeyBetween(left, right);
+  keys_.insert(keys_.begin() + static_cast<ptrdiff_t>(index), std::move(key));
+  return keys_[index];
+}
+
+bool OrderedKeyList::IsStrictlyOrdered() const {
+  for (size_t i = 1; i < keys_.size(); ++i) {
+    if (keys_[i - 1].Compare(keys_[i]) >= 0) return false;
+  }
+  return true;
+}
+
+uint64_t OrderedKeyList::TotalKeyBits() const {
+  uint64_t total = 0;
+  for (const BitString& k : keys_) total += k.size();
+  return total;
+}
+
+size_t OrderedKeyList::MaxKeyBits() const {
+  size_t max_bits = 0;
+  for (const BitString& k : keys_) {
+    if (k.size() > max_bits) max_bits = k.size();
+  }
+  return max_bits;
+}
+
+}  // namespace cdbs::core

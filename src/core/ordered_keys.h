@@ -1,0 +1,64 @@
+#ifndef CDBS_CORE_ORDERED_KEYS_H_
+#define CDBS_CORE_ORDERED_KEYS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/bit_string.h"
+
+/// \file
+/// An order-maintenance key list built on CDBS — the "other applications
+/// which need to maintain the order in updates" of Property 5.1. The same
+/// idea is known today as fractional indexing / LexoRank: hand every item a
+/// key such that any two adjacent keys admit a new key strictly between them,
+/// so reordering never rewrites existing keys.
+
+namespace cdbs::core {
+
+/// Returns a key strictly between `left` and `right`; pass nullptr for "no
+/// neighbour on that side". Wraps AssignMiddleBinaryString with pointer
+/// optionality for application use.
+BitString KeyBetween(const BitString* left, const BitString* right);
+
+/// An ordered list of CDBS keys supporting O(log n)-amortized-size insertion
+/// at any rank without touching existing keys.
+///
+/// The list is the application-facing face of the encoding: positions are
+/// dense ranks (0-based); keys are stable and lexicographically ordered; any
+/// snapshot of the keys sorts back into list order.
+class OrderedKeyList {
+ public:
+  /// Creates a list pre-populated with `initial_count` evenly balanced keys
+  /// (Algorithm 2); 0 creates an empty list.
+  explicit OrderedKeyList(uint64_t initial_count = 0);
+
+  /// Number of keys.
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  /// The key at rank `index`. Requires index < size().
+  const BitString& at(size_t index) const;
+
+  /// Inserts a new key at rank `index` (0 <= index <= size()) and returns
+  /// it. Existing keys are never modified.
+  const BitString& InsertAt(size_t index);
+
+  /// True iff keys are strictly increasing (the class invariant; exposed for
+  /// property tests).
+  bool IsStrictlyOrdered() const;
+
+  /// Total bits across all keys (size accounting).
+  uint64_t TotalKeyBits() const;
+
+  /// Length in bits of the longest key (the O(N) worst case of skewed
+  /// insertion, Section 5.2.2).
+  size_t MaxKeyBits() const;
+
+ private:
+  std::vector<BitString> keys_;  // strictly increasing
+};
+
+}  // namespace cdbs::core
+
+#endif  // CDBS_CORE_ORDERED_KEYS_H_

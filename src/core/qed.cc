@@ -1,0 +1,148 @@
+#include "core/qed.h"
+
+#include "util/check.h"
+
+namespace cdbs::core {
+
+namespace {
+
+bool EndsWith(const QedCode& code, char digit) {
+  return !code.empty() && code.back() == digit;
+}
+
+// Position (0-based) of the first differing digit, or the shorter size when
+// one is a prefix of the other.
+size_t FirstDifference(const QedCode& a, const QedCode& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return n;
+}
+
+// Recursive balanced ternary subdivision used by QedEncodeRange: fills
+// codes[left+1 .. right-1] with codes strictly between codes[left] and
+// codes[right].
+void QedSubEncode(std::vector<QedCode>* codes, uint64_t left, uint64_t right) {
+  const uint64_t gap = right - left - 1;
+  if (gap == 0) return;
+  if (gap == 1) {
+    (*codes)[left + 1] = QedInsertBetween((*codes)[left], (*codes)[right]);
+    return;
+  }
+  // Two midpoints at roughly one third and two thirds of the segment.
+  const uint64_t len = right - left;
+  uint64_t m1 = left + (len + 1) / 3;
+  uint64_t m2 = left + (2 * len + 1) / 3;
+  if (m1 <= left) m1 = left + 1;
+  if (m2 <= m1) m2 = m1 + 1;
+  if (m2 >= right) m2 = right - 1;
+  CDBS_CHECK(left < m1 && m1 < m2 && m2 < right);
+  auto [first, second] = QedInsertTwoBetween((*codes)[left], (*codes)[right]);
+  (*codes)[m1] = std::move(first);
+  (*codes)[m2] = std::move(second);
+  QedSubEncode(codes, left, m1);
+  QedSubEncode(codes, m1, m2);
+  QedSubEncode(codes, m2, right);
+}
+
+}  // namespace
+
+bool IsValidQedCode(const QedCode& code) {
+  if (code.empty()) return true;
+  for (const char c : code) {
+    if (c < '1' || c > '3') return false;
+  }
+  return code.back() == '2' || code.back() == '3';
+}
+
+QedCode QedInsertBetween(const QedCode& left, const QedCode& right) {
+  CDBS_CHECK(IsValidQedCode(left));
+  CDBS_CHECK(IsValidQedCode(right));
+  if (!left.empty() && !right.empty()) {
+    CDBS_CHECK(left < right);
+  }
+  if (left.empty() && right.empty()) return "2";
+
+  if (left.size() < right.size()) {
+    // Work from the right neighbour: shrink its final digit.
+    QedCode mid = right;
+    if (EndsWith(right, '3')) {
+      mid.back() = '2';  // ...3 -> ...2
+    } else {
+      mid.back() = '1';  // ...2 -> ...12
+      mid.push_back('2');
+    }
+    return mid;
+  }
+
+  // size(left) >= size(right): work from the left neighbour.
+  QedCode mid = left;
+  if (EndsWith(left, '3')) {
+    mid.push_back('2');  // ...3 -> ...32
+    return mid;
+  }
+  // left ends in '2'. Bumping it to '3' stays below `right` unless the two
+  // neighbours are equal-length and differ only in that final digit
+  // (left = x2, right = x3), where the bump would collide with `right`.
+  if (!right.empty() && left.size() == right.size() &&
+      FirstDifference(left, right) == left.size() - 1) {
+    mid.push_back('2');  // x2 -> x22
+  } else {
+    mid.back() = '3';  // ...2 -> ...3
+  }
+  return mid;
+}
+
+std::pair<QedCode, QedCode> QedInsertTwoBetween(const QedCode& left,
+                                                const QedCode& right) {
+  QedCode first = QedInsertBetween(left, right);
+  QedCode second = QedInsertBetween(first, right);
+  return {std::move(first), std::move(second)};
+}
+
+std::vector<QedCode> QedEncodeRange(uint64_t n) {
+  std::vector<QedCode> codes(n + 2);  // sentinels at 0 and n+1 stay empty
+  QedSubEncode(&codes, 0, n + 1);
+  std::vector<QedCode> out;
+  out.reserve(n);
+  for (uint64_t i = 1; i <= n; ++i) out.push_back(std::move(codes[i]));
+  return out;
+}
+
+std::vector<uint8_t> QedPackSeparated(const std::vector<QedCode>& codes) {
+  std::vector<uint8_t> bytes;
+  size_t digit_count = 0;
+  auto push_digit = [&](uint8_t digit) {
+    const size_t shift = 6 - 2 * (digit_count & 3);
+    if ((digit_count & 3) == 0) bytes.push_back(0);
+    bytes.back() |= static_cast<uint8_t>(digit << shift);
+    ++digit_count;
+  };
+  for (const QedCode& code : codes) {
+    CDBS_CHECK(IsValidQedCode(code) && !code.empty());
+    for (const char c : code) push_digit(static_cast<uint8_t>(c - '0'));
+    push_digit(0);  // separator
+  }
+  return bytes;
+}
+
+std::vector<QedCode> QedUnpackSeparated(const std::vector<uint8_t>& bytes) {
+  std::vector<QedCode> codes;
+  QedCode current;
+  for (size_t i = 0; i < bytes.size() * 4; ++i) {
+    const size_t shift = 6 - 2 * (i & 3);
+    const uint8_t digit = (bytes[i >> 2] >> shift) & 3;
+    if (digit == 0) {
+      if (current.empty()) break;  // trailing padding, not a separator
+      codes.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(static_cast<char>('0' + digit));
+    }
+  }
+  CDBS_CHECK(current.empty());  // packed stream always ends with a separator
+  return codes;
+}
+
+}  // namespace cdbs::core

@@ -1,0 +1,61 @@
+#ifndef CDBS_CORE_QED_H_
+#define CDBS_CORE_QED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file
+/// QED — the quaternary encoding of Li & Ling (CIKM 2005, the paper's
+/// ref [10]) that Section 6 falls back to when re-labeling must be avoided
+/// *completely* (the overflow problem of length fields).
+///
+/// A QED code is a string over the quaternary digits {1,2,3}, each stored in
+/// 2 bits, ending in '2' or '3'. The digit '0' never occurs inside a code and
+/// is reserved as the separator between codes, so a stream of separated codes
+/// can never be confused by growth of a single code — there is no length
+/// field to overflow.
+///
+/// Codes are compared lexicographically (digit by digit; a proper prefix is
+/// smaller). `QedInsertBetween` always finds a code strictly between two
+/// codes by modifying/appending at most one quaternary digit (2 bits) — the
+/// "QED modifies the last 2 bits" cost the paper contrasts with CDBS's 1 bit.
+
+namespace cdbs::core {
+
+/// A QED code: digits '1'..'3'; must be empty or end in '2'/'3'.
+using QedCode = std::string;
+
+/// True iff `code` is a well-formed (possibly empty) QED code.
+bool IsValidQedCode(const QedCode& code);
+
+/// Returns a code strictly between `left` and `right` in lexicographic
+/// order. Empty `left`/`right` mean "no neighbour on that side". Checked
+/// preconditions: both arguments valid, and left ≺ right when both present.
+QedCode QedInsertBetween(const QedCode& left, const QedCode& right);
+
+/// Two codes M1 ≺ M2 strictly between `left` and `right` (the containment
+/// analogue of Corollary 3.3).
+std::pair<QedCode, QedCode> QedInsertTwoBetween(const QedCode& left,
+                                                const QedCode& right);
+
+/// Initial QED encoding of numbers 1..n (balanced ternary subdivision):
+/// lexicographically increasing, all codes valid.
+std::vector<QedCode> QedEncodeRange(uint64_t n);
+
+/// Storage size of a code in bits: 2 bits per quaternary digit.
+inline size_t QedCodeBits(const QedCode& code) { return 2 * code.size(); }
+
+/// Packs a sequence of codes into bytes, 2 bits per digit, with the '0'
+/// separator digit between codes and after the last one. Used for size
+/// accounting and the label store.
+std::vector<uint8_t> QedPackSeparated(const std::vector<QedCode>& codes);
+
+/// Inverse of QedPackSeparated.
+std::vector<QedCode> QedUnpackSeparated(const std::vector<uint8_t>& bytes);
+
+}  // namespace cdbs::core
+
+#endif  // CDBS_CORE_QED_H_

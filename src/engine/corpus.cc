@@ -1,0 +1,63 @@
+#include "engine/corpus.h"
+
+#include "labeling/registry.h"
+#include "query/evaluator.h"
+#include "query/xpath.h"
+
+namespace cdbs::engine {
+
+Result<Corpus> Corpus::FromDocuments(std::vector<xml::Document> docs,
+                                     const std::string& scheme_name) {
+  if (docs.empty()) {
+    return Status::InvalidArgument("corpus needs at least one document");
+  }
+  for (const xml::Document& doc : docs) {
+    if (doc.root() == nullptr) {
+      return Status::InvalidArgument("corpus documents must have roots");
+    }
+  }
+  Corpus corpus;
+  corpus.scheme_name_ = scheme_name;
+  corpus.docs_ = std::move(docs);
+  const auto scheme = labeling::SchemeByName(scheme_name);
+  corpus.labeled_.reserve(corpus.docs_.size());
+  for (const xml::Document& doc : corpus.docs_) {
+    corpus.labeled_.push_back(
+        std::make_unique<query::LabeledDocument>(doc, *scheme));
+  }
+  return corpus;
+}
+
+uint64_t Corpus::total_nodes() const {
+  uint64_t total = 0;
+  for (const auto& doc : labeled_) total += doc->labeling().num_nodes();
+  return total;
+}
+
+uint64_t Corpus::total_label_bits() const {
+  uint64_t total = 0;
+  for (const auto& doc : labeled_) total += doc->labeling().TotalLabelBits();
+  return total;
+}
+
+Result<uint64_t> Corpus::Count(const std::string& xpath) const {
+  Result<std::vector<uint64_t>> per_file = CountPerFile(xpath);
+  if (!per_file.ok()) return per_file.status();
+  uint64_t total = 0;
+  for (const uint64_t c : *per_file) total += c;
+  return total;
+}
+
+Result<std::vector<uint64_t>> Corpus::CountPerFile(
+    const std::string& xpath) const {
+  Result<query::Query> query = query::ParseQuery(xpath);
+  if (!query.ok()) return query.status();
+  std::vector<uint64_t> counts;
+  counts.reserve(labeled_.size());
+  for (const auto& doc : labeled_) {
+    counts.push_back(query::EvaluateQuery(*query, *doc).size());
+  }
+  return counts;
+}
+
+}  // namespace cdbs::engine

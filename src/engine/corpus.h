@@ -1,0 +1,64 @@
+#ifndef CDBS_ENGINE_CORPUS_H_
+#define CDBS_ENGINE_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/tag_index.h"
+#include "util/status.h"
+#include "xml/tree.h"
+
+/// \file
+/// A multi-document corpus labeled under one scheme and queried as a unit —
+/// the shape of the paper's datasets (D1 is 490 files, D5 is 37 plays, the
+/// query workload runs over D5 replicated ten times). Wraps one
+/// LabeledDocument per file and aggregates counts, sizes and times.
+
+namespace cdbs::engine {
+
+/// An immutable labeled corpus.
+class Corpus {
+ public:
+  /// Labels every document with `scheme_name`. Documents are owned by the
+  /// corpus.
+  static Result<Corpus> FromDocuments(std::vector<xml::Document> docs,
+                                      const std::string& scheme_name);
+
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  /// Number of files.
+  size_t file_count() const { return labeled_.size(); }
+
+  /// Total labeled nodes across files.
+  uint64_t total_nodes() const;
+
+  /// Total stored label bits across files (the Figure 5 metric).
+  uint64_t total_label_bits() const;
+
+  /// Scheme used.
+  const std::string& scheme_name() const { return scheme_name_; }
+
+  /// Total matches of `xpath` across all files (the Table 3 metric).
+  Result<uint64_t> Count(const std::string& xpath) const;
+
+  /// Per-file matches of `xpath` (index-aligned with files).
+  Result<std::vector<uint64_t>> CountPerFile(const std::string& xpath) const;
+
+  /// One file's labeled view.
+  const query::LabeledDocument& file(size_t i) const { return *labeled_[i]; }
+
+ private:
+  Corpus() = default;
+
+  std::string scheme_name_;
+  std::vector<xml::Document> docs_;
+  std::vector<std::unique_ptr<query::LabeledDocument>> labeled_;
+};
+
+}  // namespace cdbs::engine
+
+#endif  // CDBS_ENGINE_CORPUS_H_

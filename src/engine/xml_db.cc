@@ -1,0 +1,204 @@
+#include "engine/xml_db.h"
+
+#include <utility>
+
+#include "labeling/registry.h"
+#include "query/evaluator.h"
+#include "query/xpath.h"
+#include "util/check.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace cdbs::engine {
+
+XmlDb::XmlDb(xml::Document doc,
+             std::unique_ptr<labeling::LabelingScheme> scheme)
+    : doc_(std::move(doc)), scheme_(std::move(scheme)) {
+  labeled_ = std::make_unique<query::LabeledDocument>(doc_, *scheme_);
+  node_of_id_ = doc_.NodesInDocumentOrder();
+}
+
+Result<std::unique_ptr<XmlDb>> XmlDb::Open(xml::Document doc,
+                                           const XmlDbOptions& options) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root");
+  }
+  auto scheme = labeling::SchemeByName(options.scheme_name);
+  std::unique_ptr<XmlDb> db(new XmlDb(std::move(doc), std::move(scheme)));
+  CDBS_RETURN_NOT_OK(db->InitStore(options));
+  return db;
+}
+
+Result<std::unique_ptr<XmlDb>> XmlDb::OpenFromXml(
+    std::string_view xml, const XmlDbOptions& options) {
+  Result<xml::Document> parsed = xml::ParseXml(xml);
+  if (!parsed.ok()) return parsed.status();
+  return Open(std::move(parsed).value(), options);
+}
+
+Status XmlDb::InitStore(const XmlDbOptions& options) {
+  if (options.storage_path.empty()) return Status::OK();
+  store_ = std::make_unique<storage::LabelStore>();
+  CDBS_RETURN_NOT_OK(store_->Open(options.storage_path));
+  const labeling::Labeling& lab = labeled_->labeling();
+  std::vector<std::string> records;
+  records.reserve(lab.num_nodes());
+  for (NodeId n = 0; n < lab.num_nodes(); ++n) {
+    records.push_back(lab.SerializeLabel(n));
+  }
+  return store_->BulkLoad(records, options.store_headroom);
+}
+
+Result<std::vector<NodeId>> XmlDb::Query(const std::string& xpath) const {
+  Result<query::Query> parsed = query::ParseQuery(xpath);
+  if (!parsed.ok()) return parsed.status();
+  return query::EvaluateQuery(*parsed, *labeled_);
+}
+
+Result<uint64_t> XmlDb::Count(const std::string& xpath) const {
+  Result<std::vector<NodeId>> matches = Query(xpath);
+  if (!matches.ok()) return matches.status();
+  return static_cast<uint64_t>(matches->size());
+}
+
+Result<NodeId> XmlDb::QueryOne(const std::string& xpath) const {
+  Result<std::vector<NodeId>> matches = Query(xpath);
+  if (!matches.ok()) return matches.status();
+  if (matches->empty()) return Status::NotFound("no match for " + xpath);
+  if (matches->size() > 1) {
+    return Status::InvalidArgument("query is not unique: " + xpath);
+  }
+  return (*matches)[0];
+}
+
+Result<NodeId> XmlDb::Insert(NodeId target, const std::string& tag,
+                             bool before) {
+  if (target >= node_of_id_.size()) {
+    return Status::OutOfRange("no such node");
+  }
+  if (target == 0) {
+    return Status::InvalidArgument("cannot insert a sibling of the root");
+  }
+  labeling::Labeling* lab = labeled_->labeling_mutable();
+  const labeling::InsertResult result = before
+                                            ? lab->InsertSiblingBefore(target)
+                                            : lab->InsertSiblingAfter(target);
+  // Mirror the insertion into the tree.
+  xml::Node* target_node = node_of_id_[target];
+  xml::Node* parent = target_node->parent();
+  CDBS_CHECK(parent != nullptr);
+  xml::Node* fresh = doc_.CreateElement(tag);
+  const size_t index =
+      parent->IndexOfChild(target_node) + (before ? 0 : 1);
+  doc_.InsertChildAt(parent, index, fresh);
+  CDBS_CHECK(result.new_node == node_of_id_.size());
+  node_of_id_.push_back(fresh);
+  labeled_->NoteInsertedNode(result.new_node, tag);
+
+  ++insertions_;
+  relabeled_total_ += result.relabeled;
+  overflow_events_ += result.overflow ? 1 : 0;
+  CDBS_RETURN_NOT_OK(PersistUpdate(result));
+  return result.new_node;
+}
+
+Status XmlDb::PersistUpdate(const labeling::InsertResult& result) {
+  if (store_ == nullptr) return Status::OK();
+  const labeling::Labeling& lab = labeled_->labeling();
+  bool need_reload = false;
+  for (const NodeId n : result.relabeled_nodes) {
+    const Status status = store_->Rewrite(n, lab.SerializeLabel(n));
+    if (status.code() == StatusCode::kOutOfRange) {
+      need_reload = true;  // label outgrew its slot
+      break;
+    }
+    CDBS_RETURN_NOT_OK(status);
+  }
+  if (!need_reload) {
+    const Status status =
+        store_->Append(lab.SerializeLabel(result.new_node));
+    if (status.code() == StatusCode::kOutOfRange) {
+      need_reload = true;
+    } else {
+      CDBS_RETURN_NOT_OK(status);
+    }
+  }
+  if (need_reload) {
+    // Re-bulk-load with fresh slot sizing — a storage-level re-labeling.
+    std::vector<std::string> records;
+    records.reserve(lab.num_nodes());
+    for (NodeId n = 0; n < lab.num_nodes(); ++n) {
+      records.push_back(lab.SerializeLabel(n));
+    }
+    CDBS_RETURN_NOT_OK(store_->BulkLoad(records, 16));
+  }
+  return store_->Sync();
+}
+
+Result<uint64_t> XmlDb::DeleteElement(NodeId target) {
+  if (target >= node_of_id_.size()) {
+    return Status::OutOfRange("no such node");
+  }
+  if (target == 0) {
+    return Status::InvalidArgument("cannot delete the root");
+  }
+  xml::Node* node = node_of_id_[target];
+  if (node->parent() == nullptr) {
+    return Status::NotFound("node already deleted");
+  }
+  labeling::Labeling* lab = labeled_->labeling_mutable();
+  const labeling::DeleteResult result = lab->DeleteSubtree(target);
+  doc_.RemoveChild(node->parent(), node);
+  labeled_->NoteRemovedNodes(result.removed);
+  deletions_ += result.removed.size();
+  relabeled_total_ += result.relabeled;
+  // Orphaned store records are simply left behind; a compaction pass would
+  // reclaim them in a production system.
+  return static_cast<uint64_t>(result.removed.size());
+}
+
+Result<NodeId> XmlDb::InsertElementBefore(NodeId target,
+                                          const std::string& tag) {
+  return Insert(target, tag, /*before=*/true);
+}
+
+Result<NodeId> XmlDb::InsertElementAfter(NodeId target,
+                                         const std::string& tag) {
+  return Insert(target, tag, /*before=*/false);
+}
+
+const std::string& XmlDb::TagOf(NodeId node) const {
+  return labeled_->tag(node);
+}
+
+bool XmlDb::IsAncestor(NodeId a, NodeId d) const {
+  return labeled_->labeling().IsAncestor(a, d);
+}
+
+bool XmlDb::IsParent(NodeId p, NodeId c) const {
+  return labeled_->labeling().IsParent(p, c);
+}
+
+int XmlDb::CompareOrder(NodeId a, NodeId b) const {
+  return labeled_->labeling().CompareOrder(a, b);
+}
+
+std::string XmlDb::ToXml() const { return xml::WriteXml(doc_); }
+
+XmlDbStats XmlDb::Stats() const {
+  XmlDbStats stats;
+  const labeling::Labeling& lab = labeled_->labeling();
+  stats.node_count = lab.num_nodes();
+  stats.label_bits = lab.TotalLabelBits();
+  stats.avg_label_bits = lab.AvgLabelBits();
+  stats.insertions = insertions_;
+  stats.deletions = deletions_;
+  stats.relabeled_total = relabeled_total_;
+  stats.overflow_events = overflow_events_;
+  if (store_ != nullptr) {
+    stats.store_page_writes = store_->io_stats().page_writes;
+  }
+  return stats;
+}
+
+}  // namespace cdbs::engine

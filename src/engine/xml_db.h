@@ -1,0 +1,126 @@
+#ifndef CDBS_ENGINE_XML_DB_H_
+#define CDBS_ENGINE_XML_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "labeling/label.h"
+#include "query/tag_index.h"
+#include "storage/label_store.h"
+#include "util/status.h"
+#include "xml/tree.h"
+
+/// \file
+/// The downstream-facing face of the library: a single-document XML store
+/// that keeps the tree, its labels (any registered scheme), the tag index,
+/// and — optionally — a persistent label store consistent across queries
+/// and order-preserving updates.
+///
+///   auto db = XmlDb::OpenFromXml("<a><b/><c/></a>", {});
+///   (*db)->Count("/a/b");                      // query from labels
+///   (*db)->InsertElementBefore(target, "new"); // no re-labeling with CDBS
+///   (*db)->ToXml();                            // serialized current tree
+
+namespace cdbs::engine {
+
+using labeling::NodeId;
+
+/// Configuration for opening a database.
+struct XmlDbOptions {
+  /// Labeling scheme name from labeling::AllSchemes(); the default is the
+  /// paper's headline scheme.
+  std::string scheme_name = "V-CDBS-Containment";
+  /// When non-empty, serialized labels are persisted to this file through
+  /// storage::LabelStore, and every update rewrites exactly the changed
+  /// records.
+  std::string storage_path;
+  /// Slot headroom (bytes) for label growth in the store.
+  size_t store_headroom = 16;
+};
+
+/// Aggregate counters for observability.
+struct XmlDbStats {
+  size_t node_count = 0;
+  uint64_t label_bits = 0;
+  double avg_label_bits = 0;
+  uint64_t insertions = 0;
+  uint64_t deletions = 0;          // nodes removed so far
+  uint64_t relabeled_total = 0;   // labels rewritten by updates so far
+  uint64_t overflow_events = 0;   // full re-encodes (Example 6.1)
+  uint64_t store_page_writes = 0;  // 0 when not persistent
+};
+
+/// A labeled, queryable, updatable XML document.
+class XmlDb {
+ public:
+  /// Builds a database over `doc` (ownership transferred).
+  static Result<std::unique_ptr<XmlDb>> Open(xml::Document doc,
+                                             const XmlDbOptions& options);
+
+  /// Parses `xml` and builds a database over it.
+  static Result<std::unique_ptr<XmlDb>> OpenFromXml(
+      std::string_view xml, const XmlDbOptions& options);
+
+  /// Evaluates an XPath-subset query; returns matching node ids in document
+  /// order.
+  Result<std::vector<NodeId>> Query(const std::string& xpath) const;
+
+  /// Number of matches of `xpath`.
+  Result<uint64_t> Count(const std::string& xpath) const;
+
+  /// The unique match of `xpath`; NotFound when there are no matches,
+  /// InvalidArgument when there are several.
+  Result<NodeId> QueryOne(const std::string& xpath) const;
+
+  /// Inserts a new element `tag` as the sibling immediately before/after
+  /// `target` (which must not be the root), updating tree, labels, index
+  /// and store. Returns the new node's id.
+  Result<NodeId> InsertElementBefore(NodeId target, const std::string& tag);
+  Result<NodeId> InsertElementAfter(NodeId target, const std::string& tag);
+
+  /// Deletes the subtree rooted at `target` (not the root). Returns the
+  /// number of nodes removed. Remaining labels are untouched (deletions
+  /// never disturb relative order — Section 5.2.1).
+  Result<uint64_t> DeleteElement(NodeId target);
+
+  /// Tag of a node.
+  const std::string& TagOf(NodeId node) const;
+
+  /// Relationship predicates, answered from labels.
+  bool IsAncestor(NodeId a, NodeId d) const;
+  bool IsParent(NodeId p, NodeId c) const;
+  int CompareOrder(NodeId a, NodeId b) const;
+
+  /// Serializes the current tree.
+  std::string ToXml() const;
+
+  /// Counters.
+  XmlDbStats Stats() const;
+
+  /// Underlying labeling (for inspection).
+  const labeling::Labeling& labeling() const {
+    return labeled_->labeling();
+  }
+
+ private:
+  XmlDb(xml::Document doc, std::unique_ptr<labeling::LabelingScheme> scheme);
+
+  Status InitStore(const XmlDbOptions& options);
+  Result<NodeId> Insert(NodeId target, const std::string& tag, bool before);
+  Status PersistUpdate(const labeling::InsertResult& result);
+
+  xml::Document doc_;
+  std::unique_ptr<labeling::LabelingScheme> scheme_;
+  std::unique_ptr<query::LabeledDocument> labeled_;
+  std::vector<xml::Node*> node_of_id_;  // id -> tree node
+  std::unique_ptr<storage::LabelStore> store_;  // null when not persistent
+  uint64_t insertions_ = 0;
+  uint64_t deletions_ = 0;
+  uint64_t relabeled_total_ = 0;
+  uint64_t overflow_events_ = 0;
+};
+
+}  // namespace cdbs::engine
+
+#endif  // CDBS_ENGINE_XML_DB_H_

@@ -1,0 +1,84 @@
+#include "labeling/containment.h"
+
+namespace cdbs::labeling {
+
+void ComputeEulerRanks(const TreeSkeleton& sk, std::vector<uint64_t>* start,
+                       std::vector<uint64_t>* end) {
+  start->assign(sk.size(), 0);
+  end->assign(sk.size(), 0);
+  if (sk.size() == 0) return;
+  uint64_t counter = 0;
+  NodeId cur = 0;  // root
+  (*start)[cur] = ++counter;
+  for (;;) {
+    const NodeId child = sk.first_child(cur);
+    if (child != kNoNode) {
+      cur = child;
+      (*start)[cur] = ++counter;
+      continue;
+    }
+    (*end)[cur] = ++counter;
+    for (;;) {
+      const NodeId sibling = sk.next_sibling(cur);
+      if (sibling != kNoNode) {
+        cur = sibling;
+        (*start)[cur] = ++counter;
+        break;
+      }
+      cur = sk.parent(cur);
+      if (cur == kNoNode) return;
+      (*end)[cur] = ++counter;
+    }
+  }
+}
+
+namespace {
+
+// Generic factory: builds a ContainmentLabeling with a fresh codec per
+// document.
+template <typename Codec>
+class ContainmentScheme : public LabelingScheme {
+ public:
+  ContainmentScheme(std::string name, Codec prototype)
+      : name_(std::move(name)), prototype_(std::move(prototype)) {}
+
+  const std::string& name() const override { return name_; }
+
+  std::unique_ptr<Labeling> Label(const xml::Document& doc) const override {
+    return std::make_unique<ContainmentLabeling<Codec>>(name_, prototype_,
+                                                        doc);
+  }
+
+ private:
+  std::string name_;
+  Codec prototype_;
+};
+
+}  // namespace
+
+std::unique_ptr<LabelingScheme> MakeVBinaryContainment() {
+  return std::make_unique<ContainmentScheme<IntContainmentCodec>>(
+      "V-Binary-Containment", IntContainmentCodec(/*fixed_width=*/false));
+}
+
+std::unique_ptr<LabelingScheme> MakeFBinaryContainment() {
+  return std::make_unique<ContainmentScheme<IntContainmentCodec>>(
+      "F-Binary-Containment", IntContainmentCodec(/*fixed_width=*/true));
+}
+
+std::unique_ptr<LabelingScheme> MakeVCdbsContainment() {
+  return std::make_unique<ContainmentScheme<CdbsContainmentCodec>>(
+      "V-CDBS-Containment", CdbsContainmentCodec(/*fixed_width=*/false));
+}
+
+std::unique_ptr<LabelingScheme> MakeFCdbsContainment() {
+  return std::make_unique<ContainmentScheme<CdbsContainmentCodec>>(
+      "F-CDBS-Containment", CdbsContainmentCodec(/*fixed_width=*/true));
+}
+
+std::unique_ptr<LabelingScheme> MakeQedContainment() {
+  return std::make_unique<ContainmentScheme<QedContainmentCodec>>(
+      "QED-Containment", QedContainmentCodec());
+}
+
+}  // namespace cdbs::labeling

@@ -1,0 +1,40 @@
+#ifndef CDBS_LABELING_DEWEY_H_
+#define CDBS_LABELING_DEWEY_H_
+
+#include <memory>
+
+#include "labeling/label.h"
+
+/// \file
+/// DeweyID prefix labeling (Tatarinov et al., SIGMOD 2002 — ref [15]): a
+/// node's label is its parent's label plus its 1-based child ordinal.
+/// Ancestry is prefix containment; document order is component-wise
+/// numeric comparison. Insertion must renumber every following sibling and
+/// their descendants — the prefix-scheme re-labeling cost the paper
+/// contrasts with CDBS.
+///
+/// Two stored-size variants:
+///  * DeweyID(UTF8)-Prefix  — components in the order-preserving UTF-8
+///    style varint of RFC 2279 (self-delimiting bytes, as published);
+///  * Binary-String-Prefix  — components as Elias-gamma-style
+///    self-delimiting bit strings, standing in for Cohen et al.'s binary
+///    string labels (PODS 2002 — ref [8]), which the paper cites for
+///    "very large label sizes".
+
+namespace cdbs::labeling {
+
+/// Component size accounting for Dewey-style labels.
+enum class DeweySizing {
+  kUtf8,   // 8 bits per varint byte
+  kGamma,  // 2*floor(log2 v) + 1 bits per component
+};
+
+/// Factory for DeweyID(UTF8)-Prefix.
+std::unique_ptr<LabelingScheme> MakeDeweyPrefix();
+
+/// Factory for Binary-String-Prefix (gamma-coded Dewey stand-in).
+std::unique_ptr<LabelingScheme> MakeBinaryStringPrefix();
+
+}  // namespace cdbs::labeling
+
+#endif  // CDBS_LABELING_DEWEY_H_

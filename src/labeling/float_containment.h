@@ -1,0 +1,23 @@
+#ifndef CDBS_LABELING_FLOAT_CONTAINMENT_H_
+#define CDBS_LABELING_FLOAT_CONTAINMENT_H_
+
+#include <memory>
+
+#include "labeling/label.h"
+
+/// \file
+/// Float-point-Containment — the QRS scheme of Amagasa et al. (ICDE 2003,
+/// the paper's ref [2]): containment intervals over 32-bit floats, with
+/// midpoint insertion. Because a float carries a fixed 23-bit mantissa and
+/// the initial labels are consecutive integers, only ~18-25 insertions fit
+/// at one fixed place before precision runs out and every node must be
+/// re-labeled — exactly the limitation Sections 2.1 and 7.4 exercise.
+
+namespace cdbs::labeling {
+
+/// Factory for Float-point-Containment.
+std::unique_ptr<LabelingScheme> MakeFloatContainment();
+
+}  // namespace cdbs::labeling
+
+#endif  // CDBS_LABELING_FLOAT_CONTAINMENT_H_

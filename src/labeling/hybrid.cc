@@ -1,0 +1,121 @@
+#include "labeling/hybrid.h"
+
+#include <variant>
+
+#include "labeling/containment.h"
+
+namespace cdbs::labeling {
+
+namespace {
+
+/// Containment codec that starts in CDBS mode and flips to QED mode on the
+/// first overflow. A value is a variant, but at any moment every live value
+/// is in the same mode; the flip happens inside Init(), which the labeling
+/// calls when it re-encodes after an overflow.
+class HybridContainmentCodec {
+ public:
+  using Value = std::variant<core::BitString, core::QedCode>;
+  static constexpr OverflowPolicy kOverflowPolicy =
+      OverflowPolicy::kReencodeAll;
+
+  void Init(uint64_t count, std::vector<Value>* values) {
+    values->clear();
+    values->reserve(count);
+    if (!switched_to_qed_) {
+      cdbs_.Init(count, &cdbs_scratch_);
+      for (auto& code : cdbs_scratch_) values->emplace_back(std::move(code));
+      cdbs_scratch_.clear();
+    } else {
+      std::vector<core::QedCode> codes;
+      qed_.Init(count, &codes);
+      for (auto& code : codes) values->emplace_back(std::move(code));
+    }
+  }
+
+  int Compare(const Value& a, const Value& b) const {
+    if (std::holds_alternative<core::BitString>(a)) {
+      return std::get<core::BitString>(a).Compare(
+          std::get<core::BitString>(b));
+    }
+    const auto& qa = std::get<core::QedCode>(a);
+    const auto& qb = std::get<core::QedCode>(b);
+    return qa < qb ? -1 : (qa > qb ? 1 : 0);
+  }
+
+  size_t StoredBits(const Value& v) const {
+    if (std::holds_alternative<core::BitString>(v)) {
+      return cdbs_.StoredBits(std::get<core::BitString>(v));
+    }
+    return qed_.StoredBits(std::get<core::QedCode>(v));
+  }
+
+  bool TryInsertTwoBetween(const Value& left, const Value& right, Value* v1,
+                           Value* v2, uint64_t* neighbor_bits) {
+    if (std::holds_alternative<core::BitString>(left)) {
+      core::BitString m1;
+      core::BitString m2;
+      if (cdbs_.TryInsertTwoBetween(std::get<core::BitString>(left),
+                                    std::get<core::BitString>(right), &m1,
+                                    &m2, neighbor_bits)) {
+        *v1 = std::move(m1);
+        *v2 = std::move(m2);
+        return true;
+      }
+      // CDBS length field overflowed: the next re-encode (Init) emits QED.
+      switched_to_qed_ = true;
+      return false;
+    }
+    core::QedCode m1;
+    core::QedCode m2;
+    qed_.TryInsertTwoBetween(std::get<core::QedCode>(left),
+                             std::get<core::QedCode>(right), &m1, &m2,
+                             neighbor_bits);
+    *v1 = std::move(m1);
+    *v2 = std::move(m2);
+    return true;  // QED never overflows
+  }
+
+  void NoteUniverse(uint64_t count) {
+    cdbs_.NoteUniverse(count);
+    qed_.NoteUniverse(count);
+  }
+
+  std::string Serialize(const Value& v) const {
+    if (std::holds_alternative<core::BitString>(v)) {
+      return cdbs_.Serialize(std::get<core::BitString>(v));
+    }
+    return qed_.Serialize(std::get<core::QedCode>(v));
+  }
+
+  /// Test hook: whether the QED fallback has been taken.
+  bool switched_to_qed() const { return switched_to_qed_; }
+
+ private:
+  bool switched_to_qed_ = false;
+  CdbsContainmentCodec cdbs_{/*fixed_width=*/false};
+  QedContainmentCodec qed_;
+  std::vector<core::BitString> cdbs_scratch_;
+};
+
+class HybridScheme : public LabelingScheme {
+ public:
+  HybridScheme() : name_("Hybrid-CDBS/QED-Containment") {}
+
+  const std::string& name() const override { return name_; }
+
+  std::unique_ptr<Labeling> Label(const xml::Document& doc) const override {
+    return std::make_unique<ContainmentLabeling<HybridContainmentCodec>>(
+        name_, HybridContainmentCodec(), doc);
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<LabelingScheme> MakeHybridContainment() {
+  return std::make_unique<HybridScheme>();
+}
+
+}  // namespace cdbs::labeling

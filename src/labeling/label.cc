@@ -1,0 +1,158 @@
+#include "labeling/label.h"
+
+#include "util/check.h"
+
+namespace cdbs::labeling {
+
+TreeSkeleton TreeSkeleton::FromDocument(
+    const xml::Document& doc, std::vector<const xml::Node*>* order_out) {
+  TreeSkeleton sk;
+  if (order_out != nullptr) order_out->clear();
+  // Pre-order walk assigning ids in document order; map Node* -> id via a
+  // parallel stack-free pass.
+  struct Frame {
+    const xml::Node* node;
+    NodeId parent_id;
+  };
+  std::vector<Frame> stack;
+  if (doc.root() != nullptr) stack.push_back({doc.root(), kNoNode});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const NodeId id = sk.AddNode(frame.parent_id);
+    if (order_out != nullptr) order_out->push_back(frame.node);
+    const auto& kids = frame.node->children();
+    for (size_t i = kids.size(); i-- > 0;) stack.push_back({kids[i], id});
+  }
+  return sk;
+}
+
+NodeId TreeSkeleton::AddNode(NodeId parent_id) {
+  ++live_count_;
+  const NodeId id = static_cast<NodeId>(parent_.size());
+  removed_.push_back(false);
+  parent_.push_back(parent_id);
+  level_.push_back(parent_id == kNoNode ? 1 : level_[parent_id] + 1);
+  prev_sibling_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  first_child_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  if (parent_id != kNoNode) {
+    const NodeId prev = last_child_[parent_id];
+    prev_sibling_[id] = prev;
+    if (prev != kNoNode) {
+      next_sibling_[prev] = id;
+    } else {
+      first_child_[parent_id] = id;
+    }
+    last_child_[parent_id] = id;
+  }
+  return id;
+}
+
+uint64_t TreeSkeleton::SubtreeSize(NodeId n) const {
+  uint64_t count = 0;
+  std::vector<NodeId> stack = {n};
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    ++count;
+    for (NodeId c = first_child_[cur]; c != kNoNode; c = next_sibling_[c]) {
+      stack.push_back(c);
+    }
+  }
+  return count;
+}
+
+NodeId TreeSkeleton::AddSiblingBefore(NodeId target) {
+  ++live_count_;
+  CDBS_CHECK(target < parent_.size());
+  CDBS_CHECK(!removed_[target]);
+  const NodeId parent_id = parent_[target];
+  CDBS_CHECK(parent_id != kNoNode);  // cannot insert beside the root
+  const NodeId id = static_cast<NodeId>(parent_.size());
+  removed_.push_back(false);
+  parent_.push_back(parent_id);
+  level_.push_back(level_[parent_id] + 1);
+  first_child_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  const NodeId prev = prev_sibling_[target];
+  prev_sibling_.push_back(prev);
+  next_sibling_.push_back(target);
+  prev_sibling_[target] = id;
+  if (prev != kNoNode) {
+    next_sibling_[prev] = id;
+  } else {
+    first_child_[parent_id] = id;
+  }
+  return id;
+}
+
+NodeId TreeSkeleton::AddSiblingAfter(NodeId target) {
+  ++live_count_;
+  CDBS_CHECK(target < parent_.size());
+  CDBS_CHECK(!removed_[target]);
+  const NodeId parent_id = parent_[target];
+  CDBS_CHECK(parent_id != kNoNode);
+  const NodeId id = static_cast<NodeId>(parent_.size());
+  removed_.push_back(false);
+  parent_.push_back(parent_id);
+  level_.push_back(level_[parent_id] + 1);
+  first_child_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  const NodeId next = next_sibling_[target];
+  prev_sibling_.push_back(target);
+  next_sibling_.push_back(next);
+  next_sibling_[target] = id;
+  if (next != kNoNode) {
+    prev_sibling_[next] = id;
+  } else {
+    last_child_[parent_id] = id;
+  }
+  return id;
+}
+
+std::vector<NodeId> TreeSkeleton::RemoveSubtree(NodeId target) {
+  CDBS_CHECK(target < parent_.size());
+  CDBS_CHECK(!removed_[target]);
+  const NodeId parent_id = parent_[target];
+  CDBS_CHECK(parent_id != kNoNode);  // cannot remove the root
+  // Collect the subtree in document order before unlinking.
+  std::vector<NodeId> removed;
+  std::vector<NodeId> stack = {target};
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    removed.push_back(cur);
+    for (NodeId c = last_child_[cur]; c != kNoNode; c = prev_sibling_[c]) {
+      stack.push_back(c);
+    }
+  }
+  // Unlink target from its sibling chain.
+  const NodeId prev = prev_sibling_[target];
+  const NodeId next = next_sibling_[target];
+  if (prev != kNoNode) {
+    next_sibling_[prev] = next;
+  } else {
+    first_child_[parent_id] = next;
+  }
+  if (next != kNoNode) {
+    prev_sibling_[next] = prev;
+  } else {
+    last_child_[parent_id] = prev;
+  }
+  parent_[target] = kNoNode;
+  for (const NodeId n : removed) removed_[n] = true;
+  live_count_ -= removed.size();
+  return removed;
+}
+
+size_t TreeSkeleton::ChildRank(NodeId n) const {
+  size_t rank = 1;
+  for (NodeId p = prev_sibling_[n]; p != kNoNode; p = prev_sibling_[p]) {
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace cdbs::labeling

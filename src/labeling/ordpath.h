@@ -1,0 +1,57 @@
+#ifndef CDBS_LABELING_ORDPATH_H_
+#define CDBS_LABELING_ORDPATH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "labeling/label.h"
+
+/// \file
+/// ORDPATH prefix labeling (O'Neil et al., SIGMOD 2004 — ref [13]).
+///
+/// A label is a sequence of integer components. Initial labeling hands
+/// children the odd ordinals 1, 3, 5, ...; insertions "caret" into a gap by
+/// emitting the even value between two odds and continuing with a fresh odd
+/// component, so existing labels never change. A node's *self* part is a run
+/// of zero or more even (caret) components followed by exactly one odd
+/// component; only odd components count towards the level.
+///
+/// The paper benchmarks two physical component encodings, "OrdPath1" and
+/// "OrdPath2". We reconstruct them as:
+///  * OrdPath1 — the SIGMOD paper's prefix-free variable-length bit code
+///    (tiny codes around small magnitudes);
+///  * OrdPath2 — a byte-aligned zig-zag varint (simpler, larger).
+
+namespace cdbs::labeling {
+
+/// Self-label: even* odd component sequence.
+using OrdPathSelf = std::vector<int64_t>;
+
+/// True iff `self` is a well-formed self label (non-empty, evens then one
+/// trailing odd).
+bool IsValidOrdPathSelf(const OrdPathSelf& self);
+
+/// A self label strictly between `left` and `right` in component-
+/// lexicographic order; empty vectors mean "no neighbour on that side".
+/// Existing labels are never modified (the ORDPATH guarantee).
+OrdPathSelf OrdPathInsertBetween(const OrdPathSelf& left,
+                                 const OrdPathSelf& right);
+
+/// Lexicographic comparison of component sequences (prefix sorts first).
+int OrdPathCompare(const std::vector<int64_t>& a,
+                   const std::vector<int64_t>& b);
+
+/// OrdPath1 bits for one component value (prefix-free bit code).
+size_t OrdPath1ComponentBits(int64_t v);
+
+/// OrdPath2 bits for one component value (byte-aligned zig-zag varint).
+size_t OrdPath2ComponentBits(int64_t v);
+
+/// Factories.
+std::unique_ptr<LabelingScheme> MakeOrdPath1Prefix();
+std::unique_ptr<LabelingScheme> MakeOrdPath2Prefix();
+
+}  // namespace cdbs::labeling
+
+#endif  // CDBS_LABELING_ORDPATH_H_

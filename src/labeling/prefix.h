@@ -1,0 +1,29 @@
+#ifndef CDBS_LABELING_PREFIX_H_
+#define CDBS_LABELING_PREFIX_H_
+
+#include <memory>
+
+#include "labeling/label.h"
+
+/// \file
+/// The dynamic prefix schemes built from this paper's encodings
+/// (Section 5.1, Example 5.1 / Figure 4):
+///
+///  * CDBS-Prefix — every node's self label is a V-CDBS code; sibling
+///    insertion derives a new self code from a neighbour's with Algorithm 1
+///    (one modified bit, no re-labeling until a length-field overflow);
+///  * QED-Prefix  — self labels are QED quaternary codes separated by the
+///    "0" digit; insertion modifies one quaternary digit and can never
+///    overflow (Section 6).
+
+namespace cdbs::labeling {
+
+/// Factory for CDBS-Prefix.
+std::unique_ptr<LabelingScheme> MakeCdbsPrefix();
+
+/// Factory for QED-Prefix.
+std::unique_ptr<LabelingScheme> MakeQedPrefix();
+
+}  // namespace cdbs::labeling
+
+#endif  // CDBS_LABELING_PREFIX_H_

@@ -1,0 +1,36 @@
+#ifndef CDBS_LABELING_PRIME_H_
+#define CDBS_LABELING_PRIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "labeling/label.h"
+
+/// \file
+/// Prime labeling (Wu et al., ICDE 2004 — ref [16]). Each node owns a unique
+/// self prime; its label is the product of the self primes on its root path
+/// (a big integer). `u` is an ancestor of `v` iff label(v) mod label(u) == 0;
+/// parenthood divides out one self prime. Document order lives in
+/// "simultaneous congruence" (SC) values: one SC per group of five
+/// consecutive nodes, built with the Chinese Remainder Theorem so that
+/// SC mod self(v) == order(v). The node at document position k takes the
+/// k-th prime, which keeps order(v) < self(v) so the residue round-trips.
+///
+/// An insertion shifts the document order of every following node, so every
+/// SC value from the insertion point on must be *recomputed* — no labels
+/// change, but the big-integer CRT work dominates (the paper's Table 4 and
+/// Figure 7 show it costing far more than even mass re-labeling).
+
+namespace cdbs::labeling {
+
+/// The first `count` primes (2, 3, 5, ...), via a sieve sized by the
+/// prime-counting bound.
+std::vector<uint64_t> FirstPrimes(uint64_t count);
+
+/// Factory for the Prime scheme.
+std::unique_ptr<LabelingScheme> MakePrimeScheme();
+
+}  // namespace cdbs::labeling
+
+#endif  // CDBS_LABELING_PRIME_H_

@@ -1,0 +1,237 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cdbs::query {
+
+namespace {
+
+using labeling::kNoNode;
+using labeling::Labeling;
+
+// Index of the first node in the document-ordered `list` that comes after
+// `node` in document order — found with label comparisons.
+size_t FirstAfter(const Labeling& lab, const std::vector<NodeId>& list,
+                  NodeId node) {
+  const auto it = std::upper_bound(
+      list.begin(), list.end(), node,
+      [&lab](NodeId a, NodeId b) { return lab.CompareOrder(a, b) < 0; });
+  return static_cast<size_t>(it - list.begin());
+}
+
+// True when every existence predicate of `step` holds at `node`.
+bool PredicatesHold(const LabeledDocument& doc, const Step& step, NodeId node);
+
+// True when the relative path `steps[i..]` matches something under `node`.
+bool ExistsFrom(const LabeledDocument& doc, NodeId node,
+                const std::vector<Step>& steps, size_t i) {
+  if (i == steps.size()) return true;
+  const Labeling& lab = doc.labeling();
+  const Step& step = steps[i];
+  const std::vector<NodeId>& cands = doc.WithTag(step.name);
+  for (size_t idx = FirstAfter(lab, cands, node);
+       idx < cands.size() && lab.IsAncestor(node, cands[idx]); ++idx) {
+    const NodeId cand = cands[idx];
+    if (step.axis == Axis::kChild && !lab.IsParent(node, cand)) continue;
+    if (!PredicatesHold(doc, step, cand)) continue;
+    if (ExistsFrom(doc, cand, steps, i + 1)) return true;
+  }
+  return false;
+}
+
+bool PredicatesHold(const LabeledDocument& doc, const Step& step,
+                    NodeId node) {
+  for (const RelativePath& rel : step.predicates) {
+    if (!ExistsFrom(doc, node, rel.steps, 0)) return false;
+  }
+  return true;
+}
+
+// 1-based rank of `node` among its same-tag siblings, via labels.
+size_t SiblingRank(const LabeledDocument& doc, NodeId node) {
+  const Labeling& lab = doc.labeling();
+  const NodeId parent = FindParent(doc, node);
+  if (parent == kNoNode) return 1;  // the root
+  const std::vector<NodeId>& cands = doc.WithTag(doc.tag(node));
+  size_t rank = 1;
+  for (size_t idx = FirstAfter(lab, cands, parent);
+       idx < cands.size() && lab.CompareOrder(cands[idx], node) < 0; ++idx) {
+    if (lab.IsParent(parent, cands[idx])) ++rank;
+  }
+  return rank;
+}
+
+// Child/descendant expansion of one context node.
+void ExpandDown(const LabeledDocument& doc, NodeId context, const Step& step,
+                std::vector<NodeId>* out) {
+  const Labeling& lab = doc.labeling();
+  const std::vector<NodeId>& cands = doc.WithTag(step.name);
+  size_t child_rank = 0;  // per-context rank for child-axis positionals
+  for (size_t idx = FirstAfter(lab, cands, context);
+       idx < cands.size() && lab.IsAncestor(context, cands[idx]); ++idx) {
+    const NodeId cand = cands[idx];
+    if (step.axis == Axis::kChild) {
+      if (!lab.IsParent(context, cand)) continue;
+      ++child_rank;
+      if (step.position != 0 &&
+          child_rank != static_cast<size_t>(step.position)) {
+        continue;
+      }
+    } else if (step.position != 0 &&
+               SiblingRank(doc, cand) != static_cast<size_t>(step.position)) {
+      continue;  // //name[n]: rank among same-tag siblings
+    }
+    if (!PredicatesHold(doc, step, cand)) continue;
+    out->push_back(cand);
+  }
+}
+
+void ExpandPrecedingSibling(const LabeledDocument& doc, NodeId context,
+                            const Step& step, std::vector<NodeId>* out) {
+  const Labeling& lab = doc.labeling();
+  const NodeId parent = FindParent(doc, context);
+  if (parent == kNoNode) return;
+  const std::vector<NodeId>& cands = doc.WithTag(step.name);
+  for (size_t idx = FirstAfter(lab, cands, parent);
+       idx < cands.size() && lab.CompareOrder(cands[idx], context) < 0;
+       ++idx) {
+    const NodeId cand = cands[idx];
+    if (!lab.IsParent(parent, cand)) continue;
+    if (!PredicatesHold(doc, step, cand)) continue;
+    out->push_back(cand);
+  }
+}
+
+void ExpandParent(const LabeledDocument& doc, NodeId context,
+                  const Step& step, std::vector<NodeId>* out) {
+  const NodeId parent = FindParent(doc, context);
+  if (parent == kNoNode) return;
+  if (step.name != "*" && doc.tag(parent) != step.name) return;
+  if (!PredicatesHold(doc, step, parent)) return;
+  out->push_back(parent);
+}
+
+void ExpandAncestor(const LabeledDocument& doc, NodeId context,
+                    const Step& step, std::vector<NodeId>* out) {
+  const Labeling& lab = doc.labeling();
+  // Candidates with the right tag that start before the context node; keep
+  // those whose label encloses it.
+  const std::vector<NodeId>& cands = doc.WithTag(step.name);
+  const size_t end = FirstAfter(lab, cands, context);
+  for (size_t idx = 0; idx < end; ++idx) {
+    const NodeId cand = cands[idx];
+    if (cand == context || !lab.IsAncestor(cand, context)) continue;
+    if (!PredicatesHold(doc, step, cand)) continue;
+    out->push_back(cand);
+  }
+}
+
+void ExpandFollowing(const LabeledDocument& doc, NodeId context,
+                     const Step& step, std::vector<NodeId>* out) {
+  const Labeling& lab = doc.labeling();
+  const std::vector<NodeId>& cands = doc.WithTag(step.name);
+  size_t idx = FirstAfter(lab, cands, context);
+  // Skip the context's own descendants (following excludes them).
+  while (idx < cands.size() && lab.IsAncestor(context, cands[idx])) ++idx;
+  for (; idx < cands.size(); ++idx) {
+    if (!PredicatesHold(doc, step, cands[idx])) continue;
+    out->push_back(cands[idx]);
+  }
+}
+
+bool NameMatches(const Step& step, const std::string& tag) {
+  return step.name == "*" || step.name == tag;
+}
+
+}  // namespace
+
+NodeId FindParent(const LabeledDocument& doc, NodeId node) {
+  const Labeling& lab = doc.labeling();
+  if (node == doc.root()) return kNoNode;
+  const std::vector<NodeId>& all = doc.all_elements();
+  // Position of `node` itself, then scan backwards for the first element
+  // that is its parent (ancestors precede the node in document order).
+  size_t idx = FirstAfter(lab, all, node);
+  // idx points after `node`; step back past it.
+  while (idx > 0) {
+    --idx;
+    if (lab.CompareOrder(all[idx], node) >= 0) continue;
+    if (lab.IsParent(all[idx], node)) return all[idx];
+  }
+  return kNoNode;
+}
+
+std::vector<NodeId> EvaluateQuery(const Query& query,
+                                  const LabeledDocument& doc) {
+  std::vector<NodeId> context;
+  bool first = true;
+  for (const Step& step : query.steps) {
+    std::vector<NodeId> next;
+    if (first) {
+      first = false;
+      // The initial context is the (virtual) document node.
+      if (step.axis == Axis::kChild) {
+        if (NameMatches(step, doc.tag(doc.root())) &&
+            (step.position == 0 || step.position == 1) &&
+            PredicatesHold(doc, step, doc.root())) {
+          next.push_back(doc.root());
+        }
+      } else if (step.axis == Axis::kDescendant) {
+        for (const NodeId cand : doc.WithTag(step.name)) {
+          if (step.position != 0 &&
+              SiblingRank(doc, cand) != static_cast<size_t>(step.position)) {
+            continue;
+          }
+          if (!PredicatesHold(doc, step, cand)) continue;
+          next.push_back(cand);
+        }
+      }
+      context = std::move(next);
+      continue;
+    }
+    for (const NodeId c : context) {
+      switch (step.axis) {
+        case Axis::kChild:
+        case Axis::kDescendant:
+          ExpandDown(doc, c, step, &next);
+          break;
+        case Axis::kPrecedingSibling:
+          ExpandPrecedingSibling(doc, c, step, &next);
+          break;
+        case Axis::kFollowing:
+          ExpandFollowing(doc, c, step, &next);
+          break;
+        case Axis::kParent:
+          ExpandParent(doc, c, step, &next);
+          break;
+        case Axis::kAncestor:
+          ExpandAncestor(doc, c, step, &next);
+          break;
+      }
+    }
+    // Deduplicate (descendant expansions of nested contexts can overlap)
+    // and keep document order — by label comparison, since ids assigned by
+    // later insertions are not document-ordered.
+    const Labeling& lab = doc.labeling();
+    std::sort(next.begin(), next.end(), [&lab](NodeId a, NodeId b) {
+      return lab.CompareOrder(a, b) < 0;
+    });
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    context = std::move(next);
+    if (context.empty()) break;
+  }
+  return context;
+}
+
+uint64_t CountMatches(const Query& query,
+                      const std::vector<const LabeledDocument*>& corpus) {
+  uint64_t total = 0;
+  for (const LabeledDocument* doc : corpus) {
+    total += EvaluateQuery(query, *doc).size();
+  }
+  return total;
+}
+
+}  // namespace cdbs::query

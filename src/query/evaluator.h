@@ -1,0 +1,34 @@
+#ifndef CDBS_QUERY_EVALUATOR_H_
+#define CDBS_QUERY_EVALUATOR_H_
+
+#include <vector>
+
+#include "query/tag_index.h"
+#include "query/xpath.h"
+
+/// \file
+/// Label-driven evaluation of the XPath subset: every structural decision
+/// (child, descendant, sibling, order) is answered by the labeling's
+/// predicates, so response times directly reflect each scheme's label
+/// comparison costs — exactly what Figure 6 measures.
+
+namespace cdbs::query {
+
+/// Evaluates `query` over one labeled document; returns matching element
+/// ids in document order.
+std::vector<NodeId> EvaluateQuery(const Query& query,
+                                  const LabeledDocument& doc);
+
+/// Evaluates `query` over a corpus of labeled documents and returns the
+/// total number of matches (the Table 3 metric).
+uint64_t CountMatches(const Query& query,
+                      const std::vector<const LabeledDocument*>& corpus);
+
+/// Finds the parent of `node` using labels only (scan back through the
+/// document-ordered element list until IsParent matches). Exposed for
+/// tests.
+NodeId FindParent(const LabeledDocument& doc, NodeId node);
+
+}  // namespace cdbs::query
+
+#endif  // CDBS_QUERY_EVALUATOR_H_

@@ -1,0 +1,83 @@
+#include "query/structural_join.h"
+
+#include "util/check.h"
+
+namespace cdbs::query {
+
+using labeling::Labeling;
+
+std::vector<NodeId> StructuralJoinStep(const Labeling& labeling,
+                                       const std::vector<NodeId>& ancestors,
+                                       const std::vector<NodeId>& descendants,
+                                       Axis axis) {
+  CDBS_CHECK(axis == Axis::kChild || axis == Axis::kDescendant);
+  std::vector<NodeId> out;
+  if (ancestors.empty() || descendants.empty()) return out;
+
+  // Single merge pass over both document-ordered lists. The stack holds the
+  // chain of ancestors currently "open" around the merge cursor; its top is
+  // the nearest enclosing candidate ancestor.
+  std::vector<NodeId> stack;
+  size_t ai = 0;
+  for (const NodeId d : descendants) {
+    // Open every ancestor that starts before d.
+    while (ai < ancestors.size() &&
+           labeling.CompareOrder(ancestors[ai], d) < 0) {
+      const NodeId a = ancestors[ai++];
+      while (!stack.empty() && !labeling.IsAncestor(stack.back(), a)) {
+        stack.pop_back();
+      }
+      stack.push_back(a);
+    }
+    // Close ancestors that do not enclose d.
+    while (!stack.empty() && !labeling.IsAncestor(stack.back(), d)) {
+      stack.pop_back();
+    }
+    if (stack.empty()) continue;
+    if (axis == Axis::kDescendant) {
+      out.push_back(d);
+    } else if (labeling.IsParent(stack.back(), d)) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+bool IsLinearPathQuery(const Query& query) {
+  for (const Step& step : query.steps) {
+    if (step.axis != Axis::kChild && step.axis != Axis::kDescendant) {
+      return false;
+    }
+    if (step.position != 0 || !step.predicates.empty()) return false;
+  }
+  return !query.steps.empty();
+}
+
+std::vector<NodeId> EvaluateWithStructuralJoins(const Query& query,
+                                                const LabeledDocument& doc) {
+  CDBS_CHECK(IsLinearPathQuery(query));
+  const Labeling& labeling = doc.labeling();
+
+  // First step seeds the pipeline from the tag index (the virtual document
+  // node is the ancestor of everything).
+  const Step& first = query.steps.front();
+  std::vector<NodeId> current;
+  if (first.axis == Axis::kDescendant) {
+    current = doc.WithTag(first.name);
+  } else {
+    // Child of the document node: the root, when its tag matches.
+    const NodeId root = doc.root();
+    if (first.name == "*" || first.name == doc.tag(root)) {
+      current.push_back(root);
+    }
+  }
+
+  for (size_t i = 1; i < query.steps.size() && !current.empty(); ++i) {
+    const Step& step = query.steps[i];
+    current = StructuralJoinStep(labeling, current, doc.WithTag(step.name),
+                                 step.axis);
+  }
+  return current;
+}
+
+}  // namespace cdbs::query

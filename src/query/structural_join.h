@@ -1,0 +1,47 @@
+#ifndef CDBS_QUERY_STRUCTURAL_JOIN_H_
+#define CDBS_QUERY_STRUCTURAL_JOIN_H_
+
+#include <vector>
+
+#include "query/tag_index.h"
+#include "query/xpath.h"
+
+/// \file
+/// Stack-based structural joins — the classic set-at-a-time evaluation
+/// strategy of XML databases (stack-tree joins, Al-Khalifa et al. ICDE
+/// 2002), as an alternative to the navigational evaluator in evaluator.h.
+///
+/// One join step merges a document-ordered ancestor list with a
+/// document-ordered descendant list in a single pass, maintaining a stack
+/// of currently-open ancestors; every structural decision is still answered
+/// by the labeling's predicates, so scheme costs stay visible. Linear
+/// child/descendant path queries evaluate as a pipeline of such joins.
+///
+/// The two evaluators must agree result-for-result; the ablation benchmark
+/// compares their costs (the join scans each tag list once, the navigator
+/// probes per context node).
+
+namespace cdbs::query {
+
+/// One structural join step: of `descendants` (document-ordered), keep
+/// those that have an ancestor (axis kDescendant) or parent (axis kChild)
+/// in `ancestors` (document-ordered). Output preserves document order and
+/// is duplicate-free.
+std::vector<NodeId> StructuralJoinStep(const labeling::Labeling& labeling,
+                                       const std::vector<NodeId>& ancestors,
+                                       const std::vector<NodeId>& descendants,
+                                       Axis axis);
+
+/// True iff `query` is a linear path of child/descendant steps with plain
+/// name tests (no positional or existence predicates, no ordered axes) —
+/// the fragment the join pipeline evaluates.
+bool IsLinearPathQuery(const Query& query);
+
+/// Evaluates a linear path query as a pipeline of structural joins.
+/// Requires IsLinearPathQuery(query).
+std::vector<NodeId> EvaluateWithStructuralJoins(const Query& query,
+                                                const LabeledDocument& doc);
+
+}  // namespace cdbs::query
+
+#endif  // CDBS_QUERY_STRUCTURAL_JOIN_H_

@@ -1,0 +1,57 @@
+#include "query/tag_index.h"
+
+#include <algorithm>
+
+namespace cdbs::query {
+
+LabeledDocument::LabeledDocument(const xml::Document& doc,
+                                 const labeling::LabelingScheme& scheme) {
+  labeling_ = scheme.Label(doc);
+  // The labeling assigned ids in document order; recover the same order to
+  // attach tags.
+  const std::vector<xml::Node*> nodes = doc.NodesInDocumentOrder();
+  tags_.reserve(nodes.size());
+  for (NodeId id = 0; id < nodes.size(); ++id) {
+    const xml::Node* node = nodes[id];
+    tags_.push_back(node->is_element() ? node->name() : std::string());
+    if (node->is_element()) {
+      all_elements_.push_back(id);
+      by_tag_[node->name()].push_back(id);
+    }
+  }
+}
+
+const std::vector<NodeId>& LabeledDocument::WithTag(
+    const std::string& name) const {
+  if (name == "*") return all_elements_;
+  const auto it = by_tag_.find(name);
+  return it == by_tag_.end() ? empty_ : it->second;
+}
+
+void LabeledDocument::NoteInsertedNode(NodeId id, const std::string& tag) {
+  tags_.resize(std::max<size_t>(tags_.size(), id + 1));
+  tags_[id] = tag;
+  auto splice = [this, id](std::vector<NodeId>* list) {
+    const auto it = std::upper_bound(
+        list->begin(), list->end(), id, [this](NodeId a, NodeId b) {
+          return labeling_->CompareOrder(a, b) < 0;
+        });
+    list->insert(it, id);
+  };
+  splice(&all_elements_);
+  splice(&by_tag_[tag]);
+}
+
+void LabeledDocument::NoteRemovedNodes(const std::vector<NodeId>& ids) {
+  for (const NodeId id : ids) {
+    auto drop = [id](std::vector<NodeId>* list) {
+      const auto it = std::find(list->begin(), list->end(), id);
+      if (it != list->end()) list->erase(it);
+    };
+    drop(&all_elements_);
+    const auto tag_it = by_tag_.find(tags_[id]);
+    if (tag_it != by_tag_.end()) drop(&tag_it->second);
+  }
+}
+
+}  // namespace cdbs::query

@@ -1,0 +1,67 @@
+#ifndef CDBS_QUERY_TAG_INDEX_H_
+#define CDBS_QUERY_TAG_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "labeling/label.h"
+#include "xml/tree.h"
+
+/// \file
+/// Per-document query inputs: the label-indexed element lists XML databases
+/// keep per tag ("element index"), node lists sorted in document order. The
+/// evaluator combines these lists with the labeling's predicates —
+/// structural joins over labels, which is where the schemes' costs diverge.
+
+namespace cdbs::query {
+
+using labeling::NodeId;
+
+/// One document labeled by one scheme, with its tag index.
+class LabeledDocument {
+ public:
+  /// Labels `doc` with `scheme` and builds the tag index. The document must
+  /// outlive this object.
+  LabeledDocument(const xml::Document& doc,
+                  const labeling::LabelingScheme& scheme);
+
+  const labeling::Labeling& labeling() const { return *labeling_; }
+
+  /// Ids of elements with tag `name`, in document order; empty list for
+  /// unknown tags. Pass "*" for all elements.
+  const std::vector<NodeId>& WithTag(const std::string& name) const;
+
+  /// All element ids in document order.
+  const std::vector<NodeId>& all_elements() const { return all_elements_; }
+
+  /// The root element's id.
+  NodeId root() const { return 0; }
+
+  /// Tag of a node (empty for text nodes).
+  const std::string& tag(NodeId n) const { return tags_[n]; }
+
+  /// Mutable access to the labeling (used by the update engine; queries use
+  /// the const accessor).
+  labeling::Labeling* labeling_mutable() { return labeling_.get(); }
+
+  /// Registers a node freshly inserted through the labeling: records its
+  /// tag and splices it into the document-ordered tag lists (position found
+  /// by label comparison).
+  void NoteInsertedNode(NodeId id, const std::string& tag);
+
+  /// Removes deleted nodes from the tag lists. Their ids become invalid.
+  void NoteRemovedNodes(const std::vector<NodeId>& ids);
+
+ private:
+  std::unique_ptr<labeling::Labeling> labeling_;
+  std::vector<std::string> tags_;
+  std::vector<NodeId> all_elements_;
+  std::unordered_map<std::string, std::vector<NodeId>> by_tag_;
+  std::vector<NodeId> empty_;
+};
+
+}  // namespace cdbs::query
+
+#endif  // CDBS_QUERY_TAG_INDEX_H_

@@ -1,0 +1,188 @@
+#include "storage/label_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace cdbs::storage {
+
+namespace {
+constexpr size_t kSlotHeader = 2;  // record length, little-endian
+constexpr uint32_t kMagic = 0x43444253;  // "CDBS"
+
+void PutU64(char* dst, uint64_t v) { std::memcpy(dst, &v, sizeof(v)); }
+uint64_t GetU64(const char* src) {
+  uint64_t v = 0;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+}  // namespace
+
+LabelStore::~LabelStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status LabelStore::Open(const std::string& path) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return Status::IoError("cannot open " + path);
+  path_ = path;
+  record_count_ = 0;
+  slot_size_ = 0;
+  io_stats_ = IoStats();
+  return Status::OK();
+}
+
+Status LabelStore::OpenExisting(const std::string& path) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path.c_str(), O_RDWR, 0644);
+  if (fd_ < 0) return Status::IoError("cannot open " + path);
+  path_ = path;
+  io_stats_ = IoStats();
+  std::vector<char> header;
+  CDBS_RETURN_NOT_OK(ReadPage(0, &header));
+  uint32_t magic = 0;
+  std::memcpy(&magic, header.data(), sizeof(magic));
+  if (magic != kMagic) {
+    return Status::Corruption(path + " is not a label store");
+  }
+  slot_size_ = static_cast<size_t>(GetU64(header.data() + 8));
+  record_count_ = static_cast<size_t>(GetU64(header.data() + 16));
+  if (slot_size_ == 0 || slot_size_ > kPageSize) {
+    return Status::Corruption("label store header has a bad slot size");
+  }
+  return Status::OK();
+}
+
+Status LabelStore::WriteHeader() {
+  std::vector<char> header(kPageSize, 0);
+  std::memcpy(header.data(), &kMagic, sizeof(kMagic));
+  PutU64(header.data() + 8, slot_size_);
+  PutU64(header.data() + 16, record_count_);
+  return WritePage(0, header);
+}
+
+Status LabelStore::BulkLoad(const std::vector<std::string>& records,
+                            size_t headroom) {
+  if (fd_ < 0) return Status::Internal("store not open");
+  size_t max_record = 1;
+  for (const std::string& r : records) {
+    max_record = std::max(max_record, r.size());
+  }
+  slot_size_ = max_record + kSlotHeader + headroom;
+  if (slot_size_ > kPageSize) {
+    return Status::InvalidArgument("record larger than a page");
+  }
+  if (::ftruncate(fd_, 0) != 0) return Status::IoError("truncate failed");
+
+  const size_t per_page = SlotsPerPage();
+  std::vector<char> page(kPageSize, 0);
+  uint64_t page_index = 1;  // page 0 is the header
+  size_t in_page = 0;
+  for (const std::string& r : records) {
+    if (in_page == per_page) {
+      CDBS_RETURN_NOT_OK(WritePage(page_index, page));
+      std::fill(page.begin(), page.end(), 0);
+      ++page_index;
+      in_page = 0;
+    }
+    char* slot = page.data() + in_page * slot_size_;
+    slot[0] = static_cast<char>(r.size() & 0xFF);
+    slot[1] = static_cast<char>((r.size() >> 8) & 0xFF);
+    std::memcpy(slot + kSlotHeader, r.data(), r.size());
+    ++in_page;
+  }
+  if (in_page > 0) CDBS_RETURN_NOT_OK(WritePage(page_index, page));
+  record_count_ = records.size();
+  return WriteHeader();
+}
+
+Status LabelStore::Read(size_t index, std::string* record) {
+  if (index >= record_count_) return Status::OutOfRange("record index");
+  const size_t per_page = SlotsPerPage();
+  std::vector<char> page;
+  CDBS_RETURN_NOT_OK(ReadPage(1 + index / per_page, &page));
+  const char* slot = page.data() + (index % per_page) * slot_size_;
+  const size_t len = static_cast<uint8_t>(slot[0]) |
+                     (static_cast<size_t>(static_cast<uint8_t>(slot[1])) << 8);
+  if (len + kSlotHeader > slot_size_) {
+    return Status::Corruption("slot length out of bounds");
+  }
+  record->assign(slot + kSlotHeader, len);
+  return Status::OK();
+}
+
+Status LabelStore::Rewrite(size_t index, const std::string& record) {
+  if (index >= record_count_) return Status::OutOfRange("record index");
+  if (record.size() + kSlotHeader > slot_size_) {
+    return Status::OutOfRange("record no longer fits its slot");
+  }
+  const size_t per_page = SlotsPerPage();
+  std::vector<char> page;
+  CDBS_RETURN_NOT_OK(ReadPage(1 + index / per_page, &page));
+  char* slot = page.data() + (index % per_page) * slot_size_;
+  std::memset(slot, 0, slot_size_);
+  slot[0] = static_cast<char>(record.size() & 0xFF);
+  slot[1] = static_cast<char>((record.size() >> 8) & 0xFF);
+  std::memcpy(slot + kSlotHeader, record.data(), record.size());
+  return WritePage(1 + index / per_page, page);
+}
+
+Status LabelStore::Append(const std::string& record) {
+  if (fd_ < 0) return Status::Internal("store not open");
+  if (slot_size_ == 0) {
+    return Status::Internal("append before bulk load");
+  }
+  if (record.size() + kSlotHeader > slot_size_) {
+    return Status::OutOfRange("record does not fit a slot");
+  }
+  const size_t per_page = SlotsPerPage();
+  const size_t index = record_count_;
+  const uint64_t page_index = 1 + index / per_page;
+  std::vector<char> page;
+  if (index % per_page == 0) {
+    page.assign(kPageSize, 0);  // fresh page
+  } else {
+    CDBS_RETURN_NOT_OK(ReadPage(page_index, &page));
+  }
+  char* slot = page.data() + (index % per_page) * slot_size_;
+  slot[0] = static_cast<char>(record.size() & 0xFF);
+  slot[1] = static_cast<char>((record.size() >> 8) & 0xFF);
+  std::memcpy(slot + kSlotHeader, record.data(), record.size());
+  CDBS_RETURN_NOT_OK(WritePage(page_index, page));
+  ++record_count_;
+  return WriteHeader();
+}
+
+Status LabelStore::Sync() {
+  if (fd_ < 0) return Status::Internal("store not open");
+  if (::fdatasync(fd_) != 0) return Status::IoError("fdatasync failed");
+  return Status::OK();
+}
+
+Status LabelStore::ReadPage(uint64_t page_index, std::vector<char>* page) {
+  page->assign(kPageSize, 0);
+  const ssize_t n = ::pread(fd_, page->data(), kPageSize,
+                            static_cast<off_t>(page_index * kPageSize));
+  if (n < 0) return Status::IoError("pread failed");
+  ++io_stats_.page_reads;
+  return Status::OK();
+}
+
+Status LabelStore::WritePage(uint64_t page_index,
+                             const std::vector<char>& page) {
+  const ssize_t n = ::pwrite(fd_, page.data(), kPageSize,
+                             static_cast<off_t>(page_index * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pwrite failed");
+  }
+  ++io_stats_.page_writes;
+  io_stats_.bytes_written += kPageSize;
+  return Status::OK();
+}
+
+}  // namespace cdbs::storage

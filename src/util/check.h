@@ -1,0 +1,30 @@
+#ifndef CDBS_UTIL_CHECK_H_
+#define CDBS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Internal invariant checks. `CDBS_CHECK` is always on (the costs in this
+/// library are trivial next to the work they guard); `CDBS_DCHECK` compiles
+/// out in NDEBUG builds. Failures print the condition and abort — invariant
+/// violations are programming errors, not recoverable conditions.
+
+#define CDBS_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CDBS_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define CDBS_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define CDBS_DCHECK(cond) CDBS_CHECK(cond)
+#endif
+
+#endif  // CDBS_UTIL_CHECK_H_

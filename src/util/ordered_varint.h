@@ -1,0 +1,50 @@
+#ifndef CDBS_UTIL_ORDERED_VARINT_H_
+#define CDBS_UTIL_ORDERED_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+/// \file
+/// UTF8-style order-preserving variable-length integer encoding (RFC 2279
+/// shape). DeweyID as published stores each label component with UTF-8 so
+/// that byte-wise lexicographic comparison of whole labels equals document
+/// order; self-delimiting bytes double as the component separator. We use the
+/// same scheme for DeweyID(UTF8) and CDBS(UTF8)-Prefix size accounting.
+///
+/// Encoded forms (v = value, leading byte determines length):
+///   v < 2^7  : 0xxxxxxx
+///   v < 2^11 : 110xxxxx 10xxxxxx
+///   v < 2^16 : 1110xxxx 10xxxxxx 10xxxxxx
+///   v < 2^21 : 11110xxx 10xxxxxx (x3)
+///   v < 2^26 : 111110xx 10xxxxxx (x4)
+///   v < 2^31 : 1111110x 10xxxxxx (x5)
+///
+/// Within one length class the payload bits compare in order; across classes
+/// a longer encoding always starts with a larger lead byte, so byte-wise
+/// comparison preserves numeric order.
+
+namespace cdbs::util {
+
+/// Maximum value representable (2^31 - 1, the RFC 2279 six-byte limit).
+inline constexpr uint64_t kMaxOrderedVarint = (1ULL << 31) - 1;
+
+/// Number of bytes EncodeOrderedVarint will append for `value`.
+/// `value` must be <= kMaxOrderedVarint.
+size_t OrderedVarintLength(uint64_t value);
+
+/// Appends the encoding of `value` to `*out`.
+/// Returns InvalidArgument if value exceeds kMaxOrderedVarint.
+Status EncodeOrderedVarint(uint64_t value, std::string* out);
+
+/// Decodes one varint starting at `data[pos]`; on success stores the value in
+/// `*value` and advances `*pos` past it. Returns Corruption on truncated or
+/// malformed input.
+Status DecodeOrderedVarint(const std::string& data, size_t* pos,
+                           uint64_t* value);
+
+}  // namespace cdbs::util
+
+#endif  // CDBS_UTIL_ORDERED_VARINT_H_

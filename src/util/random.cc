@@ -1,0 +1,75 @@
+#include "util/random.h"
+
+#include "util/check.h"
+
+namespace cdbs::util {
+
+namespace {
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// SplitMix64, used only to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t bound) {
+  CDBS_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint64_t Random::UniformRange(uint64_t lo, uint64_t hi) {
+  CDBS_CHECK(lo <= hi);
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Random::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Random::Skewed(uint64_t bound) {
+  CDBS_CHECK(bound > 0);
+  // Pick a uniformly random bit width, then a value of that width: small
+  // values are exponentially more likely, bounded by `bound`.
+  int max_bits = 0;
+  while ((bound - 1) >> max_bits) ++max_bits;
+  const int bits = static_cast<int>(Uniform(static_cast<uint64_t>(max_bits) + 1));
+  const uint64_t v = Next() & ((bits >= 64) ? ~0ULL : ((1ULL << bits) - 1));
+  return v % bound;
+}
+
+}  // namespace cdbs::util

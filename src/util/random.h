@@ -1,0 +1,47 @@
+#ifndef CDBS_UTIL_RANDOM_H_
+#define CDBS_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+/// \file
+/// A small deterministic PRNG (xoshiro256**). Every experiment in this
+/// repository is seeded so that dataset generation and workloads are exactly
+/// reproducible across runs and machines; std::mt19937 distributions are not
+/// portable across standard libraries, so we roll our own distributions too.
+
+namespace cdbs::util {
+
+/// Deterministic 64-bit PRNG with helpers for the distributions the
+/// generators and benchmarks need.
+class Random {
+ public:
+  /// Seeds the generator. Two `Random` instances with equal seeds produce
+  /// identical streams on every platform.
+  explicit Random(uint64_t seed);
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Geometric-ish skewed value in [0, bound): smaller values more likely.
+  /// Used to make synthetic trees with realistic (skewed) fan-out.
+  uint64_t Skewed(uint64_t bound);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace cdbs::util
+
+#endif  // CDBS_UTIL_RANDOM_H_

@@ -1,0 +1,43 @@
+#ifndef CDBS_UTIL_STOPWATCH_H_
+#define CDBS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file
+/// Wall-clock timing for the experiment harness.
+
+namespace cdbs::util {
+
+/// Measures elapsed wall-clock time from construction (or the last Reset).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (fractional).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  /// Elapsed time in seconds (fractional).
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cdbs::util
+
+#endif  // CDBS_UTIL_STOPWATCH_H_

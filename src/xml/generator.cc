@@ -1,0 +1,215 @@
+#include "xml/generator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "xml/shakespeare.h"
+
+namespace cdbs::xml {
+
+namespace {
+
+// Vocabulary tables give the synthetic files recognizable domain structure;
+// only the tree shape affects the experiments.
+std::vector<std::vector<std::string>> MovieVocab() {
+  return {{"movie"},
+          {"title", "year", "genre", "director", "cast", "studio"},
+          {"actor", "name", "country"},
+          {"firstname", "lastname", "role"},
+          {"value"}};
+}
+
+std::vector<std::vector<std::string>> DepartmentVocab() {
+  return {{"department"},
+          {"name", "chair", "course", "faculty", "staff"},
+          {"title", "instructor", "credits", "member"},
+          {"value"}};
+}
+
+std::vector<std::vector<std::string>> ActorVocab() {
+  return {{"actor"},
+          {"name", "filmography", "award", "bio"},
+          {"movie", "year", "category"},
+          {"title", "role"},
+          {"value"}};
+}
+
+std::vector<std::vector<std::string>> CompanyVocab() {
+  return {{"company"},
+          {"name", "division", "office", "employee", "product"},
+          {"id", "city", "team", "line"},
+          {"member", "detail"},
+          {"value"}};
+}
+
+std::vector<std::vector<std::string>> NasaVocab() {
+  return {{"dataset"},
+          {"title", "altname", "reference", "tableHead", "history", "author"},
+          {"source", "field", "definition", "para"},
+          {"journal", "name", "units", "footnote"},
+          {"author", "title", "year"},
+          {"initial", "lastName"},
+          {"value"}};
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& Table2Specs() {
+  static const std::vector<DatasetSpec>* specs = [] {
+    auto* v = new std::vector<DatasetSpec>;
+    v->push_back({"D1", "Movie", 490, 14, 6, 5, 5, 26044, 101, MovieVocab()});
+    v->push_back(
+        {"D2", "Department", 19, 233, 81, 4, 4, 48542, 102, DepartmentVocab()});
+    v->push_back({"D3", "Actor", 480, 37, 11, 5, 5, 56769, 103, ActorVocab()});
+    v->push_back(
+        {"D4", "Company", 24, 529, 135, 5, 3, 161576, 104, CompanyVocab()});
+    // D5 statistics are those of the Shakespeare collection; generation is
+    // handled by GenerateShakespeareDataset.
+    v->push_back({"D5", "Shakespeare's play", 37, 434, 48, 6, 5, 179689, 105,
+                  {{"play"}}});
+    v->push_back({"D6", "NASA", 1882, 1188, 9, 7, 5, 370292, 106, NasaVocab()});
+    return v;
+  }();
+  return *specs;
+}
+
+Document GenerateFile(const DatasetSpec& spec, uint64_t file_seed,
+                      uint64_t target_nodes) {
+  CDBS_CHECK(target_nodes >= 1);
+  util::Random rng(spec.seed * 0x9e3779b97f4a7c15ULL + file_seed);
+  Document doc;
+  const auto& vocab = spec.level_names;
+  auto name_for_level = [&](int level) -> const std::string& {
+    const auto& names =
+        vocab[std::min<size_t>(static_cast<size_t>(level), vocab.size() - 1)];
+    return names[rng.Uniform(names.size())];
+  };
+
+  Node* root = doc.CreateRoot(vocab[0][rng.Uniform(vocab[0].size())]);
+  uint64_t count = 1;
+
+  // Per-element child capacity, drawn around the target average fan-out.
+  // Growth "fills up" one element at a time (burst fill), so internal
+  // elements end near their capacity and the average fan-out tracks the
+  // spec. One designated element — the root of file 0, the widest file in
+  // every Table 2 dataset — gets the dataset-wide maximum fan-out (clamped
+  // by the node budget).
+  struct Open {
+    Node* node;
+    int depth;
+    size_t cap;
+  };
+  const bool is_widest_file = file_seed == 0;
+  auto draw_cap = [&](int depth) -> size_t {
+    const size_t lo = spec.avg_fanout > 2 ? spec.avg_fanout / 2 : 1;
+    const size_t hi = std::min(spec.max_fanout,
+                               spec.avg_fanout + spec.avg_fanout / 2 + 1);
+    size_t cap = rng.UniformRange(lo, std::max(lo, hi));
+    // For narrow datasets, keep leaf-adjacent levels extra narrow so the
+    // depth statistics hold; wide datasets are wide at every level.
+    if (spec.avg_fanout <= 8 && depth + 1 >= spec.max_depth) {
+      cap = std::min<size_t>(cap, 4);
+    }
+    return std::max<size_t>(cap, 1);
+  };
+
+  std::vector<Open> open;
+  const size_t root_cap =
+      is_widest_file
+          ? std::min<size_t>(spec.max_fanout,
+                             target_nodes > 1 ? target_nodes - 1 : 1)
+          : std::max<size_t>(draw_cap(1), 2);
+  open.push_back({root, 1, root_cap});
+
+  // Probability that, when switching growth sites, we descend into the most
+  // recently created element (go deep) rather than a random open one.
+  const double deep_bias =
+      spec.max_depth <= 2
+          ? 0.0
+          : std::clamp((static_cast<double>(spec.avg_depth) - 1.0) /
+                           (static_cast<double>(spec.max_depth) - 1.0),
+                       0.05, 0.95);
+
+  size_t current = 0;  // index into `open` of the element being filled
+  while (count < target_nodes) {
+    if (open.empty()) {
+      // Everything hit its cap: relax the root so generation always
+      // terminates with the exact node count.
+      open.push_back({root, 1, root->child_count() + spec.max_fanout});
+      current = 0;
+    }
+    if (current >= open.size()) current = open.size() - 1;
+    // Copy the slot: the push_back below may reallocate `open`.
+    const Open slot = open[current];
+    Node* child = doc.CreateElement(name_for_level(slot.depth));
+    doc.AppendChild(slot.node, child);
+    ++count;
+    const int child_depth = slot.depth + 1;
+    if (child_depth < spec.max_depth) {
+      open.push_back({child, child_depth, draw_cap(child_depth)});
+    }
+    const bool slot_full = slot.node->child_count() >= slot.cap;
+    if (slot_full) {
+      open.erase(open.begin() + static_cast<ptrdiff_t>(current));
+      current = open.empty() ? 0 : open.size() - 1;
+    } else if (!(is_widest_file && slot.node == root) &&
+               rng.Bernoulli(0.15)) {
+      // Occasionally move the growth site: deep (newest) or anywhere. The
+      // widest file keeps filling its root until the maximum fan-out is
+      // reached.
+      current = rng.Bernoulli(deep_bias)
+                    ? open.size() - 1
+                    : static_cast<size_t>(rng.Uniform(open.size()));
+    }
+  }
+  return doc;
+}
+
+std::vector<Document> GenerateDataset(const DatasetSpec& spec) {
+  CDBS_CHECK(spec.num_files >= 1);
+  CDBS_CHECK(spec.total_nodes >= spec.num_files);
+  util::Random rng(spec.seed);
+  // Draw per-file sizes around the mean, then force the exact total by
+  // adjusting the final file. File 0 hosts the dataset's widest element,
+  // so its budget must cover the maximum fan-out.
+  const uint64_t mean = spec.total_nodes / spec.num_files;
+  std::vector<uint64_t> sizes;
+  sizes.reserve(spec.num_files);
+  uint64_t assigned = 0;
+  for (size_t i = 0; i + 1 < spec.num_files; ++i) {
+    const uint64_t lo = std::max<uint64_t>(1, mean - mean / 3);
+    const uint64_t hi = mean + mean / 3;
+    uint64_t size = rng.UniformRange(lo, std::max(lo, hi));
+    if (i == 0) {
+      size = std::max<uint64_t>(size, spec.max_fanout + spec.max_fanout / 4);
+    }
+    // Never leave fewer than 1 node per remaining file.
+    const uint64_t remaining_files = spec.num_files - i - 1;
+    const uint64_t max_take = spec.total_nodes - assigned - remaining_files;
+    size = std::min(size, max_take);
+    sizes.push_back(size);
+    assigned += size;
+  }
+  sizes.push_back(spec.total_nodes - assigned);
+
+  std::vector<Document> files;
+  files.reserve(spec.num_files);
+  for (size_t i = 0; i < spec.num_files; ++i) {
+    files.push_back(GenerateFile(spec, i, sizes[i]));
+  }
+  return files;
+}
+
+std::vector<Document> GenerateDatasetById(const std::string& id) {
+  for (const DatasetSpec& spec : Table2Specs()) {
+    if (spec.id == id) {
+      if (spec.id == "D5") return GenerateShakespeareDataset();
+      return GenerateDataset(spec);
+    }
+  }
+  CDBS_CHECK(false && "unknown dataset id");
+  return {};
+}
+
+}  // namespace cdbs::xml

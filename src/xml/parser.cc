@@ -1,0 +1,283 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cdbs::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (const char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// Recursive-descent scanner over the input buffer.
+class Parser {
+ public:
+  Parser(std::string_view input, ParseOptions options)
+      : input_(input), options_(options) {}
+
+  Result<Document> Run() {
+    Document doc;
+    SkipProlog();
+    if (AtEnd()) return Fail("document has no root element");
+    CDBS_RETURN_NOT_OK(ParseElement(&doc, nullptr));
+    SkipMisc();
+    if (!AtEnd()) return Fail("content after root element");
+    if (doc.root() == nullptr) return Fail("document has no root element");
+    return doc;
+  }
+
+ private:
+  // CDBS_RETURN_NOT_OK also works in Result-returning functions: the
+  // returned Status converts implicitly into an error Result.
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < input_.size() ? input_[pos_ + off] : '\0';
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  bool Consume(std::string_view token) {
+    if (input_.substr(pos_).substr(0, token.size()) != token) return false;
+    for (size_t i = 0; i < token.size(); ++i) Advance();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Fail(std::string_view message) const {
+    std::ostringstream os;
+    os << "XML parse error at line " << line_ << ", column " << column_ << ": "
+       << message;
+    return Status::Corruption(os.str());
+  }
+
+  // Skips the XML declaration, comments, PIs, DOCTYPE before the root.
+  void SkipProlog() {
+    for (;;) {
+      SkipWhitespace();
+      if (Consume("<?")) {
+        while (!AtEnd() && !Consume("?>")) Advance();
+      } else if (Consume("<!--")) {
+        while (!AtEnd() && !Consume("-->")) Advance();
+      } else if (Consume("<!DOCTYPE")) {
+        int depth = 1;
+        while (!AtEnd() && depth > 0) {
+          if (Peek() == '<') ++depth;
+          if (Peek() == '>') --depth;
+          Advance();
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (Consume("<!--")) {
+        while (!AtEnd() && !Consume("-->")) Advance();
+      } else if (Consume("<?")) {
+        while (!AtEnd() && !Consume("?>")) Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status ParseName(std::string* out) {
+    if (AtEnd() || !IsNameStartChar(Peek())) return Fail("expected a name");
+    out->clear();
+    while (!AtEnd() && IsNameChar(Peek())) {
+      out->push_back(Peek());
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status DecodeEntity(std::string* out) {
+    // Called with pos_ at '&'.
+    Advance();  // consume '&'
+    std::string entity;
+    while (!AtEnd() && Peek() != ';' && entity.size() < 8) {
+      entity.push_back(Peek());
+      Advance();
+    }
+    if (AtEnd() || Peek() != ';') return Fail("unterminated entity");
+    Advance();  // consume ';'
+    if (entity == "lt") {
+      out->push_back('<');
+    } else if (entity == "gt") {
+      out->push_back('>');
+    } else if (entity == "amp") {
+      out->push_back('&');
+    } else if (entity == "quot") {
+      out->push_back('"');
+    } else if (entity == "apos") {
+      out->push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      // Numeric character reference; emit as UTF-8 only for ASCII range,
+      // else as '?'. Full Unicode is out of scope for the experiments.
+      const bool hex = entity.size() > 1 && entity[1] == 'x';
+      const long code =
+          std::strtol(entity.c_str() + (hex ? 2 : 1), nullptr, hex ? 16 : 10);
+      out->push_back(code > 0 && code < 128 ? static_cast<char>(code) : '?');
+    } else {
+      return Fail("unknown entity '&" + entity + ";'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseAttributes(Node* element) {
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') return Status::OK();
+      std::string name;
+      CDBS_RETURN_NOT_OK(ParseName(&name));
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Fail("expected '=' in attribute");
+      Advance();
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Fail("expected quoted attribute value");
+      }
+      const char quote = Peek();
+      Advance();
+      std::string value;
+      while (!AtEnd() && Peek() != quote) {
+        if (Peek() == '&') {
+          CDBS_RETURN_NOT_OK(DecodeEntity(&value));
+        } else if (Peek() == '<') {
+          return Fail("'<' in attribute value");
+        } else {
+          value.push_back(Peek());
+          Advance();
+        }
+      }
+      if (AtEnd()) return Fail("unterminated attribute value");
+      Advance();  // closing quote
+      element->SetAttribute(std::move(name), std::move(value));
+    }
+  }
+
+  Status ParseElement(Document* doc, Node* parent) {
+    if (AtEnd() || Peek() != '<') return Fail("expected '<'");
+    Advance();
+    std::string name;
+    CDBS_RETURN_NOT_OK(ParseName(&name));
+    Node* element =
+        parent == nullptr ? doc->CreateRoot(name) : doc->CreateElement(name);
+    if (parent != nullptr) doc->AppendChild(parent, element);
+    CDBS_RETURN_NOT_OK(ParseAttributes(element));
+    if (Consume("/>")) return Status::OK();
+    if (!Consume(">")) return Fail("expected '>'");
+    CDBS_RETURN_NOT_OK(ParseContent(doc, element));
+    // ParseContent stops right after consuming "</".
+    std::string close_name;
+    CDBS_RETURN_NOT_OK(ParseName(&close_name));
+    if (close_name != name) {
+      return Fail("mismatched end tag </" + close_name + "> for <" + name +
+                  ">");
+    }
+    SkipWhitespace();
+    if (!Consume(">")) return Fail("expected '>' in end tag");
+    return Status::OK();
+  }
+
+  Status ParseContent(Document* doc, Node* element) {
+    std::string text;
+    auto flush_text = [&]() {
+      if (text.empty()) return;
+      if (!options_.ignore_whitespace_text || !IsAllWhitespace(text)) {
+        doc->AppendChild(element, doc->CreateText(text));
+      }
+      text.clear();
+    };
+    for (;;) {
+      if (AtEnd()) return Fail("unterminated element <" + element->name() + ">");
+      if (Peek() == '<') {
+        if (Consume("</")) {
+          flush_text();
+          return Status::OK();
+        }
+        if (Consume("<!--")) {
+          while (!AtEnd() && !Consume("-->")) Advance();
+          continue;
+        }
+        if (Consume("<![CDATA[")) {
+          while (!AtEnd() && !Consume("]]>")) {
+            text.push_back(Peek());
+            Advance();
+          }
+          continue;
+        }
+        if (Consume("<?")) {
+          while (!AtEnd() && !Consume("?>")) Advance();
+          continue;
+        }
+        flush_text();
+        CDBS_RETURN_NOT_OK(ParseElement(doc, element));
+      } else if (Peek() == '&') {
+        CDBS_RETURN_NOT_OK(DecodeEntity(&text));
+      } else {
+        text.push_back(Peek());
+        Advance();
+      }
+    }
+  }
+
+  std::string_view input_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<Document> ParseXml(std::string_view input, ParseOptions options) {
+  return Parser(input, options).Run();
+}
+
+Result<Document> ParseXmlFile(const std::string& path, ParseOptions options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  return ParseXml(content, options);
+}
+
+}  // namespace cdbs::xml

@@ -1,0 +1,35 @@
+#ifndef CDBS_XML_PARSER_H_
+#define CDBS_XML_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/tree.h"
+
+/// \file
+/// A small well-formedness-checking XML parser covering the subset the
+/// experiments need: elements, attributes, character data, comments,
+/// processing instructions / XML declarations (skipped), CDATA sections and
+/// the five predefined entities. No DTD validation.
+
+namespace cdbs::xml {
+
+/// Controls how character data is turned into text nodes.
+struct ParseOptions {
+  /// Drop text nodes that consist only of whitespace (indentation between
+  /// elements). Defaults to true: the paper's node counts treat formatting
+  /// whitespace as irrelevant.
+  bool ignore_whitespace_text = true;
+};
+
+/// Parses `input` into a Document. Returns Corruption with a line/column
+/// message on malformed input.
+Result<Document> ParseXml(std::string_view input, ParseOptions options = {});
+
+/// Reads and parses a file from disk.
+Result<Document> ParseXmlFile(const std::string& path,
+                              ParseOptions options = {});
+
+}  // namespace cdbs::xml
+
+#endif  // CDBS_XML_PARSER_H_

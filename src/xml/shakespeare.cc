@@ -1,0 +1,265 @@
+#include "xml/shakespeare.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace cdbs::xml {
+
+namespace {
+
+constexpr uint64_t kHamletNodes = 6636;
+constexpr uint64_t kD5TotalNodes = 179689;
+constexpr size_t kD5Files = 37;
+constexpr size_t kWideSceneChildren = 434;  // Table 2 max fan-out for D5
+
+// Splits `total` into `parts` values, each >= min_each, summing exactly to
+// total. Requires total >= parts * min_each.
+std::vector<uint64_t> SplitExact(uint64_t total, size_t parts,
+                                 uint64_t min_each, util::Random* rng) {
+  CDBS_CHECK(parts >= 1);
+  CDBS_CHECK(total >= parts * min_each);
+  std::vector<uint64_t> sizes(parts, min_each);
+  uint64_t remaining = total - parts * min_each;
+  // Spread the remainder in random chunks.
+  while (remaining > 0) {
+    const size_t idx = static_cast<size_t>(rng->Uniform(parts));
+    const uint64_t take =
+        std::min<uint64_t>(remaining, 1 + rng->Uniform(remaining / parts + 8));
+    sizes[idx] += take;
+    remaining -= take;
+  }
+  return sizes;
+}
+
+// Appends a speech of exactly `size` elements (speech + speaker + lines,
+// occasionally with an inline stagedir inside the first line, which is what
+// gives the collection its depth-6 paths); requires size >= 3.
+void AppendSpeech(Document* doc, Node* scene, uint64_t size,
+                  util::Random* rng) {
+  CDBS_CHECK(size >= 3);
+  Node* speech = doc->CreateElement("speech");
+  doc->AppendChild(scene, speech);
+  Node* speaker = doc->CreateElement("speaker");
+  speaker->SetAttribute("name", "speaker-" + std::to_string(rng->Uniform(64)));
+  doc->AppendChild(speech, speaker);
+  uint64_t lines = size - 2;
+  Node* first_line = nullptr;
+  if (lines >= 2 && rng->Bernoulli(0.15)) {
+    // One element of the budget goes to an inline stagedir (depth 6).
+    --lines;
+    first_line = doc->CreateElement("line");
+    doc->AppendChild(speech, first_line);
+    doc->AppendChild(first_line, doc->CreateElement("stagedir"));
+    --lines;
+  }
+  for (uint64_t i = 0; i < lines; ++i) {
+    doc->AppendChild(speech, doc->CreateElement("line"));
+  }
+}
+
+// Fills `scene` (already holding its title) with speeches and stagedirs
+// totalling exactly `body` elements.
+void FillSceneBody(Document* doc, Node* scene, uint64_t body,
+                   util::Random* rng) {
+  uint64_t remaining = body;
+  while (remaining >= 3) {
+    uint64_t speech_size;
+    if (remaining <= 9) {
+      speech_size = remaining;
+    } else if (remaining <= 12) {
+      speech_size = remaining - 3;  // leave room for one more speech
+    } else {
+      speech_size = rng->UniformRange(3, 9);
+    }
+    AppendSpeech(doc, scene, speech_size, rng);
+    remaining -= speech_size;
+  }
+  for (; remaining > 0; --remaining) {
+    doc->AppendChild(scene, doc->CreateElement("stagedir"));
+  }
+}
+
+// Appends a scene of exactly `size` elements; requires size >= 2
+// (scene + title).
+void AppendScene(Document* doc, Node* act, uint64_t size, util::Random* rng) {
+  CDBS_CHECK(size >= 2);
+  Node* scene = doc->CreateElement("scene");
+  doc->AppendChild(act, scene);
+  doc->AppendChild(scene, doc->CreateElement("title"));
+  FillSceneBody(doc, scene, size - 2, rng);
+}
+
+// Appends an act of exactly `size` elements. `scene_count_hint` bounds the
+// number of scenes; `wide_scene` forces the first scene to have
+// kWideSceneChildren children.
+void AppendAct(Document* doc, Node* play, uint64_t size,
+               size_t scene_count_hint, bool wide_scene, util::Random* rng) {
+  CDBS_CHECK(size >= 4);  // act + title + a minimal scene
+  Node* act = doc->CreateElement("act");
+  doc->AppendChild(play, act);
+  doc->AppendChild(act, doc->CreateElement("title"));
+  uint64_t scenes_budget = size - 2;
+
+  if (wide_scene) {
+    // A scene whose children are title + (kWideSceneChildren-1) stagedirs:
+    // kWideSceneChildren children, kWideSceneChildren + 1 elements.
+    const uint64_t wide_size = kWideSceneChildren + 1;
+    CDBS_CHECK(scenes_budget >= wide_size + 2);
+    Node* scene = doc->CreateElement("scene");
+    doc->AppendChild(act, scene);
+    doc->AppendChild(scene, doc->CreateElement("title"));
+    for (size_t i = 0; i + 1 < kWideSceneChildren; ++i) {
+      doc->AppendChild(scene, doc->CreateElement("stagedir"));
+    }
+    scenes_budget -= wide_size;
+  }
+
+  size_t scenes = std::max<size_t>(
+      1, std::min<uint64_t>(scene_count_hint, scenes_budget / 40 + 1));
+  const std::vector<uint64_t> sizes =
+      SplitExact(scenes_budget, scenes, 2, rng);
+  for (const uint64_t s : sizes) AppendScene(doc, act, s, rng);
+}
+
+// Front matter: title, fm(p*), personae(title, persona*, pgroup*), scndescr,
+// playsubt. Returns the exact number of elements appended.
+uint64_t AppendFrontMatter(Document* doc, Node* play, size_t paragraphs,
+                           size_t loose_personas, size_t pgroups,
+                           size_t personas_per_group) {
+  uint64_t count = 0;
+  doc->AppendChild(play, doc->CreateElement("title"));
+  ++count;
+  Node* fm = doc->CreateElement("fm");
+  doc->AppendChild(play, fm);
+  ++count;
+  for (size_t i = 0; i < paragraphs; ++i) {
+    doc->AppendChild(fm, doc->CreateElement("p"));
+    ++count;
+  }
+  Node* personae = doc->CreateElement("personae");
+  doc->AppendChild(play, personae);
+  ++count;
+  doc->AppendChild(personae, doc->CreateElement("title"));
+  ++count;
+  for (size_t i = 0; i < loose_personas; ++i) {
+    doc->AppendChild(personae, doc->CreateElement("persona"));
+    ++count;
+  }
+  for (size_t g = 0; g < pgroups; ++g) {
+    Node* pgroup = doc->CreateElement("pgroup");
+    doc->AppendChild(personae, pgroup);
+    ++count;
+    for (size_t i = 0; i < personas_per_group; ++i) {
+      doc->AppendChild(pgroup, doc->CreateElement("persona"));
+      ++count;
+    }
+    doc->AppendChild(pgroup, doc->CreateElement("grpdescr"));
+    ++count;
+  }
+  doc->AppendChild(play, doc->CreateElement("scndescr"));
+  ++count;
+  doc->AppendChild(play, doc->CreateElement("playsubt"));
+  ++count;
+  return count;
+}
+
+Document GeneratePlayImpl(uint64_t seed, uint64_t total_nodes, int num_acts,
+                          const std::vector<uint64_t>* act_sizes,
+                          const std::vector<size_t>* scene_hints,
+                          bool wide_scene) {
+  CDBS_CHECK(num_acts >= 1);
+  util::Random rng(seed ^ 0x5badc0ffee0ddf00ULL);
+  Document doc;
+  Node* play = doc.CreateRoot("play");
+  uint64_t count = 1;
+
+  if (act_sizes == nullptr) {
+    // Generic play: randomized front matter, then split the remainder.
+    const size_t paragraphs = 2 + rng.Uniform(4);
+    const size_t loose_personas = 12 + rng.Uniform(15);
+    const size_t pgroups = 1 + rng.Uniform(3);
+    const size_t per_group = 2 + rng.Uniform(2);
+    count += AppendFrontMatter(&doc, play, paragraphs, loose_personas, pgroups,
+                               per_group);
+    CDBS_CHECK(total_nodes >= count + static_cast<uint64_t>(num_acts) * 40);
+    std::vector<uint64_t> sizes =
+        SplitExact(total_nodes - count, static_cast<size_t>(num_acts),
+                   wide_scene ? kWideSceneChildren + 5 : 40, &rng);
+    for (int a = 0; a < num_acts; ++a) {
+      AppendAct(&doc, play, sizes[static_cast<size_t>(a)],
+                2 + rng.Uniform(6), wide_scene && a == 0, &rng);
+      count += sizes[static_cast<size_t>(a)];
+    }
+  } else {
+    // Calibrated play (Hamlet): fixed front matter of exactly 40 elements,
+    // fixed act subtree sizes.
+    count += AppendFrontMatter(&doc, play, /*paragraphs=*/3,
+                               /*loose_personas=*/23, /*pgroups=*/2,
+                               /*personas_per_group=*/2);
+    CDBS_CHECK(count == 41);  // play + 40 front-matter elements
+    for (size_t a = 0; a < act_sizes->size(); ++a) {
+      const size_t hint =
+          scene_hints != nullptr ? (*scene_hints)[a] : 4;
+      AppendAct(&doc, play, (*act_sizes)[a], hint, false, &rng);
+      count += (*act_sizes)[a];
+    }
+  }
+  CDBS_CHECK(count == total_nodes);
+  return doc;
+}
+
+}  // namespace
+
+const std::vector<uint64_t>& HamletActSizes() {
+  // Chosen so containment insertion before act[k] re-labels exactly
+  // Table 4's 6596/5121/3932/2431/1300 nodes (suffix sums + the root's end
+  // value).
+  static const std::vector<uint64_t> kSizes = {1475, 1189, 1501, 1131, 1299};
+  return kSizes;
+}
+
+Document GenerateHamlet() {
+  static const std::vector<size_t> kSceneHints = {5, 2, 4, 7, 2};
+  return GeneratePlayImpl(4242, kHamletNodes, 5, &HamletActSizes(),
+                          &kSceneHints, false);
+}
+
+Document GeneratePlay(uint64_t seed, uint64_t total_nodes, int num_acts) {
+  return GeneratePlayImpl(seed, total_nodes, num_acts, nullptr, nullptr,
+                          false);
+}
+
+std::vector<Document> GenerateShakespeareDataset() {
+  std::vector<Document> files;
+  files.reserve(kD5Files);
+  files.push_back(GenerateHamlet());
+
+  util::Random rng(1605);  // the year Hamlet was first printed, roughly
+  const uint64_t remaining_total = kD5TotalNodes - kHamletNodes;
+  const std::vector<uint64_t> sizes =
+      SplitExact(remaining_total, kD5Files - 1, 3200, &rng);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const bool wide = i == 0;  // one play carries the 434-child scene
+    files.push_back(
+        GeneratePlayImpl(7000 + i, sizes[i], 5, nullptr, nullptr, wide));
+  }
+  return files;
+}
+
+std::vector<Document> ScaleDataset(const std::vector<Document>& files,
+                                   size_t factor) {
+  std::vector<Document> out;
+  out.reserve(files.size() * factor);
+  for (size_t r = 0; r < factor; ++r) {
+    for (const Document& doc : files) {
+      Document copy;
+      if (doc.root() != nullptr) copy.DeepCopy(doc.root(), nullptr);
+      out.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+}  // namespace cdbs::xml

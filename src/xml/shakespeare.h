@@ -1,0 +1,49 @@
+#ifndef CDBS_XML_SHAKESPEARE_H_
+#define CDBS_XML_SHAKESPEARE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xml/tree.h"
+
+/// \file
+/// Deterministic generator for a Shakespeare-play-shaped dataset standing in
+/// for the paper's D5. Two calibrations matter:
+///
+///  * Hamlet: exactly 6636 elements with five `act` children whose subtree
+///    sizes are 1475, 1189, 1501, 1131 and 1299 — chosen so the containment
+///    re-label counts for the paper's five insertion cases come out exactly
+///    as Table 4's 6596 / 5121 / 3932 / 2431 / 1300.
+///  * The full collection: 37 plays totalling exactly 179,689 elements
+///    (Table 2's D5 row).
+///
+/// Element structure follows the real collection (lowercased):
+/// play > title, fm > p*, personae > title + persona* + pgroup*(persona*,
+/// grpdescr), scndescr, playsubt, act* > title + scene* > title + stagedir*
+/// + speech* > speaker + line*.
+
+namespace cdbs::xml {
+
+/// Subtree sizes (element counts) of Hamlet's five acts used in Table 4.
+const std::vector<uint64_t>& HamletActSizes();
+
+/// Generates the Hamlet stand-in: 6636 elements, 5 acts.
+Document GenerateHamlet();
+
+/// Generates a play with exactly `total_nodes` elements and `num_acts` acts.
+/// `seed` varies structure (scene counts, speech lengths).
+Document GeneratePlay(uint64_t seed, uint64_t total_nodes, int num_acts = 5);
+
+/// Generates the full 37-file D5 stand-in totalling 179,689 elements.
+/// File 0 is Hamlet. One other play contains a 434-child scene, matching
+/// Table 2's max fan-out.
+std::vector<Document> GenerateShakespeareDataset();
+
+/// Replicates a dataset `factor` times (the paper scales D5 by 10 for the
+/// query workload of Table 3 / Figure 6).
+std::vector<Document> ScaleDataset(const std::vector<Document>& files,
+                                   size_t factor);
+
+}  // namespace cdbs::xml
+
+#endif  // CDBS_XML_SHAKESPEARE_H_

@@ -1,0 +1,67 @@
+#include "xml/stats.h"
+
+#include <sstream>
+
+namespace cdbs::xml {
+
+DocumentStats ComputeStats(const Document& doc) {
+  DocumentStats stats;
+  uint64_t internal_elements = 0;
+  uint64_t fanout_sum = 0;
+  uint64_t depth_sum = 0;
+  doc.Visit([&](Node* node) {
+    ++stats.node_count;
+    const int depth = node->Depth();
+    depth_sum += static_cast<uint64_t>(depth);
+    if (depth > stats.max_depth) stats.max_depth = depth;
+    if (node->is_element()) {
+      ++stats.element_count;
+      const size_t fanout = node->child_count();
+      if (fanout > 0) {
+        ++internal_elements;
+        fanout_sum += fanout;
+        if (fanout > stats.max_fanout) stats.max_fanout = fanout;
+      }
+    }
+  });
+  if (internal_elements > 0) {
+    stats.avg_fanout = static_cast<double>(fanout_sum) /
+                       static_cast<double>(internal_elements);
+  }
+  if (stats.node_count > 0) {
+    stats.avg_depth =
+        static_cast<double>(depth_sum) / static_cast<double>(stats.node_count);
+  }
+  return stats;
+}
+
+DatasetStats ComputeDatasetStats(const std::vector<Document>& files) {
+  DatasetStats agg;
+  agg.file_count = files.size();
+  double fanout_sum = 0;
+  double depth_sum = 0;
+  for (const Document& doc : files) {
+    const DocumentStats s = ComputeStats(doc);
+    agg.total_nodes += s.node_count;
+    if (s.max_fanout > agg.max_fanout) agg.max_fanout = s.max_fanout;
+    if (s.max_depth > agg.max_depth) agg.max_depth = s.max_depth;
+    fanout_sum += s.avg_fanout;
+    depth_sum += s.avg_depth;
+  }
+  if (!files.empty()) {
+    agg.avg_fanout = fanout_sum / static_cast<double>(files.size());
+    agg.avg_depth = depth_sum / static_cast<double>(files.size());
+  }
+  return agg;
+}
+
+std::string FormatDatasetStats(const DatasetStats& stats) {
+  std::ostringstream os;
+  os << stats.file_count << " files, " << stats.total_nodes << " nodes, "
+     << "fan-out " << stats.max_fanout << "/"
+     << static_cast<int>(stats.avg_fanout + 0.5) << ", depth "
+     << stats.max_depth << "/" << static_cast<int>(stats.avg_depth + 0.5);
+  return os.str();
+}
+
+}  // namespace cdbs::xml

@@ -1,0 +1,51 @@
+#ifndef CDBS_XML_STATS_H_
+#define CDBS_XML_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/tree.h"
+
+/// \file
+/// Shape statistics over documents and datasets, matching the columns of the
+/// paper's Table 2 (number of files, max/average fan-out, max/average depth,
+/// total node count). Used both to validate the synthetic generators against
+/// the published characteristics and to report them in benchmarks.
+
+namespace cdbs::xml {
+
+/// Shape statistics of one document.
+struct DocumentStats {
+  uint64_t node_count = 0;     // elements + text nodes
+  uint64_t element_count = 0;
+  size_t max_fanout = 0;       // max children of any element
+  double avg_fanout = 0;       // mean children over internal elements
+  int max_depth = 0;           // root depth = 1
+  double avg_depth = 0;        // mean depth over all nodes
+};
+
+/// Computes stats for one document.
+DocumentStats ComputeStats(const Document& doc);
+
+/// Aggregate over the files of a dataset, Table 2 style: fan-out/depth maxima
+/// and averages are taken across files ("max/average ... for a file").
+struct DatasetStats {
+  size_t file_count = 0;
+  uint64_t total_nodes = 0;
+  size_t max_fanout = 0;
+  double avg_fanout = 0;
+  int max_depth = 0;
+  double avg_depth = 0;
+};
+
+/// Computes aggregate stats over a dataset.
+DatasetStats ComputeDatasetStats(const std::vector<Document>& files);
+
+/// One-line rendering for benchmark tables.
+std::string FormatDatasetStats(const DatasetStats& stats);
+
+}  // namespace cdbs::xml
+
+#endif  // CDBS_XML_STATS_H_

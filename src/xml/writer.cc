@@ -1,0 +1,89 @@
+#include "xml/writer.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cdbs::xml {
+
+namespace {
+
+void WriteNode(const Node* node, bool pretty, int indent, std::ostream& os) {
+  if (node->is_text()) {
+    if (pretty) {
+      for (int i = 0; i < indent; ++i) os << "  ";
+    }
+    os << EscapeText(node->text());
+    if (pretty) os << '\n';
+    return;
+  }
+  if (pretty) {
+    for (int i = 0; i < indent; ++i) os << "  ";
+  }
+  os << '<' << node->name();
+  for (const auto& [name, value] : node->attributes()) {
+    os << ' ' << name << "=\"" << EscapeText(value) << '"';
+  }
+  if (node->children().empty()) {
+    os << "/>";
+    if (pretty) os << '\n';
+    return;
+  }
+  os << '>';
+  if (pretty) os << '\n';
+  for (const Node* child : node->children()) {
+    WriteNode(child, pretty, indent + 1, os);
+  }
+  if (pretty) {
+    for (int i = 0; i < indent; ++i) os << "  ";
+  }
+  os << "</" << node->name() << '>';
+  if (pretty) os << '\n';
+}
+
+}  // namespace
+
+std::string EscapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string WriteXml(const Document& doc, WriteOptions options) {
+  std::ostringstream os;
+  if (doc.root() != nullptr) {
+    WriteNode(doc.root(), options.pretty, 0, os);
+  }
+  return os.str();
+}
+
+Status WriteXmlFile(const Document& doc, const std::string& path,
+                    WriteOptions options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteXml(doc, options);
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace cdbs::xml

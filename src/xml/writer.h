@@ -1,0 +1,34 @@
+#ifndef CDBS_XML_WRITER_H_
+#define CDBS_XML_WRITER_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "xml/tree.h"
+
+/// \file
+/// Serializes a Document back to XML text (inverse of the parser, modulo
+/// ignorable whitespace).
+
+namespace cdbs::xml {
+
+/// Serialization knobs.
+struct WriteOptions {
+  /// Pretty-print with one child per line and two-space indentation. When
+  /// false the output is a single line.
+  bool pretty = false;
+};
+
+/// Renders the document as XML text.
+std::string WriteXml(const Document& doc, WriteOptions options = {});
+
+/// Writes the document to a file.
+Status WriteXmlFile(const Document& doc, const std::string& path,
+                    WriteOptions options = {});
+
+/// Escapes the five predefined entities in character data.
+std::string EscapeText(const std::string& text);
+
+}  // namespace cdbs::xml
+
+#endif  // CDBS_XML_WRITER_H_

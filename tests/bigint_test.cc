@@ -1,0 +1,254 @@
+#include "bigint/bigint.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cdbs::bigint {
+namespace {
+
+TEST(BigIntTest, ZeroBasics) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToDecimalString(), "0");
+  EXPECT_EQ(z.ToUint64(), 0u);
+}
+
+TEST(BigIntTest, FromUint64) {
+  EXPECT_EQ(BigInt(1).ToDecimalString(), "1");
+  EXPECT_EQ(BigInt(18446744073709551615ULL).ToDecimalString(),
+            "18446744073709551615");
+  EXPECT_EQ(BigInt(42).ToUint64(), 42u);
+}
+
+TEST(BigIntTest, FromDecimalStringRoundTrip) {
+  const char* big = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigInt::FromDecimalString(big).ToDecimalString(), big);
+  EXPECT_EQ(BigInt::FromDecimalString("0").ToDecimalString(), "0");
+  EXPECT_EQ(BigInt::FromDecimalString("000123").ToDecimalString(), "123");
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(2).BitLength(), 2u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  // 2^64 = "18446744073709551616" has 65 bits.
+  EXPECT_EQ(BigInt::FromDecimalString("18446744073709551616").BitLength(),
+            65u);
+}
+
+TEST(BigIntTest, CompareAcrossSizes) {
+  const BigInt small(7);
+  const BigInt big = BigInt::FromDecimalString("170141183460469231731687");
+  EXPECT_LT(small.Compare(big), 0);
+  EXPECT_GT(big.Compare(small), 0);
+  EXPECT_EQ(big.Compare(big), 0);
+  EXPECT_TRUE(small < big);
+  EXPECT_TRUE(big == big);
+}
+
+TEST(BigIntTest, AddWithCarryChains) {
+  const BigInt a = BigInt::FromDecimalString("18446744073709551615");  // 2^64-1
+  EXPECT_EQ(a.Add(BigInt(1)).ToDecimalString(), "18446744073709551616");
+  EXPECT_EQ(a.Add(a).ToDecimalString(), "36893488147419103230");
+  EXPECT_EQ(BigInt().Add(a).ToDecimalString(), a.ToDecimalString());
+}
+
+TEST(BigIntTest, SubWithBorrow) {
+  const BigInt a = BigInt::FromDecimalString("18446744073709551616");  // 2^64
+  EXPECT_EQ(a.Sub(BigInt(1)).ToDecimalString(), "18446744073709551615");
+  EXPECT_EQ(a.Sub(a).ToDecimalString(), "0");
+  EXPECT_EQ(BigInt(100).Sub(BigInt(58)).ToUint64(), 42u);
+}
+
+TEST(BigIntTest, MulSmall) {
+  EXPECT_EQ(BigInt(0).MulSmall(123).ToDecimalString(), "0");
+  EXPECT_EQ(BigInt(123).MulSmall(0).ToDecimalString(), "0");
+  const BigInt a = BigInt::FromDecimalString("18446744073709551615");
+  EXPECT_EQ(a.MulSmall(2).ToDecimalString(), "36893488147419103230");
+  EXPECT_EQ(
+      a.MulSmall(18446744073709551615ULL).ToDecimalString(),
+      "340282366920938463426481119284349108225");  // (2^64-1)^2
+}
+
+TEST(BigIntTest, MulBig) {
+  const BigInt a = BigInt::FromDecimalString("123456789123456789");
+  const BigInt b = BigInt::FromDecimalString("987654321987654321");
+  EXPECT_EQ(a.Mul(b).ToDecimalString(),
+            "121932631356500531347203169112635269");
+  EXPECT_EQ(a.Mul(BigInt()).ToDecimalString(), "0");
+}
+
+TEST(BigIntTest, DivModSmall) {
+  uint64_t rem = 0;
+  const BigInt a = BigInt::FromDecimalString("1000000000000000000000000");
+  const BigInt q = a.DivModSmall(7, &rem);
+  EXPECT_EQ(q.MulSmall(7).Add(BigInt(rem)).ToDecimalString(),
+            a.ToDecimalString());
+  EXPECT_LT(rem, 7u);
+  EXPECT_EQ(a.ModSmall(10), 0u);
+  EXPECT_EQ(BigInt(17).ModSmall(5), 2u);
+}
+
+TEST(BigIntTest, DivModBig) {
+  const BigInt a = BigInt::FromDecimalString(
+      "340282366920938463426481119284349108225");
+  const BigInt b = BigInt::FromDecimalString("18446744073709551615");
+  BigInt q;
+  BigInt r;
+  a.DivMod(b, &q, &r);
+  EXPECT_EQ(q.ToDecimalString(), "18446744073709551615");
+  EXPECT_TRUE(r.IsZero());
+  // Non-exact division.
+  const BigInt c = a.Add(BigInt(5));
+  c.DivMod(b, &q, &r);
+  EXPECT_EQ(q.Mul(b).Add(r).ToDecimalString(), c.ToDecimalString());
+  EXPECT_LT(r.Compare(b), 0);
+}
+
+TEST(BigIntTest, DivModRandomizedInvariant) {
+  util::Random rng(777);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a(rng.Next());
+    for (int j = 0; j < 3; ++j) a = a.MulSmall(rng.Next() | 1).Add(BigInt(rng.Next()));
+    BigInt b(rng.Next() | 1);
+    if (rng.Bernoulli(0.5)) b = b.MulSmall(rng.Next() | 1);
+    BigInt q;
+    BigInt r;
+    a.DivMod(b, &q, &r);
+    ASSERT_EQ(q.Mul(b).Add(r).Compare(a), 0);
+    ASSERT_LT(r.Compare(b), 0);
+  }
+}
+
+TEST(BigIntTest, IsDivisibleBy) {
+  const BigInt a = BigInt(6).MulSmall(35);  // 210 = 2*3*5*7
+  EXPECT_TRUE(a.IsDivisibleBy(BigInt(7)));
+  EXPECT_TRUE(a.IsDivisibleBy(BigInt(30)));
+  EXPECT_FALSE(a.IsDivisibleBy(BigInt(11)));
+  // Big divisor.
+  const BigInt p = BigInt::FromDecimalString("1000000000000000003");
+  const BigInt prod = p.MulSmall(999983);
+  EXPECT_TRUE(prod.IsDivisibleBy(p));
+  EXPECT_FALSE(prod.Add(BigInt(1)).IsDivisibleBy(p));
+}
+
+TEST(BigIntTest, DivModDivisorLargerThanDividend) {
+  const BigInt a(42);
+  const BigInt b = BigInt::FromDecimalString("98765432109876543210");
+  BigInt q;
+  BigInt r;
+  a.DivMod(b, &q, &r);
+  EXPECT_TRUE(q.IsZero());
+  EXPECT_EQ(r.Compare(a), 0);
+}
+
+TEST(BigIntTest, DivModEqualOperands) {
+  const BigInt a = BigInt::FromDecimalString("340282366920938463463374607431768211455");
+  BigInt q;
+  BigInt r;
+  a.DivMod(a, &q, &r);
+  EXPECT_EQ(q.ToUint64(), 1u);
+  EXPECT_TRUE(r.IsZero());
+}
+
+TEST(BigIntTest, DivModByPowersOfTwoAcrossLimbBoundary) {
+  // 2^130 / 2^65 = 2^65.
+  const BigInt two_130 = BigInt(1).MulSmall(1ULL << 32).MulSmall(1ULL << 32)
+                             .MulSmall(1ULL << 32).MulSmall(1ULL << 32)
+                             .MulSmall(4);
+  const BigInt two_65 = BigInt(1).MulSmall(1ULL << 32).MulSmall(1ULL << 33);
+  BigInt q;
+  BigInt r;
+  two_130.DivMod(two_65, &q, &r);
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_EQ(q.Compare(two_65), 0);
+  EXPECT_EQ(q.BitLength(), 66u);
+}
+
+TEST(BigIntTest, BitLengthWithHighBitSetLimbs) {
+  // Top limb with bit 63 set must not loop (regression for the UB shift).
+  const BigInt a(0x8000000000000000ULL);
+  EXPECT_EQ(a.BitLength(), 64u);
+  const BigInt b = a.MulSmall(2);  // 2^64
+  EXPECT_EQ(b.BitLength(), 65u);
+  EXPECT_EQ(a.Add(a).Compare(b), 0);
+}
+
+TEST(BigIntTest, NonTrivialDivisionChain) {
+  // Repeated division recovers the factors of a big product.
+  BigInt product(1);
+  const std::vector<uint64_t> primes = {104729, 1299709, 15485863,
+                                        2147483647};
+  for (const uint64_t p : primes) product = product.MulSmall(p);
+  for (const uint64_t p : primes) {
+    EXPECT_TRUE(product.IsDivisibleBy(BigInt(p)));
+    uint64_t rem = 1;
+    product = product.DivModSmall(p, &rem);
+    EXPECT_EQ(rem, 0u);
+  }
+  EXPECT_EQ(product.ToUint64(), 1u);
+}
+
+TEST(ModularInverseTest, SmallCases) {
+  EXPECT_EQ(ModularInverse(3, 7), 5u);   // 3*5 = 15 ≡ 1 (mod 7)
+  EXPECT_EQ(ModularInverse(2, 5), 3u);   // 2*3 = 6 ≡ 1 (mod 5)
+  EXPECT_EQ(ModularInverse(1, 13), 1u);
+}
+
+TEST(ModularInverseTest, LargePrimeModulus) {
+  const uint64_t p = 1000000007;
+  for (const uint64_t a : {2ULL, 999999999ULL, 123456789ULL}) {
+    const uint64_t inv = ModularInverse(a, p);
+    EXPECT_EQ(static_cast<unsigned __int128>(a) * inv % p, 1u);
+  }
+}
+
+TEST(CrtCombineTest, TwoCongruences) {
+  // x ≡ 2 (mod 3), x ≡ 3 (mod 5) -> x = 8.
+  EXPECT_EQ(CrtCombine({2, 3}, {3, 5}).ToUint64(), 8u);
+}
+
+TEST(CrtCombineTest, FiveCongruencesLikeScValues) {
+  // The Prime scheme groups five nodes per SC value: five primes, five
+  // document-order residues.
+  const std::vector<uint64_t> primes = {2, 3, 5, 7, 11};
+  const std::vector<uint64_t> orders = {1, 2, 4, 5, 10};
+  const BigInt sc = CrtCombine(orders, primes);
+  for (size_t i = 0; i < primes.size(); ++i) {
+    EXPECT_EQ(sc.ModSmall(primes[i]), orders[i]);
+  }
+  // Below the modulus product 2310.
+  EXPECT_LT(sc.Compare(BigInt(2310)), 0);
+}
+
+TEST(CrtCombineTest, LargePrimes) {
+  const std::vector<uint64_t> primes = {999983, 1000003, 1000033, 1000037,
+                                        1000039};
+  const std::vector<uint64_t> orders = {12345, 999982, 0, 500000, 1};
+  const BigInt sc = CrtCombine(orders, primes);
+  for (size_t i = 0; i < primes.size(); ++i) {
+    EXPECT_EQ(sc.ModSmall(primes[i]), orders[i]) << i;
+  }
+}
+
+TEST(CrtCombineTest, RandomizedResidues) {
+  util::Random rng(2026);
+  const std::vector<uint64_t> primes = {101, 103, 107, 109, 113};
+  for (int round = 0; round < 100; ++round) {
+    std::vector<uint64_t> orders;
+    orders.reserve(primes.size());
+    for (const uint64_t p : primes) orders.push_back(rng.Uniform(p));
+    const BigInt sc = CrtCombine(orders, primes);
+    for (size_t i = 0; i < primes.size(); ++i) {
+      ASSERT_EQ(sc.ModSmall(primes[i]), orders[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdbs::bigint

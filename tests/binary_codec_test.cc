@@ -1,0 +1,87 @@
+#include "core/binary_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cdbs.h"
+
+namespace cdbs::core {
+namespace {
+
+TEST(VBinaryTest, CodeBitsMatchesTable1) {
+  EXPECT_EQ(VBinaryCodeBits(1), 1u);
+  EXPECT_EQ(VBinaryCodeBits(2), 2u);
+  EXPECT_EQ(VBinaryCodeBits(3), 2u);
+  EXPECT_EQ(VBinaryCodeBits(4), 3u);
+  EXPECT_EQ(VBinaryCodeBits(7), 3u);
+  EXPECT_EQ(VBinaryCodeBits(8), 4u);
+  EXPECT_EQ(VBinaryCodeBits(15), 4u);
+  EXPECT_EQ(VBinaryCodeBits(16), 5u);
+  EXPECT_EQ(VBinaryCodeBits(18), 5u);
+}
+
+TEST(VBinaryTest, CodesMatchTable1Column2) {
+  EXPECT_EQ(VBinaryCode(1).ToString(), "1");
+  EXPECT_EQ(VBinaryCode(2).ToString(), "10");
+  EXPECT_EQ(VBinaryCode(6).ToString(), "110");
+  EXPECT_EQ(VBinaryCode(10).ToString(), "1010");
+  EXPECT_EQ(VBinaryCode(18).ToString(), "10010");
+}
+
+TEST(FBinaryTest, CodesMatchTable1Column4) {
+  EXPECT_EQ(FBinaryCode(1, 18).ToString(), "00001");
+  EXPECT_EQ(FBinaryCode(5, 18).ToString(), "00101");
+  EXPECT_EQ(FBinaryCode(10, 18).ToString(), "01010");
+  EXPECT_EQ(FBinaryCode(18, 18).ToString(), "10010");
+}
+
+TEST(VBinaryTest, LengthFieldSizedForMaxCodePlusHeadroom) {
+  // Universe of 18: max code 5 bits, field expresses up to 7 -> 3 bits
+  // (Example 4.2's "e.g. 3").
+  EXPECT_EQ(VLengthFieldBits(18), 3u);
+  // Universe of 7: max code 3 bits, field expresses up to 5 -> 3 bits.
+  EXPECT_EQ(VLengthFieldBits(7), 3u);
+  // Universe of 1M: max code 20 bits, expresses up to 22 -> 5 bits.
+  EXPECT_EQ(VLengthFieldBits(1000000), 5u);
+}
+
+TEST(VBinaryTest, StoredBitsIncludeLengthField) {
+  EXPECT_EQ(VBinaryStoredBits(1, 18), 3u + 1u);
+  EXPECT_EQ(VBinaryStoredBits(18, 18), 3u + 5u);
+}
+
+TEST(FBinaryTest, StoredBitsAreFixed) {
+  EXPECT_EQ(FBinaryStoredBits(18), 5u);
+  EXPECT_EQ(FBinaryStoredBits(1), 1u);
+  EXPECT_EQ(FBinaryStoredBits(255), 8u);
+  EXPECT_EQ(FBinaryStoredBits(256), 9u);
+}
+
+TEST(BinaryCodecTest, Example42TotalSizeComparison) {
+  // Example 4.2: V-Binary total for 18 numbers = 3*18 + 64 = 118 bits,
+  // larger than F-Binary's 90 bits.
+  uint64_t v_total = 0;
+  for (uint64_t i = 1; i <= 18; ++i) v_total += VBinaryStoredBits(i, 18);
+  EXPECT_EQ(v_total, 118u);
+  EXPECT_EQ(18u * FBinaryStoredBits(18), 90u);
+  EXPECT_GT(v_total, 18u * FBinaryStoredBits(18));
+}
+
+TEST(BinaryCodecTest, FBinaryCodesSortNumerically) {
+  // Fixed-width binary codes compare lexicographically as integers do —
+  // the reason F-Binary/F-CDBS need no length fields.
+  for (uint64_t v = 1; v < 18; ++v) {
+    EXPECT_LT(FBinaryCode(v, 18).Compare(FBinaryCode(v + 1, 18)), 0) << v;
+  }
+}
+
+TEST(BinaryCodecTest, VBinaryCodesDoNotSortLexicographically) {
+  // "10" (2) ≺ "1" (1) lexicographically is false, but "10" vs "11": fine;
+  // the failure case: 2="10" vs 3="11" ok, but 1="1" vs 2="10": "1" is a
+  // prefix, so "1" ≺ "10" — yet 2="10" ≺ 3="11" ≺ 1? No: the violation is
+  // e.g. 3="11" vs 4="100": "100" ≺ "11" lexicographically though 3 < 4.
+  EXPECT_LT(VBinaryCode(4).Compare(VBinaryCode(3)), 0);
+  EXPECT_LT(VBinaryCode(8).Compare(VBinaryCode(5)), 0);
+}
+
+}  // namespace
+}  // namespace cdbs::core

@@ -1,0 +1,231 @@
+#include "core/bit_string.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cdbs::core {
+namespace {
+
+TEST(BitStringTest, DefaultIsEmpty) {
+  BitString b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.ToString(), "");
+  EXPECT_FALSE(b.EndsWithOne());
+}
+
+TEST(BitStringTest, FromStringRoundTrip) {
+  for (const char* s : {"0", "1", "01", "10", "0011", "00111", "1111111110",
+                        "010101010101010101"}) {
+    EXPECT_EQ(BitString::FromString(s).ToString(), s);
+  }
+}
+
+TEST(BitStringTest, AppendBitBuildsString) {
+  BitString b;
+  b.AppendBit(false);
+  b.AppendBit(true);
+  b.AppendBit(true);
+  EXPECT_EQ(b.ToString(), "011");
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_FALSE(b.bit(0));
+  EXPECT_TRUE(b.bit(1));
+  EXPECT_TRUE(b.bit(2));
+}
+
+TEST(BitStringTest, AppendAcrossByteBoundary) {
+  BitString b;
+  for (int i = 0; i < 20; ++i) b.AppendBit(i % 3 == 0);
+  EXPECT_EQ(b.ToString(), "10010010010010010010");
+  EXPECT_EQ(b.storage_bytes(), 3u);
+}
+
+TEST(BitStringTest, PopBitRemovesLast) {
+  BitString b = BitString::FromString("0111");
+  b.PopBit();
+  EXPECT_EQ(b.ToString(), "011");
+  b.PopBit();
+  b.PopBit();
+  b.PopBit();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BitStringTest, SetBitOverwrites) {
+  BitString b = BitString::FromString("0000");
+  b.SetBit(2, true);
+  EXPECT_EQ(b.ToString(), "0010");
+  b.SetBit(2, false);
+  EXPECT_EQ(b.ToString(), "0000");
+  b.SetBit(0, true);
+  b.SetBit(3, true);
+  EXPECT_EQ(b.ToString(), "1001");
+}
+
+TEST(BitStringTest, TruncateKeepsPrefix) {
+  BitString b = BitString::FromString("110101101");
+  b.Truncate(4);
+  EXPECT_EQ(b.ToString(), "1101");
+  b.Truncate(0);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BitStringTest, TruncateClearsPaddingBits) {
+  // After truncation inside a byte, appending must not resurrect old bits.
+  BitString b = BitString::FromString("11111111");
+  b.Truncate(3);
+  b.AppendBit(false);
+  EXPECT_EQ(b.ToString(), "1110");
+}
+
+TEST(BitStringTest, EndsWithOne) {
+  EXPECT_TRUE(BitString::FromString("1").EndsWithOne());
+  EXPECT_TRUE(BitString::FromString("001").EndsWithOne());
+  EXPECT_FALSE(BitString::FromString("0").EndsWithOne());
+  EXPECT_FALSE(BitString::FromString("10").EndsWithOne());
+}
+
+TEST(BitStringTest, FromUintProducesBinary) {
+  EXPECT_EQ(BitString::FromUint(6, 3).ToString(), "110");
+  EXPECT_EQ(BitString::FromUint(6, 5).ToString(), "00110");
+  EXPECT_EQ(BitString::FromUint(0, 4).ToString(), "0000");
+  EXPECT_EQ(BitString::FromUint(1, 1).ToString(), "1");
+}
+
+TEST(BitStringTest, ToUintInvertsFromUint) {
+  for (uint64_t v : {0ULL, 1ULL, 2ULL, 17ULL, 255ULL, 256ULL, 12345678ULL}) {
+    EXPECT_EQ(BitString::FromUint(v, 40).ToUint(), v);
+  }
+  EXPECT_EQ(BitString().ToUint(), 0u);
+}
+
+// --- Lexicographic comparison: the paper's Definition 3.1. ---
+
+TEST(BitStringCompareTest, PaperExample31) {
+  // "0011" < "01" because the second bit differs (0 vs 1).
+  EXPECT_LT(BitString::FromString("0011").Compare(BitString::FromString("01")),
+            0);
+  // "01" < "0101" because "01" is a prefix of "0101".
+  EXPECT_LT(BitString::FromString("01").Compare(BitString::FromString("0101")),
+            0);
+}
+
+TEST(BitStringCompareTest, EqualStrings) {
+  EXPECT_EQ(BitString::FromString("0101").Compare(BitString::FromString("0101")),
+            0);
+  EXPECT_EQ(BitString().Compare(BitString()), 0);
+}
+
+TEST(BitStringCompareTest, EmptyIsSmallest) {
+  EXPECT_LT(BitString().Compare(BitString::FromString("0")), 0);
+  EXPECT_LT(BitString().Compare(BitString::FromString("1")), 0);
+  EXPECT_GT(BitString::FromString("0").Compare(BitString()), 0);
+}
+
+TEST(BitStringCompareTest, PrefixIsSmaller) {
+  EXPECT_LT(BitString::FromString("0").Compare(BitString::FromString("00")), 0);
+  EXPECT_LT(BitString::FromString("1").Compare(BitString::FromString("11")), 0);
+  EXPECT_LT(BitString::FromString("101").Compare(
+                BitString::FromString("1010")),
+            0);
+}
+
+TEST(BitStringCompareTest, LongSharedPrefixCrossingBytes) {
+  const std::string shared(23, '1');
+  BitString a = BitString::FromString(shared + "0");
+  BitString b = BitString::FromString(shared + "1");
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_GT(b.Compare(a), 0);
+}
+
+TEST(BitStringCompareTest, SpaceshipOperator) {
+  EXPECT_TRUE(BitString::FromString("0011") < BitString::FromString("01"));
+  EXPECT_TRUE(BitString::FromString("01") < BitString::FromString("0101"));
+  EXPECT_TRUE(BitString::FromString("01") == BitString::FromString("01"));
+  EXPECT_TRUE(BitString::FromString("1") > BitString::FromString("0111"));
+}
+
+TEST(BitStringCompareTest, AgreesWithStringComparison) {
+  // Bitwise lexicographic order must match lexicographic order of the
+  // '0'/'1' renderings (including the prefix rule).
+  util::Random rng(20260707);
+  std::vector<BitString> values;
+  for (int i = 0; i < 300; ++i) {
+    const size_t len = rng.Uniform(24);
+    BitString b;
+    for (size_t j = 0; j < len; ++j) b.AppendBit(rng.Bernoulli(0.5));
+    values.push_back(b);
+  }
+  for (const BitString& a : values) {
+    for (const BitString& b : values) {
+      const int got = a.Compare(b);
+      const std::string sa = a.ToString();
+      const std::string sb = b.ToString();
+      const int want = sa == sb ? 0 : (sa < sb ? -1 : 1);
+      EXPECT_EQ(got < 0, want < 0) << sa << " vs " << sb;
+      EXPECT_EQ(got == 0, want == 0) << sa << " vs " << sb;
+    }
+  }
+}
+
+TEST(BitStringTest, IsPrefixOf) {
+  EXPECT_TRUE(BitString::FromString("01").IsPrefixOf(
+      BitString::FromString("0101")));
+  EXPECT_TRUE(BitString().IsPrefixOf(BitString::FromString("1")));
+  EXPECT_TRUE(
+      BitString::FromString("01").IsPrefixOf(BitString::FromString("01")));
+  EXPECT_FALSE(
+      BitString::FromString("0101").IsPrefixOf(BitString::FromString("01")));
+  EXPECT_FALSE(
+      BitString::FromString("11").IsPrefixOf(BitString::FromString("10")));
+}
+
+TEST(BitStringTest, IsPrefixOfLongStrings) {
+  BitString base;
+  util::Random rng(7);
+  for (int i = 0; i < 100; ++i) base.AppendBit(rng.Bernoulli(0.5));
+  BitString ext = base;
+  ext.AppendBit(true);
+  EXPECT_TRUE(base.IsPrefixOf(ext));
+  EXPECT_FALSE(ext.IsPrefixOf(base));
+  BitString other = base;
+  other.SetBit(50, !other.bit(50));
+  EXPECT_FALSE(other.IsPrefixOf(ext));
+}
+
+TEST(BitStringTest, HashDistinguishesLengthFromContent) {
+  // "0" vs "00": same packed bytes, different lengths.
+  EXPECT_NE(BitString::FromString("0").Hash(),
+            BitString::FromString("00").Hash());
+  EXPECT_EQ(BitString::FromString("0101").Hash(),
+            BitString::FromString("0101").Hash());
+}
+
+TEST(BitStringTest, AppendConcatenates) {
+  BitString a = BitString::FromString("0011");
+  a.Append(BitString::FromString("101"));
+  EXPECT_EQ(a.ToString(), "0011101");
+  a.Append(BitString());
+  EXPECT_EQ(a.ToString(), "0011101");
+}
+
+TEST(BitStringTest, SortingMatchesLexicographicOrder) {
+  std::vector<BitString> v = {
+      BitString::FromString("1"),    BitString::FromString("01"),
+      BitString::FromString("0011"), BitString::FromString("0101"),
+      BitString::FromString("011"),  BitString(),
+  };
+  std::sort(v.begin(), v.end());
+  std::vector<std::string> got;
+  got.reserve(v.size());
+  for (const BitString& b : v) got.push_back(b.ToString());
+  EXPECT_EQ(got, (std::vector<std::string>{"", "0011", "01", "0101", "011",
+                                           "1"}));
+}
+
+}  // namespace
+}  // namespace cdbs::core

@@ -1,0 +1,78 @@
+#include "engine/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/shakespeare.h"
+
+namespace cdbs::engine {
+namespace {
+
+std::vector<xml::Document> TwoPlays() {
+  std::vector<xml::Document> docs;
+  docs.push_back(xml::GeneratePlay(1, 600));
+  docs.push_back(xml::GeneratePlay(2, 900));
+  return docs;
+}
+
+TEST(CorpusTest, AggregatesAcrossFiles) {
+  auto corpus = Corpus::FromDocuments(TwoPlays(), "V-CDBS-Containment");
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  EXPECT_EQ(corpus->file_count(), 2u);
+  EXPECT_EQ(corpus->total_nodes(), 1500u);
+  EXPECT_GT(corpus->total_label_bits(), 0u);
+  // Every play has five acts.
+  auto acts = corpus->Count("/play/act");
+  ASSERT_TRUE(acts.ok());
+  EXPECT_EQ(*acts, 10u);
+}
+
+TEST(CorpusTest, PerFileCounts) {
+  auto corpus = Corpus::FromDocuments(TwoPlays(), "QED-Prefix");
+  ASSERT_TRUE(corpus.ok());
+  auto per_file = corpus->CountPerFile("/play/act[4]");
+  ASSERT_TRUE(per_file.ok());
+  EXPECT_EQ(*per_file, (std::vector<uint64_t>{1, 1}));
+}
+
+TEST(CorpusTest, RejectsEmptyCorpus) {
+  EXPECT_FALSE(
+      Corpus::FromDocuments({}, "V-CDBS-Containment").ok());
+}
+
+TEST(CorpusTest, RejectsBadQuery) {
+  auto corpus = Corpus::FromDocuments(TwoPlays(), "V-CDBS-Containment");
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_FALSE(corpus->Count("no-slash").ok());
+}
+
+TEST(CorpusTest, SchemesAgreeOnCorpusCounts) {
+  auto a = Corpus::FromDocuments(TwoPlays(), "V-CDBS-Containment");
+  auto b = Corpus::FromDocuments(TwoPlays(), "OrdPath1-Prefix");
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (const char* q : {"//speech", "/play/act/scene", "//line"}) {
+    EXPECT_EQ(*a->Count(q), *b->Count(q)) << q;
+  }
+}
+
+TEST(CorpusTest, MatchesPaperStyleWorkload) {
+  // A miniature of the Figure 6 setup: a scaled corpus queried as a unit.
+  std::vector<xml::Document> base;
+  base.push_back(xml::GeneratePlay(7, 800));
+  const auto scaled = xml::ScaleDataset(base, 3);
+  std::vector<xml::Document> docs;
+  for (const auto& d : scaled) {
+    xml::Document copy;
+    copy.DeepCopy(d.root(), nullptr);
+    docs.push_back(std::move(copy));
+  }
+  auto corpus = Corpus::FromDocuments(std::move(docs), "F-CDBS-Containment");
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->file_count(), 3u);
+  auto acts = corpus->Count("/play/act");
+  ASSERT_TRUE(acts.ok());
+  EXPECT_EQ(*acts, 15u);
+}
+
+}  // namespace
+}  // namespace cdbs::engine

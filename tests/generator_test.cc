@@ -1,0 +1,178 @@
+#include "xml/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/shakespeare.h"
+#include "xml/stats.h"
+
+namespace cdbs::xml {
+namespace {
+
+TEST(GeneratorTest, Table2SpecsPresent) {
+  const auto& specs = Table2Specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].id, "D1");
+  EXPECT_EQ(specs[5].id, "D6");
+  EXPECT_EQ(specs[1].total_nodes, 48542u);
+  EXPECT_EQ(specs[5].num_files, 1882u);
+}
+
+TEST(GeneratorTest, GenerateFileHitsExactNodeCount) {
+  const DatasetSpec& spec = Table2Specs()[0];  // D1 Movie
+  for (const uint64_t target : {1u, 2u, 53u, 500u}) {
+    const Document doc = GenerateFile(spec, 7, target);
+    EXPECT_EQ(doc.node_count(), target);
+  }
+}
+
+TEST(GeneratorTest, GenerateFileRespectsDepthAndFanout) {
+  const DatasetSpec& spec = Table2Specs()[2];  // D3 Actor: depth 5, fanout 37
+  const Document doc = GenerateFile(spec, 3, 800);
+  const DocumentStats stats = ComputeStats(doc);
+  EXPECT_LE(stats.max_depth, spec.max_depth);
+  EXPECT_LE(stats.max_fanout, spec.max_fanout);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const DatasetSpec& spec = Table2Specs()[0];
+  const Document a = GenerateFile(spec, 11, 200);
+  const Document b = GenerateFile(spec, 11, 200);
+  const auto na = a.NodesInDocumentOrder();
+  const auto nb = b.NodesInDocumentOrder();
+  ASSERT_EQ(na.size(), nb.size());
+  for (size_t i = 0; i < na.size(); ++i) {
+    EXPECT_EQ(na[i]->name(), nb[i]->name()) << i;
+  }
+}
+
+TEST(GeneratorTest, D1DatasetMatchesSpecTotals) {
+  const DatasetSpec& spec = Table2Specs()[0];
+  const auto files = GenerateDataset(spec);
+  const DatasetStats stats = ComputeDatasetStats(files);
+  EXPECT_EQ(stats.file_count, spec.num_files);
+  EXPECT_EQ(stats.total_nodes, spec.total_nodes);
+  EXPECT_LE(stats.max_depth, spec.max_depth);
+  EXPECT_LE(stats.max_fanout, spec.max_fanout);
+}
+
+TEST(GeneratorTest, D2DatasetMatchesSpecTotals) {
+  const DatasetSpec& spec = Table2Specs()[1];
+  const auto files = GenerateDataset(spec);
+  const DatasetStats stats = ComputeDatasetStats(files);
+  EXPECT_EQ(stats.total_nodes, spec.total_nodes);
+  EXPECT_EQ(stats.file_count, 19u);
+}
+
+TEST(GeneratorTest, RemainingDatasetsMatchSpecTotals) {
+  for (const size_t idx : {2u, 3u, 5u}) {  // D3, D4, D6
+    const DatasetSpec& spec = Table2Specs()[idx];
+    const auto files = GenerateDataset(spec);
+    const DatasetStats stats = ComputeDatasetStats(files);
+    EXPECT_EQ(stats.total_nodes, spec.total_nodes) << spec.id;
+    EXPECT_EQ(stats.file_count, spec.num_files) << spec.id;
+    EXPECT_LE(stats.max_fanout, spec.max_fanout) << spec.id;
+    EXPECT_LE(stats.max_depth, spec.max_depth) << spec.id;
+  }
+}
+
+TEST(GeneratorTest, WidestFileCarriesTheMaxFanout) {
+  const DatasetSpec& spec = Table2Specs()[1];  // D2: max fan-out 233
+  const auto files = GenerateDataset(spec);
+  const DatasetStats stats = ComputeDatasetStats(files);
+  EXPECT_EQ(stats.max_fanout, spec.max_fanout);
+}
+
+TEST(ShakespeareTest, HamletIsCalibrated) {
+  const Document hamlet = GenerateHamlet();
+  EXPECT_EQ(hamlet.node_count(), 6636u);
+  // Five acts with the Table 4 subtree sizes.
+  const Node* play = hamlet.root();
+  ASSERT_EQ(play->name(), "play");
+  std::vector<const Node*> acts;
+  for (const Node* child : play->children()) {
+    if (child->name() == "act") acts.push_back(child);
+  }
+  ASSERT_EQ(acts.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    uint64_t size = 0;
+    std::vector<const Node*> stack = {acts[i]};
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const Node* c : n->children()) stack.push_back(c);
+    }
+    EXPECT_EQ(size, HamletActSizes()[i]) << "act " << (i + 1);
+  }
+}
+
+TEST(ShakespeareTest, HamletFrontMatterHas40Elements) {
+  const Document hamlet = GenerateHamlet();
+  uint64_t before_acts = 0;
+  for (const Node* child : hamlet.root()->children()) {
+    if (child->name() == "act") break;
+    std::vector<const Node*> stack = {child};
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      ++before_acts;
+      for (const Node* c : n->children()) stack.push_back(c);
+    }
+  }
+  EXPECT_EQ(before_acts, 40u);
+}
+
+TEST(ShakespeareTest, GeneratePlayExactSize) {
+  for (const uint64_t target : {3000u, 4807u, 6000u}) {
+    const Document play = GeneratePlay(9, target);
+    EXPECT_EQ(play.node_count(), target);
+  }
+}
+
+TEST(ShakespeareTest, PlaysHaveFiveActs) {
+  const Document play = GeneratePlay(3, 4000);
+  size_t acts = 0;
+  for (const Node* child : play.root()->children()) {
+    if (child->name() == "act") ++acts;
+  }
+  EXPECT_EQ(acts, 5u);
+}
+
+TEST(ShakespeareTest, DatasetTotalsMatchTable2) {
+  const auto files = GenerateShakespeareDataset();
+  const DatasetStats stats = ComputeDatasetStats(files);
+  EXPECT_EQ(stats.file_count, 37u);
+  EXPECT_EQ(stats.total_nodes, 179689u);
+  EXPECT_EQ(stats.max_fanout, 434u);   // the wide scene
+  EXPECT_EQ(stats.max_depth, 6);       // play/act/scene/speech/line
+}
+
+TEST(ShakespeareTest, ScaleDatasetReplicates) {
+  std::vector<Document> files;
+  files.push_back(GeneratePlay(1, 500));
+  files.push_back(GeneratePlay(2, 600));
+  const auto scaled = ScaleDataset(files, 3);
+  ASSERT_EQ(scaled.size(), 6u);
+  uint64_t total = 0;
+  for (const Document& doc : scaled) total += doc.node_count();
+  EXPECT_EQ(total, 3u * 1100u);
+}
+
+TEST(StatsTest, ComputeStatsOnKnownTree) {
+  Document doc;
+  Node* root = doc.CreateRoot("r");
+  Node* a = doc.CreateElement("a");
+  doc.AppendChild(root, a);
+  doc.AppendChild(root, doc.CreateElement("b"));
+  doc.AppendChild(a, doc.CreateElement("c"));
+  const DocumentStats stats = ComputeStats(doc);
+  EXPECT_EQ(stats.node_count, 4u);
+  EXPECT_EQ(stats.element_count, 4u);
+  EXPECT_EQ(stats.max_fanout, 2u);
+  EXPECT_EQ(stats.max_depth, 3);
+  // Depths: 1 + 2 + 2 + 3 = 8 over 4 nodes.
+  EXPECT_DOUBLE_EQ(stats.avg_depth, 2.0);
+}
+
+}  // namespace
+}  // namespace cdbs::xml

@@ -1,0 +1,107 @@
+#include "core/ordered_keys.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cdbs::core {
+namespace {
+
+TEST(KeyBetweenTest, NullNeighborsActAsSentinels) {
+  const BitString first = KeyBetween(nullptr, nullptr);
+  EXPECT_EQ(first.ToString(), "1");
+  const BitString before = KeyBetween(nullptr, &first);
+  EXPECT_LT(before.Compare(first), 0);
+  const BitString after = KeyBetween(&first, nullptr);
+  EXPECT_GT(after.Compare(first), 0);
+}
+
+TEST(OrderedKeyListTest, EmptyList) {
+  OrderedKeyList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.TotalKeyBits(), 0u);
+  EXPECT_EQ(list.MaxKeyBits(), 0u);
+  EXPECT_TRUE(list.IsStrictlyOrdered());
+}
+
+TEST(OrderedKeyListTest, InitialPopulationIsOrdered) {
+  OrderedKeyList list(18);
+  EXPECT_EQ(list.size(), 18u);
+  EXPECT_TRUE(list.IsStrictlyOrdered());
+  EXPECT_EQ(list.TotalKeyBits(), 64u);  // Table 1 total
+}
+
+TEST(OrderedKeyListTest, InsertAtFront) {
+  OrderedKeyList list(3);
+  const BitString old0 = list.at(0);
+  list.InsertAt(0);
+  EXPECT_EQ(list.size(), 4u);
+  EXPECT_LT(list.at(0).Compare(old0), 0);
+  EXPECT_EQ(list.at(1), old0);  // existing keys untouched
+  EXPECT_TRUE(list.IsStrictlyOrdered());
+}
+
+TEST(OrderedKeyListTest, InsertAtBack) {
+  OrderedKeyList list(3);
+  const BitString old_last = list.at(2);
+  list.InsertAt(3);
+  EXPECT_GT(list.at(3).Compare(old_last), 0);
+  EXPECT_TRUE(list.IsStrictlyOrdered());
+}
+
+TEST(OrderedKeyListTest, InsertInMiddleKeepsNeighbors) {
+  OrderedKeyList list(10);
+  const BitString left = list.at(4);
+  const BitString right = list.at(5);
+  const BitString& mid = list.InsertAt(5);
+  EXPECT_LT(left.Compare(mid), 0);
+  EXPECT_LT(mid.Compare(right), 0);
+  EXPECT_EQ(list.at(4), left);
+  EXPECT_EQ(list.at(6), right);
+}
+
+TEST(OrderedKeyListTest, InsertIntoEmpty) {
+  OrderedKeyList list;
+  list.InsertAt(0);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.at(0).ToString(), "1");
+}
+
+TEST(OrderedKeyListTest, ManyRandomInsertionsStayOrdered) {
+  util::Random rng(1234);
+  OrderedKeyList list(8);
+  for (int i = 0; i < 3000; ++i) {
+    list.InsertAt(rng.Uniform(list.size() + 1));
+  }
+  EXPECT_EQ(list.size(), 3008u);
+  EXPECT_TRUE(list.IsStrictlyOrdered());
+  // Uniform insertions keep keys logarithmic (Section 5.2.2).
+  EXPECT_LE(list.MaxKeyBits(), 48u);
+}
+
+TEST(OrderedKeyListTest, SkewedInsertionGrowsLinearKeys) {
+  OrderedKeyList list(2);
+  for (int i = 0; i < 200; ++i) list.InsertAt(1);
+  EXPECT_TRUE(list.IsStrictlyOrdered());
+  // Cohen et al.'s lower bound: some key must reach O(N) bits.
+  EXPECT_GE(list.MaxKeyBits(), 200u);
+}
+
+TEST(OrderedKeyListTest, ExistingKeysNeverChange) {
+  util::Random rng(5);
+  OrderedKeyList list(20);
+  std::vector<BitString> snapshot;
+  for (size_t i = 0; i < list.size(); ++i) snapshot.push_back(list.at(i));
+  // Insert 500 keys; verify the original 20 keys still appear, unmodified
+  // and in order.
+  for (int i = 0; i < 500; ++i) list.InsertAt(rng.Uniform(list.size() + 1));
+  size_t found = 0;
+  for (size_t i = 0; i < list.size() && found < snapshot.size(); ++i) {
+    if (list.at(i) == snapshot[found]) ++found;
+  }
+  EXPECT_EQ(found, snapshot.size());
+}
+
+}  // namespace
+}  // namespace cdbs::core

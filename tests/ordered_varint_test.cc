@@ -1,0 +1,113 @@
+#include "util/ordered_varint.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cdbs::util {
+namespace {
+
+TEST(OrderedVarintTest, LengthClasses) {
+  EXPECT_EQ(OrderedVarintLength(0), 1u);
+  EXPECT_EQ(OrderedVarintLength(127), 1u);
+  EXPECT_EQ(OrderedVarintLength(128), 2u);
+  EXPECT_EQ(OrderedVarintLength((1 << 11) - 1), 2u);
+  EXPECT_EQ(OrderedVarintLength(1 << 11), 3u);
+  EXPECT_EQ(OrderedVarintLength((1 << 16) - 1), 3u);
+  EXPECT_EQ(OrderedVarintLength(1 << 16), 4u);
+  EXPECT_EQ(OrderedVarintLength((1 << 21) - 1), 4u);
+  EXPECT_EQ(OrderedVarintLength(1 << 21), 5u);
+  EXPECT_EQ(OrderedVarintLength((1 << 26) - 1), 5u);
+  EXPECT_EQ(OrderedVarintLength(1 << 26), 6u);
+  EXPECT_EQ(OrderedVarintLength(kMaxOrderedVarint), 6u);
+}
+
+TEST(OrderedVarintTest, RoundTripBoundaries) {
+  const std::vector<uint64_t> values = {
+      0,         1,         127,        128,        2047,       2048,
+      65535,     65536,     (1 << 21) - 1, 1 << 21, (1 << 26) - 1,
+      1 << 26,   kMaxOrderedVarint};
+  for (const uint64_t v : values) {
+    std::string buf;
+    ASSERT_TRUE(EncodeOrderedVarint(v, &buf).ok()) << v;
+    size_t pos = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(DecodeOrderedVarint(buf, &pos, &decoded).ok()) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(OrderedVarintTest, RejectsOutOfRange) {
+  std::string buf;
+  EXPECT_FALSE(EncodeOrderedVarint(kMaxOrderedVarint + 1, &buf).ok());
+}
+
+TEST(OrderedVarintTest, ByteOrderMatchesNumericOrder) {
+  util::Random rng(31337);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t a = rng.Uniform(kMaxOrderedVarint + 1);
+    const uint64_t b = rng.Uniform(kMaxOrderedVarint + 1);
+    std::string ea;
+    std::string eb;
+    ASSERT_TRUE(EncodeOrderedVarint(a, &ea).ok());
+    ASSERT_TRUE(EncodeOrderedVarint(b, &eb).ok());
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+    EXPECT_EQ(a == b, ea == eb);
+  }
+}
+
+TEST(OrderedVarintTest, SequencesAreSelfDelimiting) {
+  // Concatenated encodings decode back to the original sequence — this is
+  // what lets DeweyID use the encoding as a delimiter-free label format.
+  const std::vector<uint64_t> seq = {1, 5, 127, 128, 70000, 3, 0};
+  std::string buf;
+  for (const uint64_t v : seq) {
+    ASSERT_TRUE(EncodeOrderedVarint(v, &buf).ok());
+  }
+  std::vector<uint64_t> decoded;
+  size_t pos = 0;
+  while (pos < buf.size()) {
+    uint64_t v = 0;
+    ASSERT_TRUE(DecodeOrderedVarint(buf, &pos, &v).ok());
+    decoded.push_back(v);
+  }
+  EXPECT_EQ(decoded, seq);
+}
+
+TEST(OrderedVarintTest, DecodeRejectsTruncated) {
+  std::string buf;
+  ASSERT_TRUE(EncodeOrderedVarint(70000, &buf).ok());
+  buf.pop_back();
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(DecodeOrderedVarint(buf, &pos, &v).ok());
+}
+
+TEST(OrderedVarintTest, DecodeRejectsBadLeadByte) {
+  std::string buf = "\xFF";
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(DecodeOrderedVarint(buf, &pos, &v).ok());
+}
+
+TEST(OrderedVarintTest, DecodeRejectsBadContinuation) {
+  // Lead byte promises 2 bytes; continuation lacks the 10xxxxxx prefix.
+  std::string buf = "\xC2\x41";
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(DecodeOrderedVarint(buf, &pos, &v).ok());
+}
+
+TEST(OrderedVarintTest, DecodeRejectsEmpty) {
+  std::string buf;
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(DecodeOrderedVarint(buf, &pos, &v).ok());
+}
+
+}  // namespace
+}  // namespace cdbs::util

@@ -1,0 +1,135 @@
+// Dewey, CDBS-Prefix and QED-Prefix specifics (cross-scheme conformance is
+// covered by labeling_schemes_test).
+
+#include <gtest/gtest.h>
+
+#include "labeling/dewey.h"
+#include "labeling/prefix.h"
+#include "xml/parser.h"
+#include "xml/shakespeare.h"
+
+namespace cdbs::labeling {
+namespace {
+
+xml::Document FourChildren() {
+  auto parsed = xml::ParseXml("<root><a/><b/><c/><d/></root>");
+  EXPECT_TRUE(parsed.ok());
+  return std::move(parsed).value();
+}
+
+TEST(DeweyTest, InsertionRelabelsFollowingSiblingsAndDescendants) {
+  // root(a(x,y), b(z), c) — insert before b: b and c and b's child re-label.
+  auto parsed = xml::ParseXml("<root><a><x/><y/></a><b><z/></b><c/></root>");
+  ASSERT_TRUE(parsed.ok());
+  auto labeling = MakeDeweyPrefix()->Label(*parsed);
+  // ids: root=0 a=1 x=2 y=3 b=4 z=5 c=6
+  const InsertResult result = labeling->InsertSiblingBefore(4);
+  EXPECT_EQ(result.relabeled, 3u);  // b, z, c
+  // Order still consistent afterwards.
+  EXPECT_LT(labeling->CompareOrder(1, result.new_node), 0);
+  EXPECT_LT(labeling->CompareOrder(result.new_node, 4), 0);
+  EXPECT_LT(labeling->CompareOrder(4, 6), 0);
+  EXPECT_TRUE(labeling->IsParent(4, 5));
+}
+
+TEST(DeweyTest, InsertAtEndRelabelsNothing) {
+  auto labeling = MakeDeweyPrefix()->Label(FourChildren());
+  const InsertResult result = labeling->InsertSiblingAfter(4);  // after d
+  EXPECT_EQ(result.relabeled, 0u);
+  EXPECT_GT(labeling->CompareOrder(result.new_node, 4), 0);
+}
+
+TEST(DeweyTest, Utf8SizingCountsVarintBytes) {
+  // Root "1" = 1 byte; children "1.k" = 2 bytes each: total bits =
+  // 8 * (1 + 4*2).
+  auto labeling = MakeDeweyPrefix()->Label(FourChildren());
+  EXPECT_EQ(labeling->TotalLabelBits(), 8u * 9u);
+}
+
+TEST(DeweyTest, GammaSizingSmallerForTinyOrdinalsButGrows) {
+  auto labeling = MakeBinaryStringPrefix()->Label(FourChildren());
+  // gamma(1)=1, gamma(2)=gamma(3)=3, gamma(4)=5. Labels: root=1, a=1+1,
+  // b=1+3, c=1+3, d=1+5 -> 17 bits total.
+  EXPECT_EQ(labeling->TotalLabelBits(), 17u);
+}
+
+TEST(CdbsPrefixTest, Example51SelfLabels) {
+  // Example 5.1: four children encode as "001", "01", "1", "11".
+  auto labeling = MakeCdbsPrefix()->Label(FourChildren());
+  // Verify through document order + sizes: 3+2+1+2 self bits plus root.
+  EXPECT_TRUE(labeling->IsParent(0, 1));
+  EXPECT_LT(labeling->CompareOrder(1, 2), 0);
+  EXPECT_LT(labeling->CompareOrder(2, 3), 0);
+  EXPECT_LT(labeling->CompareOrder(3, 4), 0);
+}
+
+TEST(CdbsPrefixTest, InsertSiblingUsesAlgorithm1) {
+  // Section 5.2.1: inserting a sibling before "01.01" yields self "001".
+  auto parsed = xml::ParseXml("<r><p><q1/><q2/></p></r>");
+  ASSERT_TRUE(parsed.ok());
+  auto labeling = MakeCdbsPrefix()->Label(*parsed);
+  // ids: r=0 p=1 q1=2 q2=3. Insert before q1 (self "01" in a 2-group).
+  const InsertResult result = labeling->InsertSiblingBefore(2);
+  EXPECT_EQ(result.relabeled, 0u);
+  EXPECT_EQ(result.neighbor_bits_modified, 1u);
+  EXPECT_LT(labeling->CompareOrder(result.new_node, 2), 0);
+  EXPECT_GT(labeling->CompareOrder(result.new_node, 1), 0);
+  EXPECT_TRUE(labeling->IsParent(1, result.new_node));
+}
+
+TEST(CdbsPrefixTest, OverflowTriggersFullRelabel) {
+  auto labeling = MakeCdbsPrefix()->Label(FourChildren());
+  NodeId target = 2;
+  bool overflowed = false;
+  for (int i = 0; i < 64 && !overflowed; ++i) {
+    const InsertResult result = labeling->InsertSiblingBefore(target);
+    target = result.new_node;
+    if (result.overflow) {
+      overflowed = true;
+      EXPECT_GT(result.relabeled, 0u);
+    }
+  }
+  EXPECT_TRUE(overflowed);
+  // Still consistent after the re-encode.
+  EXPECT_TRUE(labeling->IsParent(0, target));
+  EXPECT_LT(labeling->CompareOrder(1, target), 0);
+}
+
+TEST(QedPrefixTest, NeverOverflows) {
+  auto labeling = MakeQedPrefix()->Label(FourChildren());
+  NodeId target = 2;
+  for (int i = 0; i < 500; ++i) {
+    const InsertResult result = labeling->InsertSiblingBefore(target);
+    ASSERT_EQ(result.relabeled, 0u);
+    ASSERT_FALSE(result.overflow);
+    ASSERT_EQ(result.neighbor_bits_modified, 2u);
+    target = result.new_node;
+  }
+  EXPECT_LT(labeling->CompareOrder(1, target), 0);
+  EXPECT_LT(labeling->CompareOrder(target, 2), 0);
+}
+
+TEST(PrefixSizeTest, QedPrefixSmallerThanOrdPathOnRealisticTree) {
+  // Figure 5's prefix-scheme ordering: QED-Prefix < OrdPath1 < OrdPath2.
+  const xml::Document play = xml::GeneratePlay(77, 2000);
+  auto qed = MakeQedPrefix()->Label(play);
+  auto dewey = MakeDeweyPrefix()->Label(play);
+  EXPECT_LT(qed->TotalLabelBits(), dewey->TotalLabelBits());
+}
+
+TEST(PrefixSizeTest, DeepTreesGrowLabelsLinearly) {
+  // A chain of depth 40: prefix labels accumulate one self per level.
+  std::string xml;
+  for (int i = 0; i < 40; ++i) xml += "<n" + std::to_string(i) + ">";
+  for (int i = 39; i >= 0; --i) xml += "</n" + std::to_string(i) + ">";
+  auto parsed = xml::ParseXml(xml);
+  ASSERT_TRUE(parsed.ok());
+  auto labeling = MakeQedPrefix()->Label(*parsed);
+  EXPECT_EQ(labeling->Level(39), 40);
+  EXPECT_TRUE(labeling->IsAncestor(0, 39));
+  EXPECT_TRUE(labeling->IsParent(38, 39));
+  EXPECT_FALSE(labeling->IsParent(37, 39));
+}
+
+}  // namespace
+}  // namespace cdbs::labeling

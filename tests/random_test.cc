@@ -1,0 +1,95 @@
+#include "util/random.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cdbs::util {
+namespace {
+
+TEST(RandomTest, DeterministicForEqualSeeds) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, UniformStaysInBounds) {
+  Random rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    EXPECT_LT(rng.Uniform(1), 1u);
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(10);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo = saw_lo || v == 5;
+    saw_hi = saw_hi || v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.UniformRange(3, 3), 3u);
+}
+
+TEST(RandomTest, UniformCoversAllResidues) {
+  Random rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Uniform(10)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);  // each bucket near 1000
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(12);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RandomTest, BernoulliRespectsProbability) {
+  Random rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 10000, 0.25, 0.03);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RandomTest, SkewedStaysInBoundsAndSkewsSmall) {
+  Random rng(14);
+  uint64_t below_half = 0;
+  const uint64_t bound = 1000;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.Skewed(bound);
+    EXPECT_LT(v, bound);
+    if (v < bound / 2) ++below_half;
+  }
+  // Skewed towards small values: well over half below the midpoint.
+  EXPECT_GT(below_half, 6000u);
+}
+
+}  // namespace
+}  // namespace cdbs::util

@@ -1,0 +1,125 @@
+#include "query/structural_join.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "labeling/registry.h"
+#include "query/evaluator.h"
+#include "xml/parser.h"
+#include "xml/shakespeare.h"
+
+namespace cdbs::query {
+namespace {
+
+std::unique_ptr<LabeledDocument> Label(const xml::Document& doc,
+                                       const std::string& scheme) {
+  return std::make_unique<LabeledDocument>(
+      doc, *labeling::SchemeByName(scheme));
+}
+
+TEST(StructuralJoinStepTest, DescendantAxisBasics) {
+  auto parsed = xml::ParseXml("<a><b><c/><c/></b><c/><d><b><c/></b></d></a>");
+  ASSERT_TRUE(parsed.ok());
+  auto doc = Label(*parsed, "V-CDBS-Containment");
+  // ids: a=0 b=1 c=2 c=3 c=4 d=5 b=6 c=7
+  const auto result = StructuralJoinStep(
+      doc->labeling(), doc->WithTag("b"), doc->WithTag("c"),
+      Axis::kDescendant);
+  EXPECT_EQ(result, (std::vector<NodeId>{2, 3, 7}));
+}
+
+TEST(StructuralJoinStepTest, ChildAxisChecksParentOnly) {
+  auto parsed = xml::ParseXml("<a><b><x><c/></x><c/></b></a>");
+  ASSERT_TRUE(parsed.ok());
+  auto doc = Label(*parsed, "V-CDBS-Containment");
+  // ids: a=0 b=1 x=2 c=3 c=4; only c=4 is a *child* of b.
+  const auto result = StructuralJoinStep(
+      doc->labeling(), doc->WithTag("b"), doc->WithTag("c"), Axis::kChild);
+  EXPECT_EQ(result, (std::vector<NodeId>{4}));
+}
+
+TEST(StructuralJoinStepTest, EmptyInputs) {
+  auto parsed = xml::ParseXml("<a><b/></a>");
+  ASSERT_TRUE(parsed.ok());
+  auto doc = Label(*parsed, "V-CDBS-Containment");
+  EXPECT_TRUE(StructuralJoinStep(doc->labeling(), {}, doc->WithTag("b"),
+                                 Axis::kChild)
+                  .empty());
+  EXPECT_TRUE(StructuralJoinStep(doc->labeling(), doc->WithTag("a"), {},
+                                 Axis::kChild)
+                  .empty());
+}
+
+TEST(StructuralJoinStepTest, NestedAncestorsNoDuplicates) {
+  // Both the outer and inner "s" contain the "line"s; each line must be
+  // reported once.
+  auto parsed = xml::ParseXml("<r><s><s><line/><line/></s></s></r>");
+  ASSERT_TRUE(parsed.ok());
+  auto doc = Label(*parsed, "V-CDBS-Containment");
+  const auto result = StructuralJoinStep(
+      doc->labeling(), doc->WithTag("s"), doc->WithTag("line"),
+      Axis::kDescendant);
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(LinearPathTest, Classification) {
+  EXPECT_TRUE(IsLinearPathQuery(*ParseQuery("/play/act/scene")));
+  EXPECT_TRUE(IsLinearPathQuery(*ParseQuery("//act//line")));
+  EXPECT_TRUE(IsLinearPathQuery(*ParseQuery("/play/*//line")));
+  EXPECT_FALSE(IsLinearPathQuery(*ParseQuery("/play/act[2]")));
+  EXPECT_FALSE(IsLinearPathQuery(*ParseQuery("/play/personae[./title]")));
+  EXPECT_FALSE(
+      IsLinearPathQuery(*ParseQuery("//act/following::speaker")));
+}
+
+// The two evaluation strategies must agree on every linear query under
+// every scheme.
+class JoinParityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(JoinParityTest, JoinsMatchNavigationOnGeneratedPlay) {
+  const xml::Document play = xml::GeneratePlay(13, 2500);
+  auto doc = Label(play, GetParam());
+  for (const char* text :
+       {"/play/act", "/play/act/scene", "//speech", "//scene/speech",
+        "//act//line", "/play/*//line", "//speech/speaker", "//nomatch",
+        "/play//scene//line"}) {
+    auto query = ParseQuery(text);
+    ASSERT_TRUE(query.ok());
+    ASSERT_TRUE(IsLinearPathQuery(*query)) << text;
+    const auto nav = EvaluateQuery(*query, *doc);
+    const auto join = EvaluateWithStructuralJoins(*query, *doc);
+    EXPECT_EQ(join, nav) << GetParam() << " on " << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, JoinParityTest,
+                         ::testing::Values("V-CDBS-Containment",
+                                           "F-Binary-Containment",
+                                           "QED-Prefix", "OrdPath1-Prefix",
+                                           "DeweyID(UTF8)-Prefix"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(JoinPipelineTest, RootStepHandling) {
+  auto parsed = xml::ParseXml("<play><act/><act/></play>");
+  ASSERT_TRUE(parsed.ok());
+  auto doc = Label(*parsed, "V-CDBS-Containment");
+  EXPECT_EQ(EvaluateWithStructuralJoins(*ParseQuery("/play/act"), *doc).size(),
+            2u);
+  EXPECT_EQ(EvaluateWithStructuralJoins(*ParseQuery("/other/act"), *doc).size(),
+            0u);
+  EXPECT_EQ(EvaluateWithStructuralJoins(*ParseQuery("/*"), *doc).size(), 1u);
+}
+
+}  // namespace
+}  // namespace cdbs::query

@@ -1,0 +1,280 @@
+#include "engine/xml_db.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/shakespeare.h"
+
+namespace cdbs::engine {
+namespace {
+
+constexpr char kDoc[] = "<library><shelf><book/><book/></shelf><desk/></library>";
+
+TEST(XmlDbTest, OpenFromXmlAndQuery) {
+  auto db = XmlDb::OpenFromXml(kDoc, {});
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto count = (*db)->Count("/library/shelf/book");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2u);
+  EXPECT_EQ(*(*db)->Count("//book"), 2u);
+  EXPECT_EQ(*(*db)->Count("/library/*"), 2u);
+}
+
+TEST(XmlDbTest, OpenRejectsBadXml) {
+  EXPECT_FALSE(XmlDb::OpenFromXml("<broken>", {}).ok());
+  EXPECT_FALSE(XmlDb::OpenFromXml("", {}).ok());
+}
+
+TEST(XmlDbTest, OpenRejectsEmptyDocument) {
+  xml::Document empty;
+  EXPECT_FALSE(XmlDb::Open(std::move(empty), {}).ok());
+}
+
+TEST(XmlDbTest, QueryRejectsBadXPath) {
+  auto db = XmlDb::OpenFromXml(kDoc, {});
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE((*db)->Query("not-a-path").ok());
+}
+
+TEST(XmlDbTest, QueryOne) {
+  auto db = XmlDb::OpenFromXml(kDoc, {});
+  ASSERT_TRUE(db.ok());
+  auto shelf = (*db)->QueryOne("/library/shelf");
+  ASSERT_TRUE(shelf.ok());
+  EXPECT_EQ((*db)->TagOf(*shelf), "shelf");
+  EXPECT_EQ((*db)->QueryOne("//nothing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ((*db)->QueryOne("//book").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(XmlDbTest, InsertBeforeShowsUpInQueriesAndXml) {
+  auto db = XmlDb::OpenFromXml(kDoc, {});
+  ASSERT_TRUE(db.ok());
+  auto desk = (*db)->QueryOne("/library/desk");
+  ASSERT_TRUE(desk.ok());
+  auto inserted = (*db)->InsertElementBefore(*desk, "lamp");
+  ASSERT_TRUE(inserted.ok()) << inserted.status();
+  EXPECT_EQ(*(*db)->Count("/library/lamp"), 1u);
+  EXPECT_EQ(*(*db)->Count("/library/*"), 3u);
+  // Order: shelf < lamp < desk.
+  auto shelf = (*db)->QueryOne("/library/shelf");
+  ASSERT_TRUE(shelf.ok());
+  EXPECT_LT((*db)->CompareOrder(*shelf, *inserted), 0);
+  EXPECT_LT((*db)->CompareOrder(*inserted, *desk), 0);
+  // The serialized tree reflects the insertion at the right position.
+  EXPECT_EQ((*db)->ToXml(),
+            "<library><shelf><book/><book/></shelf><lamp/><desk/></library>");
+}
+
+TEST(XmlDbTest, InsertAfterLastChild) {
+  auto db = XmlDb::OpenFromXml(kDoc, {});
+  ASSERT_TRUE(db.ok());
+  auto desk = (*db)->QueryOne("/library/desk");
+  ASSERT_TRUE(desk.ok());
+  auto chair = (*db)->InsertElementAfter(*desk, "chair");
+  ASSERT_TRUE(chair.ok());
+  EXPECT_EQ((*db)->ToXml(),
+            "<library><shelf><book/><book/></shelf><desk/><chair/></library>");
+  EXPECT_GT((*db)->CompareOrder(*chair, *desk), 0);
+}
+
+TEST(XmlDbTest, InsertRejectsRootAndBadIds) {
+  auto db = XmlDb::OpenFromXml(kDoc, {});
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->InsertElementBefore(0, "x").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*db)->InsertElementBefore(999, "x").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(XmlDbTest, IntermittentInsertionsNoRelabelingWithCdbs) {
+  auto db = XmlDb::OpenFromXml(kDoc, {});  // V-CDBS-Containment default
+  ASSERT_TRUE(db.ok());
+  // A handful of insertions spread across the document: zero re-labels.
+  auto desk = (*db)->QueryOne("/library/desk");
+  ASSERT_TRUE(desk.ok());
+  ASSERT_TRUE((*db)->InsertElementBefore(*desk, "note").ok());
+  auto shelf = (*db)->QueryOne("/library/shelf");
+  ASSERT_TRUE(shelf.ok());
+  ASSERT_TRUE((*db)->InsertElementBefore(*shelf, "sign").ok());
+  auto book = (*db)->Query("/library/shelf/book");
+  ASSERT_TRUE(book.ok());
+  ASSERT_TRUE((*db)->InsertElementAfter((*book)[1], "bookmark").ok());
+  const XmlDbStats stats = (*db)->Stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.node_count, 8u);
+  EXPECT_EQ(stats.relabeled_total, 0u);  // the CDBS guarantee
+  EXPECT_EQ(stats.overflow_events, 0u);
+}
+
+TEST(XmlDbTest, SkewedInsertionsOverflowButStayCorrect) {
+  // On a tiny document the V-CDBS length field is small, so sustained
+  // fixed-place insertion overflows (Example 6.1). The database must absorb
+  // the re-encode and keep answering correctly.
+  auto db = XmlDb::OpenFromXml(kDoc, {});
+  ASSERT_TRUE(db.ok());
+  auto target = (*db)->QueryOne("/library/desk");
+  ASSERT_TRUE(target.ok());
+  NodeId t = *target;
+  for (int i = 0; i < 20; ++i) {
+    auto inserted = (*db)->InsertElementBefore(t, "note");
+    ASSERT_TRUE(inserted.ok());
+    t = *inserted;
+  }
+  const XmlDbStats stats = (*db)->Stats();
+  EXPECT_EQ(stats.insertions, 20u);
+  EXPECT_EQ(stats.node_count, 25u);
+  EXPECT_GT(stats.overflow_events, 0u);
+  EXPECT_EQ(*(*db)->Count("/library/note"), 20u);
+  EXPECT_EQ(*(*db)->Count("/library/*"), 22u);
+}
+
+TEST(XmlDbTest, BinarySchemeRelabelsOnInsert) {
+  XmlDbOptions options;
+  options.scheme_name = "V-Binary-Containment";
+  auto db = XmlDb::OpenFromXml(kDoc, options);
+  ASSERT_TRUE(db.ok());
+  auto desk = (*db)->QueryOne("/library/desk");
+  ASSERT_TRUE(desk.ok());
+  ASSERT_TRUE((*db)->InsertElementBefore(*desk, "lamp").ok());
+  EXPECT_GT((*db)->Stats().relabeled_total, 0u);
+  // Queries stay correct after the re-label.
+  EXPECT_EQ(*(*db)->Count("/library/*"), 3u);
+}
+
+class XmlDbPersistenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(XmlDbPersistenceTest, UpdatesFlowToStore) {
+  XmlDbOptions options;
+  options.scheme_name = GetParam();
+  options.storage_path = ::testing::TempDir() + "/xml_db_" +
+                         std::to_string(::getpid()) + "_" +
+                         std::to_string(reinterpret_cast<uintptr_t>(this)) +
+                         ".db";
+  auto db = XmlDb::OpenFromXml(kDoc, options);
+  ASSERT_TRUE(db.ok()) << db.status();
+  const uint64_t writes_initial = (*db)->Stats().store_page_writes;
+  EXPECT_GT(writes_initial, 0u);  // the bulk load
+  auto desk = (*db)->QueryOne("/library/desk");
+  ASSERT_TRUE(desk.ok());
+  ASSERT_TRUE((*db)->InsertElementBefore(*desk, "lamp").ok());
+  EXPECT_GT((*db)->Stats().store_page_writes, writes_initial);
+  EXPECT_EQ(*(*db)->Count("/library/lamp"), 1u);
+  std::remove(options.storage_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, XmlDbPersistenceTest,
+    ::testing::Values("V-CDBS-Containment", "V-Binary-Containment",
+                      "QED-Prefix", "DeweyID(UTF8)-Prefix", "Prime",
+                      "Float-point-Containment"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(XmlDbTest, DeleteElementRemovesSubtree) {
+  auto db = XmlDb::OpenFromXml(kDoc, {});
+  ASSERT_TRUE(db.ok());
+  auto shelf = (*db)->QueryOne("/library/shelf");
+  ASSERT_TRUE(shelf.ok());
+  auto removed = (*db)->DeleteElement(*shelf);
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_EQ(*removed, 3u);  // shelf + 2 books
+  EXPECT_EQ(*(*db)->Count("//book"), 0u);
+  EXPECT_EQ(*(*db)->Count("/library/*"), 1u);
+  EXPECT_EQ((*db)->ToXml(), "<library><desk/></library>");
+  EXPECT_EQ((*db)->Stats().deletions, 3u);
+}
+
+TEST(XmlDbTest, DeleteThenInsertReusesTheGap) {
+  auto db = XmlDb::OpenFromXml(kDoc, {});
+  ASSERT_TRUE(db.ok());
+  auto shelf = (*db)->QueryOne("/library/shelf");
+  ASSERT_TRUE(shelf.ok());
+  ASSERT_TRUE((*db)->DeleteElement(*shelf).ok());
+  auto desk = (*db)->QueryOne("/library/desk");
+  ASSERT_TRUE(desk.ok());
+  auto cabinet = (*db)->InsertElementBefore(*desk, "cabinet");
+  ASSERT_TRUE(cabinet.ok());
+  EXPECT_EQ((*db)->ToXml(), "<library><cabinet/><desk/></library>");
+  EXPECT_LT((*db)->CompareOrder(*cabinet, *desk), 0);
+}
+
+TEST(XmlDbTest, DeleteRejectsRootAndDoubleDelete) {
+  auto db = XmlDb::OpenFromXml(kDoc, {});
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->DeleteElement(0).status().code(),
+            StatusCode::kInvalidArgument);
+  auto shelf = (*db)->QueryOne("/library/shelf");
+  ASSERT_TRUE(shelf.ok());
+  ASSERT_TRUE((*db)->DeleteElement(*shelf).ok());
+  EXPECT_EQ((*db)->DeleteElement(*shelf).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(XmlDbTest, PrimeDeleteRecomputesScValues) {
+  XmlDbOptions options;
+  options.scheme_name = "Prime";
+  auto db = XmlDb::OpenFromXml(kDoc, options);
+  ASSERT_TRUE(db.ok());
+  auto shelf = (*db)->QueryOne("/library/shelf");
+  ASSERT_TRUE(shelf.ok());
+  ASSERT_TRUE((*db)->DeleteElement(*shelf).ok());
+  // Orders shifted, so SC values were recomputed.
+  EXPECT_GT((*db)->Stats().relabeled_total, 0u);
+  EXPECT_EQ(*(*db)->Count("/library/*"), 1u);
+}
+
+TEST(XmlDbTest, StoreFileIsReopenableAndComplete) {
+  XmlDbOptions options;
+  options.storage_path = ::testing::TempDir() + "/xml_db_reopen_" +
+                         std::to_string(::getpid()) + ".db";
+  {
+    auto db = XmlDb::OpenFromXml(kDoc, options);
+    ASSERT_TRUE(db.ok());
+    auto desk = (*db)->QueryOne("/library/desk");
+    ASSERT_TRUE(desk.ok());
+    ASSERT_TRUE((*db)->InsertElementBefore(*desk, "lamp").ok());
+  }
+  // The store on disk is a valid label store holding one record per node.
+  cdbs::storage::LabelStore store;
+  ASSERT_TRUE(store.OpenExisting(options.storage_path).ok());
+  EXPECT_EQ(store.size(), 6u);  // 5 original + 1 inserted
+  std::string record;
+  for (size_t i = 0; i < store.size(); ++i) {
+    ASSERT_TRUE(store.Read(i, &record).ok()) << i;
+    EXPECT_FALSE(record.empty()) << i;
+  }
+  std::remove(options.storage_path.c_str());
+}
+
+TEST(XmlDbTest, WorksOnGeneratedPlay) {
+  xml::Document play = xml::GeneratePlay(3, 2000);
+  auto db = XmlDb::Open(std::move(play), {});
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(*(*db)->Count("/play/act"), 5u);
+  auto act2 = (*db)->QueryOne("/play/act[2]");
+  ASSERT_TRUE(act2.ok());
+  auto inserted = (*db)->InsertElementBefore(*act2, "interlude");
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ(*(*db)->Count("/play/interlude"), 1u);
+  EXPECT_EQ(*(*db)->Count("/play/act"), 5u);
+  // The interlude sits between act 1 and act 2 in document order.
+  auto act1 = (*db)->QueryOne("/play/act[1]");
+  ASSERT_TRUE(act1.ok());
+  EXPECT_LT((*db)->CompareOrder(*act1, *inserted), 0);
+  EXPECT_LT((*db)->CompareOrder(*inserted, *act2), 0);
+}
+
+}  // namespace
+}  // namespace cdbs::engine

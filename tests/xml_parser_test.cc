@@ -1,0 +1,160 @@
+#include "xml/parser.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "xml/writer.h"
+
+namespace cdbs::xml {
+namespace {
+
+TEST(ParserTest, MinimalDocument) {
+  auto result = ParseXml("<root/>");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->root()->name(), "root");
+  EXPECT_EQ(result->node_count(), 1u);
+}
+
+TEST(ParserTest, NestedElements) {
+  auto result = ParseXml("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(result.ok());
+  const Node* a = result->root();
+  ASSERT_EQ(a->child_count(), 2u);
+  EXPECT_EQ(a->child(0)->name(), "b");
+  EXPECT_EQ(a->child(0)->child(0)->name(), "c");
+  EXPECT_EQ(a->child(1)->name(), "d");
+}
+
+TEST(ParserTest, TextContent) {
+  auto result = ParseXml("<p>hello world</p>");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->root()->child_count(), 1u);
+  EXPECT_TRUE(result->root()->child(0)->is_text());
+  EXPECT_EQ(result->root()->child(0)->text(), "hello world");
+}
+
+TEST(ParserTest, MixedContent) {
+  auto result = ParseXml("<p>one<b>two</b>three</p>");
+  ASSERT_TRUE(result.ok());
+  const Node* p = result->root();
+  ASSERT_EQ(p->child_count(), 3u);
+  EXPECT_EQ(p->child(0)->text(), "one");
+  EXPECT_EQ(p->child(1)->name(), "b");
+  EXPECT_EQ(p->child(2)->text(), "three");
+}
+
+TEST(ParserTest, WhitespaceTextIgnoredByDefault) {
+  auto result = ParseXml("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root()->child_count(), 2u);
+}
+
+TEST(ParserTest, WhitespaceTextKeptWhenRequested) {
+  ParseOptions options;
+  options.ignore_whitespace_text = false;
+  auto result = ParseXml("<a> <b/> </a>", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root()->child_count(), 3u);
+}
+
+TEST(ParserTest, Attributes) {
+  auto result = ParseXml("<a id=\"1\" name='x y'/>");
+  ASSERT_TRUE(result.ok());
+  const auto& attrs = result->root()->attributes();
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].first, "id");
+  EXPECT_EQ(attrs[0].second, "1");
+  EXPECT_EQ(attrs[1].first, "name");
+  EXPECT_EQ(attrs[1].second, "x y");
+}
+
+TEST(ParserTest, EntitiesInTextAndAttributes) {
+  auto result = ParseXml("<a t=\"&lt;&amp;&gt;\">&quot;q&apos;</a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root()->attributes()[0].second, "<&>");
+  EXPECT_EQ(result->root()->child(0)->text(), "\"q'");
+}
+
+TEST(ParserTest, NumericCharacterReference) {
+  auto result = ParseXml("<a>&#65;&#x42;</a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root()->child(0)->text(), "AB");
+}
+
+TEST(ParserTest, CommentsSkipped) {
+  auto result = ParseXml("<!-- head --><a><!-- inner --><b/></a><!-- tail -->");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root()->child_count(), 1u);
+}
+
+TEST(ParserTest, DeclarationAndDoctypeSkipped) {
+  auto result = ParseXml(
+      "<?xml version=\"1.0\"?><!DOCTYPE play SYSTEM \"play.dtd\"><play/>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root()->name(), "play");
+}
+
+TEST(ParserTest, Cdata) {
+  auto result = ParseXml("<a><![CDATA[<not-a-tag/>]]></a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root()->child(0)->text(), "<not-a-tag/>");
+}
+
+TEST(ParserTest, RejectsMismatchedTags) {
+  auto result = ParseXml("<a><b></a></b>");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ParserTest, RejectsUnterminatedElement) {
+  EXPECT_FALSE(ParseXml("<a><b>").ok());
+}
+
+TEST(ParserTest, RejectsGarbageAfterRoot) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+}
+
+TEST(ParserTest, RejectsEmptyInput) { EXPECT_FALSE(ParseXml("").ok()); }
+
+TEST(ParserTest, RejectsUnknownEntity) {
+  EXPECT_FALSE(ParseXml("<a>&bogus;</a>").ok());
+}
+
+TEST(ParserTest, RejectsUnquotedAttribute) {
+  EXPECT_FALSE(ParseXml("<a id=1/>").ok());
+}
+
+TEST(ParserTest, ErrorMessageCarriesLocation) {
+  auto result = ParseXml("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status();
+}
+
+TEST(ParserRoundTripTest, WriteThenParsePreservesStructure) {
+  const char* input =
+      "<play><title>Hamlet</title><act n=\"1\"><scene><speech>"
+      "<speaker>HAMLET</speaker><line>To be or not to be</line>"
+      "</speech></scene></act></play>";
+  auto first = ParseXml(input);
+  ASSERT_TRUE(first.ok());
+  const std::string serialized = WriteXml(*first);
+  auto second = ParseXml(serialized);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->node_count(), first->node_count());
+  EXPECT_EQ(WriteXml(*second), serialized);
+}
+
+TEST(ParserRoundTripTest, EscapingRoundTrips) {
+  Document doc;
+  Node* root = doc.CreateRoot("r");
+  doc.AppendChild(root, doc.CreateText("a < b & c > d \"quoted\""));
+  const std::string xml = WriteXml(doc);
+  auto parsed = ParseXml(xml);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->root()->child(0)->text(), "a < b & c > d \"quoted\"");
+}
+
+}  // namespace
+}  // namespace cdbs::xml

@@ -1,0 +1,82 @@
+#include "xml/writer.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace cdbs::xml {
+namespace {
+
+Document Build() {
+  Document doc;
+  Node* root = doc.CreateRoot("play");
+  root->SetAttribute("year", "1603");
+  Node* title = doc.CreateElement("title");
+  doc.AppendChild(root, title);
+  doc.AppendChild(title, doc.CreateText("Hamlet"));
+  Node* act = doc.CreateElement("act");
+  doc.AppendChild(root, act);
+  doc.AppendChild(act, doc.CreateElement("scene"));
+  return doc;
+}
+
+TEST(WriterTest, CompactOutput) {
+  const Document doc = Build();
+  EXPECT_EQ(WriteXml(doc),
+            "<play year=\"1603\"><title>Hamlet</title>"
+            "<act><scene/></act></play>");
+}
+
+TEST(WriterTest, PrettyOutputHasIndentation) {
+  const Document doc = Build();
+  WriteOptions options;
+  options.pretty = true;
+  const std::string out = WriteXml(doc, options);
+  EXPECT_NE(out.find("<play year=\"1603\">\n"), std::string::npos);
+  EXPECT_NE(out.find("  <title>\n"), std::string::npos);
+  EXPECT_NE(out.find("    Hamlet\n"), std::string::npos);
+  // Pretty output re-parses to the same structure.
+  auto parsed = ParseXml(out);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->node_count(), doc.node_count());
+}
+
+TEST(WriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(EscapeText("a<b&c>d\"e'f"),
+            "a&lt;b&amp;c&gt;d&quot;e&apos;f");
+  EXPECT_EQ(EscapeText("plain"), "plain");
+  EXPECT_EQ(EscapeText(""), "");
+}
+
+TEST(WriterTest, EmptyDocumentWritesNothing) {
+  Document doc;
+  EXPECT_EQ(WriteXml(doc), "");
+}
+
+TEST(WriterTest, SelfClosingForChildlessElements) {
+  Document doc;
+  doc.CreateRoot("empty");
+  EXPECT_EQ(WriteXml(doc), "<empty/>");
+}
+
+TEST(WriterTest, WriteXmlFileRoundTrip) {
+  const Document doc = Build();
+  const std::string path = ::testing::TempDir() + "/writer_test.xml";
+  ASSERT_TRUE(WriteXmlFile(doc, path).ok());
+  auto parsed = ParseXmlFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(WriteXml(*parsed), WriteXml(doc));
+  std::remove(path.c_str());
+}
+
+TEST(WriterTest, WriteXmlFileFailsOnBadPath) {
+  const Document doc = Build();
+  EXPECT_EQ(WriteXmlFile(doc, "/nonexistent/dir/out.xml").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cdbs::xml
