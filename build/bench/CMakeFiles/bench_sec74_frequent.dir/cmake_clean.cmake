@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec74_frequent.dir/bench_sec74_frequent.cc.o"
+  "CMakeFiles/bench_sec74_frequent.dir/bench_sec74_frequent.cc.o.d"
+  "bench_sec74_frequent"
+  "bench_sec74_frequent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec74_frequent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

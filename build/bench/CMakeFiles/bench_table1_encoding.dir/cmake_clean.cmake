@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_encoding.dir/bench_table1_encoding.cc.o"
+  "CMakeFiles/bench_table1_encoding.dir/bench_table1_encoding.cc.o.d"
+  "bench_table1_encoding"
+  "bench_table1_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_relabel.dir/bench_table4_relabel.cc.o"
+  "CMakeFiles/bench_table4_relabel.dir/bench_table4_relabel.cc.o.d"
+  "bench_table4_relabel"
+  "bench_table4_relabel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_relabel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

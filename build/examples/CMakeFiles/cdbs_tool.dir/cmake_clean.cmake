@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbs_tool.dir/cdbs_tool.cpp.o"
+  "CMakeFiles/cdbs_tool.dir/cdbs_tool.cpp.o.d"
+  "cdbs_tool"
+  "cdbs_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbs_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

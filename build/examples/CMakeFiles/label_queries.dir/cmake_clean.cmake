@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_queries.dir/label_queries.cpp.o"
+  "CMakeFiles/label_queries.dir/label_queries.cpp.o.d"
+  "label_queries"
+  "label_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

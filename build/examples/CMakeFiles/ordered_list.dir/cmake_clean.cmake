@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_list.dir/ordered_list.cpp.o"
+  "CMakeFiles/ordered_list.dir/ordered_list.cpp.o.d"
+  "ordered_list"
+  "ordered_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

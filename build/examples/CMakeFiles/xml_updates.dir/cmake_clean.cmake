@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_updates.dir/xml_updates.cpp.o"
+  "CMakeFiles/xml_updates.dir/xml_updates.cpp.o.d"
+  "xml_updates"
+  "xml_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigint/bigint.cc" "src/CMakeFiles/cdbs.dir/bigint/bigint.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/bigint/bigint.cc.o.d"
+  "/root/repo/src/core/binary_codec.cc" "src/CMakeFiles/cdbs.dir/core/binary_codec.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/core/binary_codec.cc.o.d"
+  "/root/repo/src/core/bit_string.cc" "src/CMakeFiles/cdbs.dir/core/bit_string.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/core/bit_string.cc.o.d"
+  "/root/repo/src/core/cdbs.cc" "src/CMakeFiles/cdbs.dir/core/cdbs.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/core/cdbs.cc.o.d"
+  "/root/repo/src/core/ordered_keys.cc" "src/CMakeFiles/cdbs.dir/core/ordered_keys.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/core/ordered_keys.cc.o.d"
+  "/root/repo/src/core/qed.cc" "src/CMakeFiles/cdbs.dir/core/qed.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/core/qed.cc.o.d"
+  "/root/repo/src/engine/corpus.cc" "src/CMakeFiles/cdbs.dir/engine/corpus.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/engine/corpus.cc.o.d"
+  "/root/repo/src/engine/xml_db.cc" "src/CMakeFiles/cdbs.dir/engine/xml_db.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/engine/xml_db.cc.o.d"
+  "/root/repo/src/labeling/containment.cc" "src/CMakeFiles/cdbs.dir/labeling/containment.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/labeling/containment.cc.o.d"
+  "/root/repo/src/labeling/dewey.cc" "src/CMakeFiles/cdbs.dir/labeling/dewey.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/labeling/dewey.cc.o.d"
+  "/root/repo/src/labeling/float_containment.cc" "src/CMakeFiles/cdbs.dir/labeling/float_containment.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/labeling/float_containment.cc.o.d"
+  "/root/repo/src/labeling/hybrid.cc" "src/CMakeFiles/cdbs.dir/labeling/hybrid.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/labeling/hybrid.cc.o.d"
+  "/root/repo/src/labeling/label.cc" "src/CMakeFiles/cdbs.dir/labeling/label.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/labeling/label.cc.o.d"
+  "/root/repo/src/labeling/ordpath.cc" "src/CMakeFiles/cdbs.dir/labeling/ordpath.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/labeling/ordpath.cc.o.d"
+  "/root/repo/src/labeling/prefix.cc" "src/CMakeFiles/cdbs.dir/labeling/prefix.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/labeling/prefix.cc.o.d"
+  "/root/repo/src/labeling/prime.cc" "src/CMakeFiles/cdbs.dir/labeling/prime.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/labeling/prime.cc.o.d"
+  "/root/repo/src/labeling/registry.cc" "src/CMakeFiles/cdbs.dir/labeling/registry.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/labeling/registry.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/CMakeFiles/cdbs.dir/query/evaluator.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/query/evaluator.cc.o.d"
+  "/root/repo/src/query/structural_join.cc" "src/CMakeFiles/cdbs.dir/query/structural_join.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/query/structural_join.cc.o.d"
+  "/root/repo/src/query/tag_index.cc" "src/CMakeFiles/cdbs.dir/query/tag_index.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/query/tag_index.cc.o.d"
+  "/root/repo/src/query/xpath.cc" "src/CMakeFiles/cdbs.dir/query/xpath.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/query/xpath.cc.o.d"
+  "/root/repo/src/storage/label_store.cc" "src/CMakeFiles/cdbs.dir/storage/label_store.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/storage/label_store.cc.o.d"
+  "/root/repo/src/util/ordered_varint.cc" "src/CMakeFiles/cdbs.dir/util/ordered_varint.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/util/ordered_varint.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/cdbs.dir/util/random.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/cdbs.dir/util/status.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/util/status.cc.o.d"
+  "/root/repo/src/xml/generator.cc" "src/CMakeFiles/cdbs.dir/xml/generator.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/xml/generator.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/cdbs.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/shakespeare.cc" "src/CMakeFiles/cdbs.dir/xml/shakespeare.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/xml/shakespeare.cc.o.d"
+  "/root/repo/src/xml/stats.cc" "src/CMakeFiles/cdbs.dir/xml/stats.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/xml/stats.cc.o.d"
+  "/root/repo/src/xml/tree.cc" "src/CMakeFiles/cdbs.dir/xml/tree.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/xml/tree.cc.o.d"
+  "/root/repo/src/xml/writer.cc" "src/CMakeFiles/cdbs.dir/xml/writer.cc.o" "gcc" "src/CMakeFiles/cdbs.dir/xml/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

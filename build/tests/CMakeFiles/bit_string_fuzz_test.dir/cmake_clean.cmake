@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_string_fuzz_test.dir/bit_string_fuzz_test.cc.o"
+  "CMakeFiles/bit_string_fuzz_test.dir/bit_string_fuzz_test.cc.o.d"
+  "bit_string_fuzz_test"
+  "bit_string_fuzz_test.pdb"
+  "bit_string_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_string_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

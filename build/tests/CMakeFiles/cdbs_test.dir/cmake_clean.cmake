@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbs_test.dir/cdbs_test.cc.o"
+  "CMakeFiles/cdbs_test.dir/cdbs_test.cc.o.d"
+  "cdbs_test"
+  "cdbs_test.pdb"
+  "cdbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

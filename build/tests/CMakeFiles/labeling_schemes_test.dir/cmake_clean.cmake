@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeling_schemes_test.dir/labeling_schemes_test.cc.o"
+  "CMakeFiles/labeling_schemes_test.dir/labeling_schemes_test.cc.o.d"
+  "labeling_schemes_test"
+  "labeling_schemes_test.pdb"
+  "labeling_schemes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeling_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

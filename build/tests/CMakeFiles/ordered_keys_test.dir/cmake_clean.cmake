@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_keys_test.dir/ordered_keys_test.cc.o"
+  "CMakeFiles/ordered_keys_test.dir/ordered_keys_test.cc.o.d"
+  "ordered_keys_test"
+  "ordered_keys_test.pdb"
+  "ordered_keys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_keys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_varint_test.dir/ordered_varint_test.cc.o"
+  "CMakeFiles/ordered_varint_test.dir/ordered_varint_test.cc.o.d"
+  "ordered_varint_test"
+  "ordered_varint_test.pdb"
+  "ordered_varint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_varint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_schemes_test.dir/prefix_schemes_test.cc.o"
+  "CMakeFiles/prefix_schemes_test.dir/prefix_schemes_test.cc.o.d"
+  "prefix_schemes_test"
+  "prefix_schemes_test.pdb"
+  "prefix_schemes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skeleton_test.dir/skeleton_test.cc.o"
+  "CMakeFiles/skeleton_test.dir/skeleton_test.cc.o.d"
+  "skeleton_test"
+  "skeleton_test.pdb"
+  "skeleton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skeleton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_db_test.dir/xml_db_test.cc.o"
+  "CMakeFiles/xml_db_test.dir/xml_db_test.cc.o.d"
+  "xml_db_test"
+  "xml_db_test.pdb"
+  "xml_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bit_string_test[1]_include.cmake")
+include("/root/repo/build/tests/cdbs_test[1]_include.cmake")
+include("/root/repo/build/tests/qed_test[1]_include.cmake")
+include("/root/repo/build/tests/binary_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/ordered_keys_test[1]_include.cmake")
+include("/root/repo/build/tests/ordered_varint_test[1]_include.cmake")
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/skeleton_test[1]_include.cmake")
+include("/root/repo/build/tests/labeling_schemes_test[1]_include.cmake")
+include("/root/repo/build/tests/containment_test[1]_include.cmake")
+include("/root/repo/build/tests/ordpath_test[1]_include.cmake")
+include("/root/repo/build/tests/prefix_schemes_test[1]_include.cmake")
+include("/root/repo/build/tests/prime_test[1]_include.cmake")
+include("/root/repo/build/tests/xpath_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/label_store_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_db_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_writer_test[1]_include.cmake")
+include("/root/repo/build/tests/structural_join_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/bit_string_fuzz_test[1]_include.cmake")
