@@ -206,11 +206,24 @@ void PrintJoinAblation() {
 }
 
 int main(int argc, char** argv) {
-  PrintPackedStorage();
-  PrintSkewGrowth();
-  PrintVvsF();
-  PrintJoinAblation();
+  {
+    auto timer = cdbs::bench::Phase("packed_storage");
+    PrintPackedStorage();
+  }
+  {
+    auto timer = cdbs::bench::Phase("skew_growth");
+    PrintSkewGrowth();
+  }
+  {
+    auto timer = cdbs::bench::Phase("v_vs_f");
+    PrintVvsF();
+  }
+  {
+    auto timer = cdbs::bench::Phase("join_ablation");
+    PrintJoinAblation();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdbs::bench::DumpMetrics("ablation");
   return 0;
 }

@@ -31,6 +31,7 @@ using cdbs::xml::Table2Specs;
 
 int main() {
   cdbs::bench::Heading("Table 2: generated dataset characteristics");
+  auto generate_phase = cdbs::bench::Phase("generate_datasets");
   std::vector<std::vector<Document>> datasets;
   for (const DatasetSpec& spec : Table2Specs()) {
     cdbs::util::Stopwatch timer;
@@ -46,6 +47,8 @@ int main() {
         timer.ElapsedSeconds());
   }
 
+  generate_phase.StopAndRecord();
+
   cdbs::bench::Heading(
       "Figure 5: average stored label size (bits per node) on D1-D6");
   std::printf("%-26s", "scheme");
@@ -54,9 +57,11 @@ int main() {
   }
   std::printf("\n");
 
+  auto label_phase = cdbs::bench::Phase("label_datasets");
   for (const auto& scheme : AllSchemes()) {
     std::printf("%-26s", scheme->name().c_str());
     std::fflush(stdout);
+    bool first_dataset = true;
     for (const auto& files : datasets) {
       uint64_t total_bits = 0;
       uint64_t total_nodes = 0;
@@ -64,7 +69,11 @@ int main() {
         const auto labeling = scheme->Label(doc);
         total_bits += labeling->TotalLabelBits();
         total_nodes += labeling->num_nodes();
+        // Feed the stored-size distribution from D1 only (the per-node
+        // serialization is as expensive as labeling itself).
+        if (first_dataset) cdbs::bench::RecordLabelSizes(*labeling);
       }
+      first_dataset = false;
       std::printf(" %8.1f",
                   static_cast<double>(total_bits) /
                       static_cast<double>(total_nodes));
@@ -72,10 +81,12 @@ int main() {
     }
     std::printf("\n");
   }
+  label_phase.StopAndRecord();
   std::printf(
       "\nexpected shape (paper): Prime largest by far; "
       "V-CDBS == V-Binary and F-CDBS == F-Binary (most compact); "
       "QED-Containment slightly above V-CDBS; Float-point above fixed "
       "binary; QED-Prefix below OrdPath1 < OrdPath2.\n");
+  cdbs::bench::DumpMetrics("fig5_label_size");
   return 0;
 }

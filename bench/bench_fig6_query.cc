@@ -47,9 +47,11 @@ const char* kSchemes[] = {
 int main() {
   const uint64_t scale = cdbs::bench::EnvKnob("CDBS_SCALE", 10);
   cdbs::bench::Heading("Building the scaled D5 corpus");
+  auto build_phase = cdbs::bench::Phase("build_corpus");
   const std::vector<Document> base = cdbs::xml::GenerateShakespeareDataset();
   const std::vector<Document> corpus =
       cdbs::xml::ScaleDataset(base, static_cast<size_t>(scale));
+  build_phase.StopAndRecord();
   uint64_t total_nodes = 0;
   for (const Document& doc : corpus) total_nodes += doc.node_count();
   std::printf("%zu files, %llu elements (scale x%llu)\n", corpus.size(),
@@ -82,8 +84,11 @@ int main() {
     cdbs::util::Stopwatch label_timer;
     std::vector<std::unique_ptr<LabeledDocument>> labeled;
     labeled.reserve(corpus.size());
-    for (const Document& doc : corpus) {
-      labeled.push_back(std::make_unique<LabeledDocument>(doc, *scheme));
+    {
+      auto label_phase = cdbs::bench::Phase("label");
+      for (const Document& doc : corpus) {
+        labeled.push_back(std::make_unique<LabeledDocument>(doc, *scheme));
+      }
     }
     const double label_seconds = label_timer.ElapsedSeconds();
 
@@ -91,6 +96,7 @@ int main() {
     std::fflush(stdout);
     std::vector<uint64_t> counts;
     for (const Query& query : queries) {
+      auto query_phase = cdbs::bench::Phase("query");
       cdbs::util::Stopwatch timer;
       uint64_t matches = 0;
       for (const auto& doc : labeled) {
@@ -116,5 +122,6 @@ int main() {
       "\nexpected shape (paper Fig. 6): Prime slowest by far; Float-point "
       "slower than the other containment schemes; CDBS-Containment the "
       "fastest; QED-Prefix beats OrdPath1/OrdPath2.\n");
+  cdbs::bench::DumpMetrics("fig6_query");
   return 0;
 }

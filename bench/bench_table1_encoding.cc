@@ -127,9 +127,16 @@ BENCHMARK(BM_SkewedInsertionChain);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintTable1();
-  PrintSizeAnalysis();
+  {
+    auto timer = cdbs::bench::Phase("table1");
+    PrintTable1();
+  }
+  {
+    auto timer = cdbs::bench::Phase("size_analysis");
+    PrintSizeAnalysis();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdbs::bench::DumpMetrics("table1_encoding");
   return 0;
 }

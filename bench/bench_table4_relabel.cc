@@ -46,16 +46,24 @@ int main() {
   std::printf("%-26s %8s %8s %8s %8s %8s\n", "scheme", "case1", "case2",
               "case3", "case4", "case5");
 
+  auto insert_phase = cdbs::bench::Phase("label_and_insert");
   for (const auto& scheme : AllSchemes()) {
     std::printf("%-26s", scheme->name().c_str());
+    bool first_case = true;
     for (const NodeId act : acts) {
       auto labeling = scheme->Label(hamlet);
+      if (first_case) {
+        cdbs::bench::RecordLabelSizes(*labeling);
+        first_case = false;
+      }
       const auto result = labeling->InsertSiblingBefore(act);
+      cdbs::bench::RecordInsertResult(result);
       std::printf(" %8llu", static_cast<unsigned long long>(result.relabeled));
     }
     std::printf("\n");
     std::fflush(stdout);
   }
+  insert_phase.StopAndRecord();
 
   std::printf("\n%-26s", "paper: Binary-Containment");
   for (const uint64_t v : kPaperBinary) {
@@ -67,5 +75,6 @@ int main() {
   }
   std::printf(
       "\npaper: all other schemes re-label 0 nodes in every case.\n");
+  cdbs::bench::DumpMetrics("table4_relabel");
   return 0;
 }

@@ -1,29 +1,127 @@
 #ifndef CDBS_BENCH_BENCH_UTIL_H_
 #define CDBS_BENCH_BENCH_UTIL_H_
 
+#include <sys/stat.h>
+
+#include <charconv>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+
+#include "labeling/label.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 /// \file
 /// Small shared helpers for the experiment harness binaries. Each bench
 /// prints its paper table/figure reproduction on stdout first, then (where
 /// registered) runs google-benchmark micro-benchmarks.
+///
+/// Every bench also reports into the process-wide metric registry
+/// (obs::MetricRegistry::Default()) and ends with DumpMetrics(name): set
+/// CDBS_BENCH_JSON=<path> to persist the registry as a JSON snapshot — the
+/// repo's machine-readable perf trajectory (BENCH_<name>.json when <path>
+/// is a directory).
 
 namespace cdbs::bench {
 
-/// Reads a positive integer knob from the environment, with a default —
-/// e.g. CDBS_SCALE to shrink the Figure 6 corpus for smoke runs.
+/// Reads a positive integer knob from the environment, with a default.
+/// Rejects anything that is not a whole positive decimal number (trailing
+/// junk included) with a warning on stderr — e.g. CDBS_SCALE to shrink the
+/// Figure 6 corpus for smoke runs.
 inline uint64_t EnvKnob(const char* name, uint64_t default_value) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || raw[0] == '\0') return default_value;
-  const long long v = std::atoll(raw);
-  return v > 0 ? static_cast<uint64_t>(v) : default_value;
+  uint64_t value = 0;
+  const char* end = raw + std::strlen(raw);
+  const auto [ptr, ec] = std::from_chars(raw, end, value);
+  if (ec != std::errc() || ptr != end || value == 0) {
+    std::fprintf(stderr,
+                 "warning: ignoring %s=\"%s\" (want a positive integer); "
+                 "using default %" PRIu64 "\n",
+                 name, raw, default_value);
+    return default_value;
+  }
+  return value;
 }
 
 /// Prints a section heading.
 inline void Heading(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Times a bench phase into the default registry: quantiles end up in the
+/// JSON snapshot under `bench.phase.<name>.ns`. Usage:
+///   { auto t = cdbs::bench::Phase("label"); ...work... }
+inline obs::ScopedTimer Phase(const std::string& name) {
+  return obs::ScopedTimer(obs::MetricRegistry::Default().GetHistogram(
+      "bench.phase." + name + ".ns", "Wall time of bench phase " + name));
+}
+
+/// Records every node's stored label size (bits) into the process-wide
+/// `labeling.label_bits` histogram — the Figure 5 distribution.
+inline void RecordLabelSizes(const labeling::Labeling& labeling) {
+  obs::Histogram* hist = obs::MetricRegistry::Default().GetHistogram(
+      "labeling.label_bits", "Stored label size in bits per node");
+  for (labeling::NodeId n = 0;
+       n < static_cast<labeling::NodeId>(labeling.num_nodes()); ++n) {
+    hist->Record(8 * labeling.SerializeLabel(n).size());
+  }
+}
+
+/// Feeds one InsertResult into the process-wide labeling counters
+/// (`labeling.inserts` / `.relabeled` / `.overflows` and the
+/// `labeling.neighbor_bits_modified` histogram).
+inline void RecordInsertResult(const labeling::InsertResult& result) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  static obs::Counter* const inserts =
+      reg.GetCounter("labeling.inserts", "Label-level insertions performed");
+  static obs::Counter* const relabeled = reg.GetCounter(
+      "labeling.relabeled", "Existing labels rewritten by insertions");
+  static obs::Counter* const overflows = reg.GetCounter(
+      "labeling.overflows", "Insertions that hit an overflow re-encode");
+  static obs::Histogram* const neighbor_bits = reg.GetHistogram(
+      "labeling.neighbor_bits_modified",
+      "Bits modified in a neighbour label per insertion (Section 7.4)");
+  inserts->Increment();
+  relabeled->Increment(result.relabeled);
+  if (result.overflow) overflows->Increment();
+  neighbor_bits->Record(result.neighbor_bits_modified);
+}
+
+/// Writes the default registry as JSON when CDBS_BENCH_JSON is set: to that
+/// path directly, or to <dir>/BENCH_<name>.json when the path is an existing
+/// directory. Pre-registers the canonical cross-bench metrics so every
+/// snapshot has the same minimum shape regardless of which paths ran.
+inline void DumpMetrics(const std::string& bench_name) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  reg.GetHistogram("labeling.label_bits",
+                   "Stored label size in bits per node");
+  reg.GetCounter("labeling.inserts", "Label-level insertions performed");
+  reg.GetCounter("labeling.relabeled",
+                 "Existing labels rewritten by insertions");
+  reg.GetCounter("labeling.overflows",
+                 "Insertions that hit an overflow re-encode");
+  reg.GetCounter("storage.page_reads", "Pages read across all label stores");
+  reg.GetCounter("storage.page_writes",
+                 "Pages written across all label stores");
+
+  const char* env = std::getenv("CDBS_BENCH_JSON");
+  if (env == nullptr || env[0] == '\0') return;
+  std::string path = env;
+  struct stat st {};
+  if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    path += "/BENCH_" + bench_name + ".json";
+  }
+  const Status status = obs::WriteJsonFile(reg, path, bench_name);
+  if (status.ok()) {
+    std::fprintf(stderr, "metrics snapshot written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write metrics snapshot: %s\n",
+                 status.ToString().c_str());
+  }
 }
 
 }  // namespace cdbs::bench

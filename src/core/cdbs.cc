@@ -2,11 +2,28 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cdbs::core {
 
 namespace {
+
+// Default-registry counters for the paper's two headline operations.
+// Function-local statics: registration happens once, increments are one
+// relaxed atomic add.
+obs::Counter& InsertBetweenCounter() {
+  static obs::Counter* const c = obs::MetricRegistry::Default().GetCounter(
+      "core.cdbs.insert_between",
+      "Algorithm 1 calls (a code assigned between two neighbours)");
+  return *c;
+}
+
+obs::Counter& EncodeRangeCounter() {
+  static obs::Counter* const c = obs::MetricRegistry::Default().GetCounter(
+      "core.cdbs.encode_range", "Algorithm 2 bulk encodes");
+  return *c;
+}
 
 // Midpoint with round-half-up, matching the paper's round((PL+PR)/2)
 // (e.g. round(9.5) == 10 in the Table 1 walkthrough).
@@ -26,6 +43,7 @@ void SubEncoding(std::vector<BitString>* codes, uint64_t left, uint64_t right) {
 
 BitString AssignMiddleBinaryString(const BitString& left,
                                    const BitString& right) {
+  InsertBetweenCounter().Increment();
   CDBS_CHECK(left.empty() || left.EndsWithOne());
   CDBS_CHECK(right.empty() || right.EndsWithOne());
   if (!left.empty() && !right.empty()) {
@@ -52,6 +70,7 @@ std::pair<BitString, BitString> AssignTwoMiddleBinaryStrings(
 }
 
 std::vector<BitString> EncodeRange(uint64_t n) {
+  EncodeRangeCounter().Increment();
   // codes[i] is the code of number i; 0 and n+1 are the virtual sentinels.
   std::vector<BitString> codes(n + 2);
   SubEncoding(&codes, 0, n + 1);

@@ -1,10 +1,24 @@
 #include "core/qed.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cdbs::core {
 
 namespace {
+
+obs::Counter& QedInsertBetweenCounter() {
+  static obs::Counter* const c = obs::MetricRegistry::Default().GetCounter(
+      "core.qed.insert_between",
+      "QED codes assigned between two neighbours (Section 6 fallback path)");
+  return *c;
+}
+
+obs::Counter& QedEncodeRangeCounter() {
+  static obs::Counter* const c = obs::MetricRegistry::Default().GetCounter(
+      "core.qed.encode_range", "QED bulk encodes");
+  return *c;
+}
 
 bool EndsWith(const QedCode& code, char digit) {
   return !code.empty() && code.back() == digit;
@@ -57,6 +71,7 @@ bool IsValidQedCode(const QedCode& code) {
 }
 
 QedCode QedInsertBetween(const QedCode& left, const QedCode& right) {
+  QedInsertBetweenCounter().Increment();
   CDBS_CHECK(IsValidQedCode(left));
   CDBS_CHECK(IsValidQedCode(right));
   if (!left.empty() && !right.empty()) {
@@ -102,6 +117,7 @@ std::pair<QedCode, QedCode> QedInsertTwoBetween(const QedCode& left,
 }
 
 std::vector<QedCode> QedEncodeRange(uint64_t n) {
+  QedEncodeRangeCounter().Increment();
   std::vector<QedCode> codes(n + 2);  // sentinels at 0 and n+1 stay empty
   QedSubEncode(&codes, 0, n + 1);
   std::vector<QedCode> out;

@@ -16,6 +16,35 @@ XmlDb::XmlDb(xml::Document doc,
     : doc_(std::move(doc)), scheme_(std::move(scheme)) {
   labeled_ = std::make_unique<query::LabeledDocument>(doc_, *scheme_);
   node_of_id_ = doc_.NodesInDocumentOrder();
+
+  insertions_ = registry_.GetCounter("engine.inserts", "Element insertions");
+  deletions_ = registry_.GetCounter("engine.deletes", "Nodes removed");
+  relabeled_total_ = registry_.GetCounter(
+      "engine.relabels", "Stored labels rewritten by updates");
+  overflow_events_ = registry_.GetCounter(
+      "engine.overflows", "Full re-encodes forced by overflow (Example 6.1)");
+  insert_ns_ =
+      registry_.GetHistogram("engine.insert.ns", "Wall time per insertion");
+  delete_ns_ =
+      registry_.GetHistogram("engine.delete.ns", "Wall time per deletion");
+  query_ns_ = registry_.GetHistogram("engine.query.ns", "Wall time per query");
+  obs::MetricRegistry& global = obs::MetricRegistry::Default();
+  global_insertions_ =
+      global.GetCounter("engine.inserts", "Element insertions, all databases");
+  global_deletions_ =
+      global.GetCounter("engine.deletes", "Nodes removed, all databases");
+  global_relabeled_ = global.GetCounter(
+      "engine.relabels", "Stored labels rewritten by updates, all databases");
+  global_overflows_ = global.GetCounter(
+      "engine.overflows", "Overflow re-encodes, all databases");
+
+  // Seed the process-wide label-size distribution (the Figure 5 metric).
+  obs::Histogram* label_bits = global.GetHistogram(
+      "labeling.label_bits", "Stored label size in bits per node");
+  const labeling::Labeling& lab = labeled_->labeling();
+  for (NodeId n = 0; n < lab.num_nodes(); ++n) {
+    label_bits->Record(8 * lab.SerializeLabel(n).size());
+  }
 }
 
 Result<std::unique_ptr<XmlDb>> XmlDb::Open(xml::Document doc,
@@ -50,6 +79,7 @@ Status XmlDb::InitStore(const XmlDbOptions& options) {
 }
 
 Result<std::vector<NodeId>> XmlDb::Query(const std::string& xpath) const {
+  obs::ScopedTimer timer(query_ns_);
   Result<query::Query> parsed = query::ParseQuery(xpath);
   if (!parsed.ok()) return parsed.status();
   return query::EvaluateQuery(*parsed, *labeled_);
@@ -73,6 +103,7 @@ Result<NodeId> XmlDb::QueryOne(const std::string& xpath) const {
 
 Result<NodeId> XmlDb::Insert(NodeId target, const std::string& tag,
                              bool before) {
+  obs::ScopedTimer timer(insert_ns_);
   if (target >= node_of_id_.size()) {
     return Status::OutOfRange("no such node");
   }
@@ -95,9 +126,14 @@ Result<NodeId> XmlDb::Insert(NodeId target, const std::string& tag,
   node_of_id_.push_back(fresh);
   labeled_->NoteInsertedNode(result.new_node, tag);
 
-  ++insertions_;
-  relabeled_total_ += result.relabeled;
-  overflow_events_ += result.overflow ? 1 : 0;
+  insertions_->Increment();
+  global_insertions_->Increment();
+  relabeled_total_->Increment(result.relabeled);
+  global_relabeled_->Increment(result.relabeled);
+  if (result.overflow) {
+    overflow_events_->Increment();
+    global_overflows_->Increment();
+  }
   CDBS_RETURN_NOT_OK(PersistUpdate(result));
   return result.new_node;
 }
@@ -136,6 +172,7 @@ Status XmlDb::PersistUpdate(const labeling::InsertResult& result) {
 }
 
 Result<uint64_t> XmlDb::DeleteElement(NodeId target) {
+  obs::ScopedTimer timer(delete_ns_);
   if (target >= node_of_id_.size()) {
     return Status::OutOfRange("no such node");
   }
@@ -150,8 +187,10 @@ Result<uint64_t> XmlDb::DeleteElement(NodeId target) {
   const labeling::DeleteResult result = lab->DeleteSubtree(target);
   doc_.RemoveChild(node->parent(), node);
   labeled_->NoteRemovedNodes(result.removed);
-  deletions_ += result.removed.size();
-  relabeled_total_ += result.relabeled;
+  deletions_->Increment(result.removed.size());
+  global_deletions_->Increment(result.removed.size());
+  relabeled_total_->Increment(result.relabeled);
+  global_relabeled_->Increment(result.relabeled);
   // Orphaned store records are simply left behind; a compaction pass would
   // reclaim them in a production system.
   return static_cast<uint64_t>(result.removed.size());
@@ -191,10 +230,10 @@ XmlDbStats XmlDb::Stats() const {
   stats.node_count = lab.num_nodes();
   stats.label_bits = lab.TotalLabelBits();
   stats.avg_label_bits = lab.AvgLabelBits();
-  stats.insertions = insertions_;
-  stats.deletions = deletions_;
-  stats.relabeled_total = relabeled_total_;
-  stats.overflow_events = overflow_events_;
+  stats.insertions = insertions_->value();
+  stats.deletions = deletions_->value();
+  stats.relabeled_total = relabeled_total_->value();
+  stats.overflow_events = overflow_events_->value();
   if (store_ != nullptr) {
     stats.store_page_writes = store_->io_stats().page_writes;
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "labeling/label.h"
+#include "obs/metrics.h"
 #include "query/tag_index.h"
 #include "storage/label_store.h"
 #include "util/status.h"
@@ -39,7 +40,9 @@ struct XmlDbOptions {
   size_t store_headroom = 16;
 };
 
-/// Aggregate counters for observability.
+/// Aggregate counters for observability. A point-in-time view computed from
+/// the database's metric registry (see `XmlDb::metrics()`); the registry is
+/// the source of truth.
 struct XmlDbStats {
   size_t node_count = 0;
   uint64_t label_bits = 0;
@@ -95,8 +98,14 @@ class XmlDb {
   /// Serializes the current tree.
   std::string ToXml() const;
 
-  /// Counters.
+  /// Counters — a thin view over metrics().
   XmlDbStats Stats() const;
+
+  /// This database's private metric registry: `engine.*` counters and
+  /// per-operation latency histograms (`engine.insert.ns`, ...). Every
+  /// increment is mirrored into MetricRegistry::Default() as well, so
+  /// process-wide exporters see the aggregate across databases.
+  const obs::MetricRegistry& metrics() const { return registry_; }
 
   /// Underlying labeling (for inspection).
   const labeling::Labeling& labeling() const {
@@ -115,10 +124,20 @@ class XmlDb {
   std::unique_ptr<query::LabeledDocument> labeled_;
   std::vector<xml::Node*> node_of_id_;  // id -> tree node
   std::unique_ptr<storage::LabelStore> store_;  // null when not persistent
-  uint64_t insertions_ = 0;
-  uint64_t deletions_ = 0;
-  uint64_t relabeled_total_ = 0;
-  uint64_t overflow_events_ = 0;
+
+  obs::MetricRegistry registry_;
+  // Per-instance counters/timers and their process-wide mirrors.
+  obs::Counter* insertions_;
+  obs::Counter* deletions_;
+  obs::Counter* relabeled_total_;
+  obs::Counter* overflow_events_;
+  obs::Histogram* insert_ns_;
+  obs::Histogram* delete_ns_;
+  obs::Histogram* query_ns_;
+  obs::Counter* global_insertions_;
+  obs::Counter* global_deletions_;
+  obs::Counter* global_relabeled_;
+  obs::Counter* global_overflows_;
 };
 
 }  // namespace cdbs::engine

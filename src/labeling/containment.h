@@ -349,6 +349,7 @@ class ContainmentLabeling : public Labeling {
       return result;
     }
     result.overflow = true;
+    NoteOverflowEvent();
     if constexpr (Codec::kOverflowPolicy == OverflowPolicy::kShiftIntegers) {
       // Classical containment re-labeling: every value >= right shifts up
       // by two to open the gap. Count nodes with at least one changed

@@ -3,6 +3,7 @@
 #include <variant>
 
 #include "labeling/containment.h"
+#include "obs/metrics.h"
 
 namespace cdbs::labeling {
 
@@ -63,6 +64,11 @@ class HybridContainmentCodec {
       }
       // CDBS length field overflowed: the next re-encode (Init) emits QED.
       switched_to_qed_ = true;
+      obs::MetricRegistry::Default()
+          .GetCounter("labeling.hybrid.qed_fallbacks",
+                      "Hybrid labelings that abandoned CDBS for QED after a "
+                      "length-field overflow")
+          ->Increment();
       return false;
     }
     core::QedCode m1;

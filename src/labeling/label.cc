@@ -1,8 +1,16 @@
 #include "labeling/label.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cdbs::labeling {
+
+void NoteOverflowEvent() {
+  static obs::Counter* const c = obs::MetricRegistry::Default().GetCounter(
+      "labeling.overflow_events",
+      "Forced full re-encodes after a length-field overflow (Example 6.1)");
+  c->Increment();
+}
 
 TreeSkeleton TreeSkeleton::FromDocument(
     const xml::Document& doc, std::vector<const xml::Node*>* order_out) {

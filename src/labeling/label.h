@@ -60,6 +60,11 @@ struct DeleteResult {
   uint64_t relabeled = 0;
 };
 
+/// Reports one scheme-level overflow (a forced full re-encode, Example 6.1)
+/// to the default metric registry (`labeling.overflow_events`). Schemes call
+/// this wherever they set `InsertResult::overflow`.
+void NoteOverflowEvent();
+
 /// Structural bookkeeping shared by all schemes: parent/level/sibling links
 /// for every labeled node, maintained across insertions. Schemes use it to
 /// locate the neighbouring labels an insertion goes between; it is *not*

@@ -200,6 +200,7 @@ class DynamicPrefixLabeling : public Labeling {
     InitialEncode();
     result.relabeled = existing;
     result.overflow = true;
+    NoteOverflowEvent();
     result.relabeled_nodes.reserve(existing);
     for (uint64_t i = 0; i < existing; ++i) {
       result.relabeled_nodes.push_back(static_cast<NodeId>(i));

@@ -1,0 +1,209 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace cdbs::obs {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Doubles that survive JSON parsers: finite values printed with enough
+/// precision, non-finite mapped to 0 (JSON has no NaN/Inf).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*, prefixed `cdbs_`.
+std::string PromName(std::string_view name) {
+  std::string out = "cdbs_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string ToTextTable(const MetricRegistry& registry) {
+  std::string out;
+  for (const MetricSnapshot& m : registry.Snapshot()) {
+    switch (m.type) {
+      case MetricType::kCounter:
+        Appendf(&out, "%-40s %20" PRIu64 "\n", m.name.c_str(),
+                m.counter_value);
+        break;
+      case MetricType::kGauge:
+        Appendf(&out, "%-40s %20.3f\n", m.name.c_str(), m.gauge_value);
+        break;
+      case MetricType::kHistogram:
+        Appendf(&out,
+                "%-40s count=%-10" PRIu64 " mean=%-12.1f p50=%-10" PRIu64
+                " p90=%-10" PRIu64 " p99=%-10" PRIu64 " max=%" PRIu64 "\n",
+                m.name.c_str(), m.count, m.mean, m.p50, m.p90, m.p99, m.max);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricRegistry& registry, std::string_view label) {
+  std::string out = "{\n";
+  if (!label.empty()) {
+    out += "  \"label\": \"" + JsonEscape(label) + "\",\n";
+  }
+  out += "  \"metrics\": [";
+  bool first = true;
+  for (const MetricSnapshot& m : registry.Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"name\": \"" + JsonEscape(m.name) + "\", \"type\": \"";
+    out += TypeName(m.type);
+    out += "\"";
+    switch (m.type) {
+      case MetricType::kCounter:
+        Appendf(&out, ", \"value\": %" PRIu64, m.counter_value);
+        break;
+      case MetricType::kGauge:
+        out += ", \"value\": " + JsonNumber(m.gauge_value);
+        break;
+      case MetricType::kHistogram: {
+        Appendf(&out,
+                ", \"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                ", \"min\": %" PRIu64 ", \"max\": %" PRIu64,
+                m.count, m.sum, m.min, m.max);
+        out += ", \"mean\": " + JsonNumber(m.mean);
+        Appendf(&out,
+                ", \"p50\": %" PRIu64 ", \"p90\": %" PRIu64 ", \"p99\": %" PRIu64,
+                m.p50, m.p90, m.p99);
+        out += ", \"buckets\": [";
+        for (size_t i = 0; i < m.buckets.size(); ++i) {
+          if (i > 0) out += ", ";
+          Appendf(&out, "{\"le\": %" PRIu64 ", \"count\": %" PRIu64 "}",
+                  m.buckets[i].first, m.buckets[i].second);
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string ToPrometheus(const MetricRegistry& registry) {
+  std::string out;
+  for (const MetricSnapshot& m : registry.Snapshot()) {
+    const std::string name = PromName(m.name);
+    if (!m.help.empty()) {
+      Appendf(&out, "# HELP %s %s\n", name.c_str(), m.help.c_str());
+    }
+    Appendf(&out, "# TYPE %s %s\n", name.c_str(), TypeName(m.type));
+    switch (m.type) {
+      case MetricType::kCounter:
+        Appendf(&out, "%s %" PRIu64 "\n", name.c_str(), m.counter_value);
+        break;
+      case MetricType::kGauge:
+        Appendf(&out, "%s %s\n", name.c_str(),
+                JsonNumber(m.gauge_value).c_str());
+        break;
+      case MetricType::kHistogram: {
+        uint64_t cumulative = 0;
+        for (const auto& [le, count] : m.buckets) {
+          cumulative += count;
+          Appendf(&out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                  name.c_str(), le, cumulative);
+        }
+        Appendf(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
+                m.count);
+        Appendf(&out, "%s_sum %" PRIu64 "\n", name.c_str(), m.sum);
+        Appendf(&out, "%s_count %" PRIu64 "\n", name.c_str(), m.count);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Status WriteJsonFile(const MetricRegistry& registry, const std::string& path,
+                     std::string_view label) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const std::string json = ToJson(registry, label);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace cdbs::obs

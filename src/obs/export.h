@@ -1,0 +1,40 @@
+#ifndef CDBS_OBS_EXPORT_H_
+#define CDBS_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+/// \file
+/// Exporters over `MetricRegistry::Snapshot()`:
+///
+///   * `ToTextTable`  — aligned human-readable table for stdout;
+///   * `ToJson`       — one self-contained JSON document (the format the
+///                      bench harness writes as `BENCH_<name>.json`);
+///   * `ToPrometheus` — Prometheus text exposition format 0.0.4, with metric
+///                      names sanitized (`storage.page_reads` becomes
+///                      `cdbs_storage_page_reads`) and histograms emitted as
+///                      cumulative `_bucket{le="..."}` series.
+
+namespace cdbs::obs {
+
+/// Aligned table of every metric, histograms on one line with quantiles.
+std::string ToTextTable(const MetricRegistry& registry);
+
+/// JSON document: `{"label": ..., "metrics": [...]}`. Counters carry
+/// `value`; gauges `value` (double); histograms `count/sum/min/max/mean/
+/// p50/p90/p99` plus a `buckets` array of `{"le": N, "count": M}`.
+std::string ToJson(const MetricRegistry& registry, std::string_view label = "");
+
+/// Prometheus text exposition (HELP/TYPE headers, cumulative buckets).
+std::string ToPrometheus(const MetricRegistry& registry);
+
+/// Writes `ToJson(registry, label)` to `path` (truncating).
+Status WriteJsonFile(const MetricRegistry& registry, const std::string& path,
+                     std::string_view label = "");
+
+}  // namespace cdbs::obs
+
+#endif  // CDBS_OBS_EXPORT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cdbs::query {
@@ -11,13 +12,39 @@ namespace {
 using labeling::kNoNode;
 using labeling::Labeling;
 
+// Default-registry instrumentation for the navigational evaluator; the
+// comparison counter is the paper's cost model (every step is a sequence of
+// label comparisons whose per-comparison price differs by scheme).
+obs::Counter& QueriesCounter() {
+  static obs::Counter* const c = obs::MetricRegistry::Default().GetCounter(
+      "query.eval.queries", "Navigational query evaluations");
+  return *c;
+}
+
+obs::Counter& LabelComparisonsCounter() {
+  static obs::Counter* const c = obs::MetricRegistry::Default().GetCounter(
+      "query.eval.label_comparisons",
+      "Label order comparisons performed while positioning in tag lists");
+  return *c;
+}
+
+obs::Counter& NodesEmittedCounter() {
+  static obs::Counter* const c = obs::MetricRegistry::Default().GetCounter(
+      "query.eval.nodes_emitted", "Nodes produced by query evaluations");
+  return *c;
+}
+
 // Index of the first node in the document-ordered `list` that comes after
 // `node` in document order — found with label comparisons.
 size_t FirstAfter(const Labeling& lab, const std::vector<NodeId>& list,
                   NodeId node) {
+  size_t comparisons = 0;
   const auto it = std::upper_bound(
-      list.begin(), list.end(), node,
-      [&lab](NodeId a, NodeId b) { return lab.CompareOrder(a, b) < 0; });
+      list.begin(), list.end(), node, [&lab, &comparisons](NodeId a, NodeId b) {
+        ++comparisons;
+        return lab.CompareOrder(a, b) < 0;
+      });
+  LabelComparisonsCounter().Increment(comparisons);
   return static_cast<size_t>(it - list.begin());
 }
 
@@ -165,6 +192,9 @@ NodeId FindParent(const LabeledDocument& doc, NodeId node) {
 
 std::vector<NodeId> EvaluateQuery(const Query& query,
                                   const LabeledDocument& doc) {
+  QueriesCounter().Increment();
+  obs::ScopedTimer timer(obs::MetricRegistry::Default().GetHistogram(
+      "query.eval.ns", "Wall time per navigational query evaluation"));
   std::vector<NodeId> context;
   bool first = true;
   for (const Step& step : query.steps) {
@@ -222,6 +252,7 @@ std::vector<NodeId> EvaluateQuery(const Query& query,
     context = std::move(next);
     if (context.empty()) break;
   }
+  NodesEmittedCounter().Increment(context.size());
   return context;
 }
 

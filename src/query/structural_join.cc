@@ -1,16 +1,34 @@
 #include "query/structural_join.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cdbs::query {
 
 using labeling::Labeling;
 
+namespace {
+
+obs::Counter& JoinStepsCounter() {
+  static obs::Counter* const c = obs::MetricRegistry::Default().GetCounter(
+      "query.join.steps", "Structural join merge passes");
+  return *c;
+}
+
+obs::Counter& JoinEmittedCounter() {
+  static obs::Counter* const c = obs::MetricRegistry::Default().GetCounter(
+      "query.join.nodes_emitted", "Nodes emitted by structural join steps");
+  return *c;
+}
+
+}  // namespace
+
 std::vector<NodeId> StructuralJoinStep(const Labeling& labeling,
                                        const std::vector<NodeId>& ancestors,
                                        const std::vector<NodeId>& descendants,
                                        Axis axis) {
   CDBS_CHECK(axis == Axis::kChild || axis == Axis::kDescendant);
+  JoinStepsCounter().Increment();
   std::vector<NodeId> out;
   if (ancestors.empty() || descendants.empty()) return out;
 
@@ -40,6 +58,7 @@ std::vector<NodeId> StructuralJoinStep(const Labeling& labeling,
       out.push_back(d);
     }
   }
+  JoinEmittedCounter().Increment(out.size());
   return out;
 }
 

@@ -22,8 +22,36 @@ uint64_t GetU64(const char* src) {
 }
 }  // namespace
 
+LabelStore::LabelStore() {
+  page_reads_ = registry_.GetCounter("storage.page_reads",
+                                     "Pages read from the label store file");
+  page_writes_ = registry_.GetCounter("storage.page_writes",
+                                      "Pages written to the label store file");
+  bytes_written_ = registry_.GetCounter("storage.bytes_written",
+                                        "Bytes written to the label store file");
+  read_ns_ = registry_.GetHistogram("storage.page_read.ns",
+                                    "Wall time per page read");
+  write_ns_ = registry_.GetHistogram("storage.page_write.ns",
+                                     "Wall time per page write");
+  obs::MetricRegistry& global = obs::MetricRegistry::Default();
+  global_page_reads_ = global.GetCounter(
+      "storage.page_reads", "Pages read across all label stores");
+  global_page_writes_ = global.GetCounter(
+      "storage.page_writes", "Pages written across all label stores");
+  global_bytes_written_ = global.GetCounter(
+      "storage.bytes_written", "Bytes written across all label stores");
+}
+
 LabelStore::~LabelStore() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+IoStats LabelStore::io_stats() const {
+  IoStats stats;
+  stats.page_reads = page_reads_->value();
+  stats.page_writes = page_writes_->value();
+  stats.bytes_written = bytes_written_->value();
+  return stats;
 }
 
 Status LabelStore::Open(const std::string& path) {
@@ -33,7 +61,7 @@ Status LabelStore::Open(const std::string& path) {
   path_ = path;
   record_count_ = 0;
   slot_size_ = 0;
-  io_stats_ = IoStats();
+  registry_.ResetAll();
   return Status::OK();
 }
 
@@ -42,7 +70,7 @@ Status LabelStore::OpenExisting(const std::string& path) {
   fd_ = ::open(path.c_str(), O_RDWR, 0644);
   if (fd_ < 0) return Status::IoError("cannot open " + path);
   path_ = path;
-  io_stats_ = IoStats();
+  registry_.ResetAll();
   std::vector<char> header;
   CDBS_RETURN_NOT_OK(ReadPage(0, &header));
   uint32_t magic = 0;
@@ -165,23 +193,28 @@ Status LabelStore::Sync() {
 }
 
 Status LabelStore::ReadPage(uint64_t page_index, std::vector<char>* page) {
+  obs::ScopedTimer timer(read_ns_);
   page->assign(kPageSize, 0);
   const ssize_t n = ::pread(fd_, page->data(), kPageSize,
                             static_cast<off_t>(page_index * kPageSize));
   if (n < 0) return Status::IoError("pread failed");
-  ++io_stats_.page_reads;
+  page_reads_->Increment();
+  global_page_reads_->Increment();
   return Status::OK();
 }
 
 Status LabelStore::WritePage(uint64_t page_index,
                              const std::vector<char>& page) {
+  obs::ScopedTimer timer(write_ns_);
   const ssize_t n = ::pwrite(fd_, page.data(), kPageSize,
                              static_cast<off_t>(page_index * kPageSize));
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IoError("pwrite failed");
   }
-  ++io_stats_.page_writes;
-  io_stats_.bytes_written += kPageSize;
+  page_writes_->Increment();
+  global_page_writes_->Increment();
+  bytes_written_->Increment(kPageSize);
+  global_bytes_written_->Increment(kPageSize);
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 /// \file
@@ -21,7 +22,9 @@
 
 namespace cdbs::storage {
 
-/// Counters for the I/O the store performed.
+/// Counters for the I/O the store performed. A point-in-time view computed
+/// from this store's metric registry (`storage.*` metrics); the registry is
+/// the source of truth.
 struct IoStats {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
@@ -37,7 +40,7 @@ class LabelStore {
  public:
   static constexpr size_t kPageSize = 4096;
 
-  LabelStore() = default;
+  LabelStore();
   ~LabelStore();
 
   LabelStore(const LabelStore&) = delete;
@@ -71,8 +74,12 @@ class LabelStore {
   /// Flushes OS buffers for the file.
   Status Sync();
 
-  /// I/O counters since Open.
-  const IoStats& io_stats() const { return io_stats_; }
+  /// I/O counters since Open — a thin view over metrics().
+  IoStats io_stats() const;
+
+  /// This store's private metric registry (counters reset on Open; every
+  /// increment is mirrored into MetricRegistry::Default() as well).
+  const obs::MetricRegistry& metrics() const { return registry_; }
 
   /// Slot size chosen at bulk load.
   size_t slot_size() const { return slot_size_; }
@@ -88,7 +95,17 @@ class LabelStore {
   std::string path_;
   size_t slot_size_ = 0;
   size_t record_count_ = 0;
-  IoStats io_stats_;
+
+  obs::MetricRegistry registry_;
+  // Per-instance counters (reset on Open) and their process-wide mirrors.
+  obs::Counter* page_reads_;
+  obs::Counter* page_writes_;
+  obs::Counter* bytes_written_;
+  obs::Histogram* read_ns_;
+  obs::Histogram* write_ns_;
+  obs::Counter* global_page_reads_;
+  obs::Counter* global_page_writes_;
+  obs::Counter* global_bytes_written_;
 };
 
 }  // namespace cdbs::storage

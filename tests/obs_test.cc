@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace cdbs::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BasicAccounting) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  h.Record(0);
+  h.Record(1);
+  h.Record(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 101u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_NEAR(h.mean(), 101.0 / 3.0, 1e-9);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 is exact zero; bucket b covers [2^(b-1), 2^b - 1].
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  h.Record(4);
+  EXPECT_EQ(h.bucket(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket(1), 1u);  // {1}
+  EXPECT_EQ(h.bucket(2), 2u);  // {2, 3}
+  EXPECT_EQ(h.bucket(3), 1u);  // {4..7}
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+}
+
+TEST(HistogramTest, QuantilesOnUniformDistribution) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  // Log-bucket interpolation: exact at the extremes, within the bucket
+  // (one power of two) elsewhere. For uniform 1..1000 the estimates are
+  // close to the true order statistics.
+  EXPECT_EQ(h.Quantile(0.0), 1u);
+  EXPECT_EQ(h.Quantile(1.0), 1000u);
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.50)), 500.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.90)), 900.0, 110.0);
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.99)), 990.0, 120.0);
+}
+
+TEST(HistogramTest, QuantilesOnPointMass) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.Record(64);
+  EXPECT_EQ(h.Quantile(0.5), 64u);
+  EXPECT_EQ(h.Quantile(0.99), 64u);
+  EXPECT_EQ(h.min(), 64u);
+  EXPECT_EQ(h.max(), 64u);
+}
+
+TEST(HistogramTest, Reset) {
+  Histogram h;
+  h.Record(7);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(RegistryTest, GetOrCreateIsIdempotent) {
+  MetricRegistry reg;
+  Counter* a = reg.GetCounter("x.count", "help text");
+  Counter* b = reg.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = reg.GetGauge("x.gauge");
+  Gauge* g2 = reg.GetGauge("x.gauge");
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 = reg.GetHistogram("x.hist");
+  Histogram* h2 = reg.GetHistogram("x.hist");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(RegistryTest, SnapshotSortedAndComplete) {
+  MetricRegistry reg;
+  reg.GetCounter("b.count")->Increment(3);
+  reg.GetGauge("a.gauge")->Set(1.5);
+  reg.GetHistogram("c.hist")->Record(10);
+  const std::vector<MetricSnapshot> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.gauge");
+  EXPECT_EQ(snap[0].type, MetricType::kGauge);
+  EXPECT_DOUBLE_EQ(snap[0].gauge_value, 1.5);
+  EXPECT_EQ(snap[1].name, "b.count");
+  EXPECT_EQ(snap[1].counter_value, 3u);
+  EXPECT_EQ(snap[2].name, "c.hist");
+  EXPECT_EQ(snap[2].count, 1u);
+  ASSERT_EQ(snap[2].buckets.size(), 1u);
+  EXPECT_EQ(snap[2].buckets[0].second, 1u);
+}
+
+TEST(RegistryTest, ResetAllZeroesEverything) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  Histogram* h = reg.GetHistogram("h");
+  c->Increment(5);
+  h->Record(5);
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreExact) {
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Mix registration with updates: half the threads look the metrics up
+      // by name every iteration, stressing the registry mutex.
+      Counter* c = reg.GetCounter("mt.count");
+      Histogram* h = reg.GetHistogram("mt.hist");
+      for (int i = 0; i < kPerThread; ++i) {
+        if (t % 2 == 0) {
+          c = reg.GetCounter("mt.count");
+          h = reg.GetHistogram("mt.hist");
+        }
+        c->Increment();
+        h->Record(static_cast<uint64_t>(i));
+        reg.GetGauge("mt.gauge")->Add(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("mt.count")->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(reg.GetHistogram("mt.hist")->count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("mt.gauge")->value(),
+                   static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(ScopedTimerTest, RecordsOneSample) {
+  Histogram h;
+  {
+    ScopedTimer timer(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  ScopedTimer timer(&h);
+  timer.StopAndRecord();
+  timer.StopAndRecord();  // disarmed: no double record
+  EXPECT_EQ(h.count(), 2u);
+  ScopedTimer disabled(nullptr);  // null histogram is a no-op
+}
+
+// --- exporters -----------------------------------------------------------
+
+// Minimal structural validation: balanced delimiters outside strings and no
+// dangling commas before a closing bracket.
+void ExpectBalancedJson(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  char prev_significant = '\0';
+  for (const char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+        prev_significant = '"';
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      continue;
+    }
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      EXPECT_NE(prev_significant, ',') << "dangling comma in: " << json;
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) prev_significant = c;
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+MetricRegistry& ExporterFixtureRegistry() {
+  static MetricRegistry* reg = [] {
+    auto* r = new MetricRegistry();
+    r->GetCounter("engine.inserts", "insert \"events\"")->Increment(7);
+    r->GetGauge("engine.fill_ratio")->Set(0.75);
+    Histogram* h = r->GetHistogram("labeling.label_bits", "bits per label");
+    for (uint64_t v : {8u, 16u, 16u, 32u, 200u}) h->Record(v);
+    return r;
+  }();
+  return *reg;
+}
+
+TEST(JsonExportTest, ShapeAndContent) {
+  const std::string json = ToJson(ExporterFixtureRegistry(), "unit_test");
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"label\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"engine.inserts\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 272"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  // Help strings with quotes must be escaped away from the name field only;
+  // the JSON stays parseable (checked structurally above).
+}
+
+TEST(JsonExportTest, EmptyRegistryIsValid) {
+  MetricRegistry reg;
+  const std::string json = ToJson(reg);
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"metrics\": ["), std::string::npos);
+}
+
+TEST(PrometheusExportTest, ExpositionFormat) {
+  const std::string text = ToPrometheus(ExporterFixtureRegistry());
+  EXPECT_NE(text.find("# TYPE cdbs_engine_inserts counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("cdbs_engine_inserts 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cdbs_engine_fill_ratio gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cdbs_labeling_label_bits histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("cdbs_labeling_label_bits_bucket{le=\"+Inf\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("cdbs_labeling_label_bits_sum 272"), std::string::npos);
+  EXPECT_NE(text.find("cdbs_labeling_label_bits_count 5"), std::string::npos);
+  // Buckets are cumulative: the 8-bit sample lands in le=15, joined by the
+  // two 16-bit samples at le=31.
+  EXPECT_NE(text.find("cdbs_labeling_label_bits_bucket{le=\"15\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("cdbs_labeling_label_bits_bucket{le=\"31\"} 3"),
+            std::string::npos);
+}
+
+TEST(TextExportTest, ListsEveryMetric) {
+  const std::string table = ToTextTable(ExporterFixtureRegistry());
+  EXPECT_NE(table.find("engine.inserts"), std::string::npos);
+  EXPECT_NE(table.find("engine.fill_ratio"), std::string::npos);
+  EXPECT_NE(table.find("labeling.label_bits"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+}
+
+TEST(WriteJsonFileTest, RoundTrips) {
+  const std::string path = ::testing::TempDir() + "/obs_test_snapshot.json";
+  ASSERT_TRUE(
+      WriteJsonFile(ExporterFixtureRegistry(), path, "file_test").ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, ToJson(ExporterFixtureRegistry(), "file_test"));
+  ExpectBalancedJson(content);
+}
+
+TEST(DefaultRegistryTest, IsSingletonAndUsable) {
+  MetricRegistry& a = MetricRegistry::Default();
+  MetricRegistry& b = MetricRegistry::Default();
+  EXPECT_EQ(&a, &b);
+  Counter* c = a.GetCounter("obs_test.default_probe");
+  const uint64_t before = c->value();
+  c->Increment();
+  EXPECT_EQ(b.GetCounter("obs_test.default_probe")->value(), before + 1);
+}
+
+}  // namespace
+}  // namespace cdbs::obs
