@@ -126,6 +126,23 @@ Result<NodeId> XmlDb::Insert(NodeId target, const std::string& tag,
   node_of_id_.push_back(fresh);
   labeled_->NoteInsertedNode(result.new_node, tag);
 
+  const Status persisted = PersistUpdate(result);
+  if (!persisted.ok()) {
+    // The store did not take the update (atomically: on disk it is all-or-
+    // nothing, see LabelStore::ApplyBatch) — roll the in-memory mutation
+    // back by deleting the fresh node again, exactly like DeleteElement
+    // does. Node ids are never reused, so the id stays burnt and the
+    // node_of_id_ entry stays (detached, like any deleted node). Existing
+    // labels the insert rewrote in memory stay rewritten — they remain a
+    // valid labeling without the new node — so the whole store is re-synced
+    // on the next successful persist.
+    const labeling::DeleteResult rollback = lab->DeleteSubtree(result.new_node);
+    doc_.RemoveChild(parent, fresh);
+    labeled_->NoteRemovedNodes(rollback.removed);
+    store_needs_reload_ = true;
+    return persisted;
+  }
+
   insertions_->Increment();
   global_insertions_->Increment();
   relabeled_total_->Increment(result.relabeled);
@@ -134,41 +151,33 @@ Result<NodeId> XmlDb::Insert(NodeId target, const std::string& tag,
     overflow_events_->Increment();
     global_overflows_->Increment();
   }
-  CDBS_RETURN_NOT_OK(PersistUpdate(result));
   return result.new_node;
 }
 
 Status XmlDb::PersistUpdate(const labeling::InsertResult& result) {
   if (store_ == nullptr) return Status::OK();
   const labeling::Labeling& lab = labeled_->labeling();
-  bool need_reload = false;
-  for (const NodeId n : result.relabeled_nodes) {
-    const Status status = store_->Rewrite(n, lab.SerializeLabel(n));
-    if (status.code() == StatusCode::kOutOfRange) {
-      need_reload = true;  // label outgrew its slot
-      break;
+  if (!store_needs_reload_) {
+    storage::StoreBatch batch;
+    for (const NodeId n : result.relabeled_nodes) {
+      batch.Rewrite(n, lab.SerializeLabel(n));
     }
-    CDBS_RETURN_NOT_OK(status);
+    batch.Append(lab.SerializeLabel(result.new_node));
+    const Status status = store_->ApplyBatch(batch);
+    if (status.code() != StatusCode::kOutOfRange) return status;
+    // Some label outgrew its slot — fall through to a full reload with
+    // fresh slot sizing, a storage-level re-labeling.
   }
-  if (!need_reload) {
-    const Status status =
-        store_->Append(lab.SerializeLabel(result.new_node));
-    if (status.code() == StatusCode::kOutOfRange) {
-      need_reload = true;
-    } else {
-      CDBS_RETURN_NOT_OK(status);
-    }
+  std::vector<std::string> records;
+  records.reserve(lab.num_nodes());
+  for (NodeId n = 0; n < lab.num_nodes(); ++n) {
+    records.push_back(lab.SerializeLabel(n));
   }
-  if (need_reload) {
-    // Re-bulk-load with fresh slot sizing — a storage-level re-labeling.
-    std::vector<std::string> records;
-    records.reserve(lab.num_nodes());
-    for (NodeId n = 0; n < lab.num_nodes(); ++n) {
-      records.push_back(lab.SerializeLabel(n));
-    }
-    CDBS_RETURN_NOT_OK(store_->BulkLoad(records, 16));
-  }
-  return store_->Sync();
+  storage::StoreBatch reload;
+  reload.Reload(std::move(records), 16);
+  CDBS_RETURN_NOT_OK(store_->ApplyBatch(reload));
+  store_needs_reload_ = false;
+  return Status::OK();
 }
 
 Result<uint64_t> XmlDb::DeleteElement(NodeId target) {

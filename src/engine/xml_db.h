@@ -124,6 +124,10 @@ class XmlDb {
   std::unique_ptr<query::LabeledDocument> labeled_;
   std::vector<xml::Node*> node_of_id_;  // id -> tree node
   std::unique_ptr<storage::LabelStore> store_;  // null when not persistent
+  // Set when a persist failure rolled back an update whose in-memory label
+  // state may have diverged from the store (e.g. an overflow re-encode):
+  // the next successful persist re-syncs everything with a Reload batch.
+  bool store_needs_reload_ = false;
 
   obs::MetricRegistry registry_;
   // Per-instance counters/timers and their process-wide mirrors.

@@ -1,0 +1,24 @@
+#ifndef CDBS_STORAGE_IO_RETRY_H_
+#define CDBS_STORAGE_IO_RETRY_H_
+
+#include <unistd.h>
+
+/// \file
+/// Shared retry policy for the storage layer's raw I/O: transient failures
+/// (EINTR/EAGAIN, or an injected `*.io_error` failpoint) are retried up to
+/// `kMaxIoAttempts` times with exponential backoff before surfacing an
+/// IoError. Each retry increments the owning component's `*.io_retries`
+/// counter.
+
+namespace cdbs::storage::internal {
+
+inline constexpr int kMaxIoAttempts = 4;
+
+/// 50us, 100us, 200us, ... — bounded, and tiny next to an fsync.
+inline void BackoffSleep(int attempt) {
+  ::usleep(50u << (attempt < 6 ? attempt : 6));
+}
+
+}  // namespace cdbs::storage::internal
+
+#endif  // CDBS_STORAGE_IO_RETRY_H_

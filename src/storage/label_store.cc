@@ -1,26 +1,62 @@
 #include "storage/label_store.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
+#include <utility>
 
+#include "storage/io_retry.h"
 #include "util/check.h"
+#include "util/crc32c.h"
+#include "util/failpoint.h"
 
 namespace cdbs::storage {
 
 namespace {
 constexpr size_t kSlotHeader = 2;  // record length, little-endian
 constexpr uint32_t kMagic = 0x43444253;  // "CDBS"
+// Bumped when the page layout changes: v2 added the per-page CRC32C tail.
+constexpr uint32_t kFormatVersion = 2;
 
+void PutU32(char* dst, uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
+uint32_t GetU32(const char* src) {
+  uint32_t v = 0;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
 void PutU64(char* dst, uint64_t v) { std::memcpy(dst, &v, sizeof(v)); }
 uint64_t GetU64(const char* src) {
   uint64_t v = 0;
   std::memcpy(&v, src, sizeof(v));
   return v;
 }
+
+void EncodeSlot(char* slot, size_t slot_size, const std::string& record) {
+  std::memset(slot, 0, slot_size);
+  slot[0] = static_cast<char>(record.size() & 0xFF);
+  slot[1] = static_cast<char>((record.size() >> 8) & 0xFF);
+  std::memcpy(slot + kSlotHeader, record.data(), record.size());
+}
 }  // namespace
+
+void StoreBatch::Rewrite(uint64_t index, std::string record) {
+  ops_.push_back(Op{OpKind::kRewrite, index, std::move(record)});
+}
+
+void StoreBatch::Append(std::string record) {
+  ops_.push_back(Op{OpKind::kAppend, 0, std::move(record)});
+}
+
+void StoreBatch::Reload(std::vector<std::string> records, uint64_t headroom) {
+  reload_ = true;
+  reload_records_ = std::move(records);
+  reload_headroom_ = headroom;
+  ops_.clear();
+}
 
 LabelStore::LabelStore() {
   page_reads_ = registry_.GetCounter("storage.page_reads",
@@ -29,10 +65,18 @@ LabelStore::LabelStore() {
                                       "Pages written to the label store file");
   bytes_written_ = registry_.GetCounter("storage.bytes_written",
                                         "Bytes written to the label store file");
+  checksum_failures_ = registry_.GetCounter(
+      "storage.checksum_failures", "Pages that failed CRC32C verification");
+  io_retries_ = registry_.GetCounter(
+      "storage.io_retries", "Transient page I/O failures that were retried");
+  recoveries_ = registry_.GetCounter(
+      "storage.recovery.replays", "WAL replay passes performed at open");
   read_ns_ = registry_.GetHistogram("storage.page_read.ns",
                                     "Wall time per page read");
   write_ns_ = registry_.GetHistogram("storage.page_write.ns",
                                      "Wall time per page write");
+  recovery_ns_ = registry_.GetHistogram("storage.recovery.ns",
+                                        "Wall time per WAL replay at open");
   obs::MetricRegistry& global = obs::MetricRegistry::Default();
   global_page_reads_ = global.GetCounter(
       "storage.page_reads", "Pages read across all label stores");
@@ -40,6 +84,12 @@ LabelStore::LabelStore() {
       "storage.page_writes", "Pages written across all label stores");
   global_bytes_written_ = global.GetCounter(
       "storage.bytes_written", "Bytes written across all label stores");
+  global_checksum_failures_ = global.GetCounter(
+      "storage.checksum_failures", "Page CRC failures, all label stores");
+  global_io_retries_ = global.GetCounter(
+      "storage.io_retries", "Page I/O retries, all label stores");
+  global_recoveries_ = global.GetCounter(
+      "storage.recovery.replays", "WAL replay passes, all label stores");
 }
 
 LabelStore::~LabelStore() {
@@ -54,44 +104,98 @@ IoStats LabelStore::io_stats() const {
   return stats;
 }
 
+uint64_t LabelStore::PagesFor(uint64_t record_count, size_t slot_size) const {
+  if (record_count == 0 || slot_size == 0) return 1;  // header only
+  const uint64_t per_page = kPageDataSize / slot_size;
+  return 1 + (record_count + per_page - 1) / per_page;
+}
+
 Status LabelStore::Open(const std::string& path) {
   if (fd_ >= 0) ::close(fd_);
+  crashed_ = false;
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) return Status::IoError("cannot open " + path);
   path_ = path;
   record_count_ = 0;
   slot_size_ = 0;
   registry_.ResetAll();
-  return Status::OK();
+  if (wal_ == nullptr) wal_ = std::make_unique<Wal>(&registry_);
+  CDBS_RETURN_NOT_OK(wal_->Open(WalPath(path)));
+  CDBS_RETURN_NOT_OK(wal_->Reset());
+  // An empty store is still a valid, reopenable store: header down and
+  // durable before the first record arrives.
+  CDBS_RETURN_NOT_OK(WriteHeader());
+  return SyncFile();
 }
 
 Status LabelStore::OpenExisting(const std::string& path) {
   if (fd_ >= 0) ::close(fd_);
+  crashed_ = false;
   fd_ = ::open(path.c_str(), O_RDWR, 0644);
   if (fd_ < 0) return Status::IoError("cannot open " + path);
   path_ = path;
   registry_.ResetAll();
+  if (wal_ == nullptr) wal_ = std::make_unique<Wal>(&registry_);
+  CDBS_RETURN_NOT_OK(wal_->Open(WalPath(path)));
+
+  // Redo phase: a synced WAL batch wins over whatever page state the crash
+  // left behind. Replay needs nothing from the (possibly torn) header —
+  // records carry full page images plus the new header fields.
+  std::vector<std::string> pending;
+  CDBS_RETURN_NOT_OK(wal_->Recover(&pending));
+  if (!pending.empty()) {
+    obs::ScopedTimer timer(recovery_ns_);
+    for (const std::string& payload : pending) {
+      CDBS_RETURN_NOT_OK(ReplayWalRecord(payload));
+    }
+    CDBS_RETURN_NOT_OK(SyncFile());
+    CDBS_RETURN_NOT_OK(wal_->Reset());
+    recoveries_->Increment();
+    global_recoveries_->Increment();
+  }
+
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Status::IoError("fstat failed");
+  if (static_cast<uint64_t>(st.st_size) < kPageSize) {
+    return Status::Truncated(path + ": file shorter than the header page");
+  }
   std::vector<char> header;
-  CDBS_RETURN_NOT_OK(ReadPage(0, &header));
-  uint32_t magic = 0;
-  std::memcpy(&magic, header.data(), sizeof(magic));
-  if (magic != kMagic) {
+  CDBS_RETURN_NOT_OK(ReadPageRaw(0, &header));
+  if (GetU32(header.data()) != kMagic) {
     return Status::Corruption(path + " is not a label store");
+  }
+  if (GetU32(header.data() + 4) != kFormatVersion) {
+    return Status::Corruption(path + ": unsupported label store version");
+  }
+  const uint32_t stored_crc = GetU32(header.data() + kPageDataSize);
+  if (stored_crc != util::Crc32c(header.data(), kPageDataSize)) {
+    checksum_failures_->Increment();
+    global_checksum_failures_->Increment();
+    return Status::Corruption(path + ": header checksum mismatch");
   }
   slot_size_ = static_cast<size_t>(GetU64(header.data() + 8));
   record_count_ = static_cast<size_t>(GetU64(header.data() + 16));
-  if (slot_size_ == 0 || slot_size_ > kPageSize) {
+  if (slot_size_ > kPageDataSize || (slot_size_ == 0 && record_count_ != 0)) {
     return Status::Corruption("label store header has a bad slot size");
+  }
+  const uint64_t expected_pages = PagesFor(record_count_, slot_size_);
+  if (static_cast<uint64_t>(st.st_size) < expected_pages * kPageSize) {
+    return Status::Truncated(path + ": data pages cut short");
   }
   return Status::OK();
 }
 
-Status LabelStore::WriteHeader() {
+Status LabelStore::WriteHeaderWith(uint64_t slot_size, uint64_t record_count) {
   std::vector<char> header(kPageSize, 0);
-  std::memcpy(header.data(), &kMagic, sizeof(kMagic));
-  PutU64(header.data() + 8, slot_size_);
-  PutU64(header.data() + 16, record_count_);
-  return WritePage(0, header);
+  PutU32(header.data(), kMagic);
+  PutU32(header.data() + 4, kFormatVersion);
+  PutU64(header.data() + 8, slot_size);
+  PutU64(header.data() + 16, record_count);
+  return WritePage(0, &header);
+}
+
+Status LabelStore::WriteHeader() {
+  return WriteHeaderWith(slot_size_, record_count_);
 }
 
 Status LabelStore::BulkLoad(const std::vector<std::string>& records,
@@ -102,7 +206,7 @@ Status LabelStore::BulkLoad(const std::vector<std::string>& records,
     max_record = std::max(max_record, r.size());
   }
   slot_size_ = max_record + kSlotHeader + headroom;
-  if (slot_size_ > kPageSize) {
+  if (slot_size_ > kPageDataSize) {
     return Status::InvalidArgument("record larger than a page");
   }
   if (::ftruncate(fd_, 0) != 0) return Status::IoError("truncate failed");
@@ -113,20 +217,148 @@ Status LabelStore::BulkLoad(const std::vector<std::string>& records,
   size_t in_page = 0;
   for (const std::string& r : records) {
     if (in_page == per_page) {
-      CDBS_RETURN_NOT_OK(WritePage(page_index, page));
+      CDBS_RETURN_NOT_OK(WritePage(page_index, &page));
       std::fill(page.begin(), page.end(), 0);
       ++page_index;
       in_page = 0;
     }
-    char* slot = page.data() + in_page * slot_size_;
-    slot[0] = static_cast<char>(r.size() & 0xFF);
-    slot[1] = static_cast<char>((r.size() >> 8) & 0xFF);
-    std::memcpy(slot + kSlotHeader, r.data(), r.size());
+    EncodeSlot(page.data() + in_page * slot_size_, slot_size_, r);
     ++in_page;
   }
-  if (in_page > 0) CDBS_RETURN_NOT_OK(WritePage(page_index, page));
+  if (in_page > 0) CDBS_RETURN_NOT_OK(WritePage(page_index, &page));
   record_count_ = records.size();
-  return WriteHeader();
+  CDBS_RETURN_NOT_OK(WriteHeader());
+  CDBS_RETURN_NOT_OK(SyncFile());
+  // The fresh content supersedes any logged batch.
+  return wal_->Reset();
+}
+
+Status LabelStore::ApplyBatch(const StoreBatch& batch) {
+  if (fd_ < 0) return Status::Internal("store not open");
+  if (crashed_) return Status::IoError("store crashed (injected)");
+  if (batch.empty()) return Status::OK();
+
+  // Stage 1 — build the after-image of every page the batch touches, in
+  // memory, validating everything. No I/O errors past this point can tear
+  // the store: the WAL record below carries these exact images.
+  uint64_t new_count = record_count_;
+  uint64_t new_slot = slot_size_;
+  std::map<uint64_t, std::vector<char>> dirty;  // page index -> full page
+
+  if (batch.reload_) {
+    size_t max_record = 1;
+    for (const std::string& r : batch.reload_records_) {
+      max_record = std::max(max_record, r.size());
+    }
+    new_slot = max_record + kSlotHeader + batch.reload_headroom_;
+    if (new_slot > kPageDataSize) {
+      return Status::InvalidArgument("record larger than a page");
+    }
+    new_count = batch.reload_records_.size();
+    const size_t per_page = kPageDataSize / new_slot;
+    for (uint64_t i = 0; i < new_count; ++i) {
+      const uint64_t page_index = 1 + i / per_page;
+      auto [it, inserted] =
+          dirty.try_emplace(page_index, kPageSize, '\0');
+      EncodeSlot(it->second.data() + (i % per_page) * new_slot, new_slot,
+                 batch.reload_records_[i]);
+    }
+  } else {
+    if (slot_size_ == 0) return Status::Internal("batch before bulk load");
+    const size_t per_page = SlotsPerPage();
+    for (const StoreBatch::Op& op : batch.ops_) {
+      if (op.record.size() + kSlotHeader > slot_size_) {
+        return Status::OutOfRange("record does not fit a slot");
+      }
+      uint64_t index = 0;
+      if (op.kind == StoreBatch::OpKind::kRewrite) {
+        if (op.index >= record_count_) return Status::OutOfRange("record index");
+        index = op.index;
+      } else {
+        index = new_count++;
+      }
+      const uint64_t page_index = 1 + index / per_page;
+      auto it = dirty.find(page_index);
+      if (it == dirty.end()) {
+        std::vector<char> page;
+        if (index % per_page == 0 &&
+            op.kind == StoreBatch::OpKind::kAppend) {
+          page.assign(kPageSize, 0);  // fresh page
+        } else {
+          CDBS_RETURN_NOT_OK(ReadPage(page_index, &page));
+        }
+        it = dirty.emplace(page_index, std::move(page)).first;
+      }
+      EncodeSlot(it->second.data() + (index % per_page) * slot_size_,
+                 slot_size_, op.record);
+    }
+  }
+  const uint64_t total_pages = PagesFor(new_count, new_slot);
+
+  // Stage 2 — make the batch durable in the WAL before touching a page:
+  //   [u64 new_count][u64 new_slot][u64 total_pages][u32 npages]
+  //   npages x ([u64 page_index][kPageDataSize image bytes])
+  std::string payload(8 * 3 + 4 + dirty.size() * (8 + kPageDataSize), '\0');
+  char* out = payload.data();
+  PutU64(out, new_count);
+  PutU64(out + 8, new_slot);
+  PutU64(out + 16, total_pages);
+  PutU32(out + 24, static_cast<uint32_t>(dirty.size()));
+  out += 28;
+  for (const auto& [page_index, page] : dirty) {
+    PutU64(out, page_index);
+    std::memcpy(out + 8, page.data(), kPageDataSize);
+    out += 8 + kPageDataSize;
+  }
+  CDBS_RETURN_NOT_OK(wal_->Append(payload));
+  CDBS_RETURN_NOT_OK(wal_->Sync());
+
+  // Stage 3 — apply. A crash from here on is repaired by redo at reopen.
+  CDBS_RETURN_NOT_OK(
+      ApplyPageImages(new_count, new_slot, total_pages, dirty));
+  CDBS_RETURN_NOT_OK(SyncFile());
+
+  // Stage 4 — checkpoint: pages and header are durable, drop the record.
+  // (A crash before this lands merely replays the batch, idempotently.)
+  return wal_->Reset();
+}
+
+Status LabelStore::ApplyPageImages(
+    uint64_t new_record_count, uint64_t new_slot_size, uint64_t total_pages,
+    std::map<uint64_t, std::vector<char>>& pages) {
+  if (::ftruncate(fd_, static_cast<off_t>(total_pages * kPageSize)) != 0) {
+    return Status::IoError("cannot resize store file");
+  }
+  for (auto& [page_index, page] : pages) {
+    CDBS_RETURN_NOT_OK(WritePage(page_index, &page));
+  }
+  CDBS_RETURN_NOT_OK(WriteHeaderWith(new_slot_size, new_record_count));
+  slot_size_ = static_cast<size_t>(new_slot_size);
+  record_count_ = static_cast<size_t>(new_record_count);
+  return Status::OK();
+}
+
+Status LabelStore::ReplayWalRecord(const std::string& payload) {
+  if (payload.size() < 28) return Status::Corruption("bad WAL record");
+  const char* in = payload.data();
+  const uint64_t new_count = GetU64(in);
+  const uint64_t new_slot = GetU64(in + 8);
+  const uint64_t total_pages = GetU64(in + 16);
+  const uint32_t npages = GetU32(in + 24);
+  if (payload.size() != 28 + static_cast<size_t>(npages) *
+                                 (8 + kPageDataSize)) {
+    return Status::Corruption("bad WAL record length");
+  }
+  in += 28;
+  std::map<uint64_t, std::vector<char>> pages;
+  for (uint32_t i = 0; i < npages; ++i) {
+    const uint64_t page_index = GetU64(in);
+    std::vector<char> page(kPageSize, 0);
+    std::memcpy(page.data(), in + 8, kPageDataSize);
+    pages.emplace(page_index, std::move(page));
+    in += 8 + kPageDataSize;
+  }
+  return ApplyPageImages(new_count, new_slot, total_pages, pages);
 }
 
 Status LabelStore::Read(size_t index, std::string* record) {
@@ -152,12 +384,9 @@ Status LabelStore::Rewrite(size_t index, const std::string& record) {
   const size_t per_page = SlotsPerPage();
   std::vector<char> page;
   CDBS_RETURN_NOT_OK(ReadPage(1 + index / per_page, &page));
-  char* slot = page.data() + (index % per_page) * slot_size_;
-  std::memset(slot, 0, slot_size_);
-  slot[0] = static_cast<char>(record.size() & 0xFF);
-  slot[1] = static_cast<char>((record.size() >> 8) & 0xFF);
-  std::memcpy(slot + kSlotHeader, record.data(), record.size());
-  return WritePage(1 + index / per_page, page);
+  EncodeSlot(page.data() + (index % per_page) * slot_size_, slot_size_,
+             record);
+  return WritePage(1 + index / per_page, &page);
 }
 
 Status LabelStore::Append(const std::string& record) {
@@ -177,39 +406,120 @@ Status LabelStore::Append(const std::string& record) {
   } else {
     CDBS_RETURN_NOT_OK(ReadPage(page_index, &page));
   }
-  char* slot = page.data() + (index % per_page) * slot_size_;
-  slot[0] = static_cast<char>(record.size() & 0xFF);
-  slot[1] = static_cast<char>((record.size() >> 8) & 0xFF);
-  std::memcpy(slot + kSlotHeader, record.data(), record.size());
-  CDBS_RETURN_NOT_OK(WritePage(page_index, page));
+  EncodeSlot(page.data() + (index % per_page) * slot_size_, slot_size_,
+             record);
+  CDBS_RETURN_NOT_OK(WritePage(page_index, &page));
   ++record_count_;
   return WriteHeader();
 }
 
-Status LabelStore::Sync() {
+Status LabelStore::Sync() { return SyncFile(); }
+
+Status LabelStore::SyncFile() {
   if (fd_ < 0) return Status::Internal("store not open");
-  if (::fdatasync(fd_) != 0) return Status::IoError("fdatasync failed");
+  if (crashed_) return Status::IoError("store crashed (injected)");
+  if (CDBS_FAILPOINT("storage.sync.crash")) {
+    crashed_ = true;
+    return Status::IoError("injected crash: store sync");
+  }
+  for (int attempt = 0;; ++attempt) {
+    const bool failed =
+        CDBS_FAILPOINT("storage.sync.io_error") || ::fdatasync(fd_) != 0;
+    if (!failed) return Status::OK();
+    if (attempt + 1 >= internal::kMaxIoAttempts) {
+      return Status::IoError("fdatasync failed after retries");
+    }
+    io_retries_->Increment();
+    global_io_retries_->Increment();
+    internal::BackoffSleep(attempt);
+  }
+}
+
+Status LabelStore::VerifyChecksums() {
+  if (fd_ < 0) return Status::Internal("store not open");
+  const uint64_t pages = PagesFor(record_count_, slot_size_);
+  std::vector<char> page;
+  for (uint64_t p = 0; p < pages; ++p) {
+    CDBS_RETURN_NOT_OK(ReadPage(p, &page));
+  }
   return Status::OK();
 }
 
-Status LabelStore::ReadPage(uint64_t page_index, std::vector<char>* page) {
+Status LabelStore::ReadPageRaw(uint64_t page_index, std::vector<char>* page) {
   obs::ScopedTimer timer(read_ns_);
   page->assign(kPageSize, 0);
-  const ssize_t n = ::pread(fd_, page->data(), kPageSize,
-                            static_cast<off_t>(page_index * kPageSize));
-  if (n < 0) return Status::IoError("pread failed");
+  for (int attempt = 0;; ++attempt) {
+    const bool injected = CDBS_FAILPOINT("storage.read_page.io_error");
+    if (!injected) {
+      const ssize_t n = ::pread(fd_, page->data(), kPageSize,
+                                static_cast<off_t>(page_index * kPageSize));
+      if (n == static_cast<ssize_t>(kPageSize)) break;
+      if (n >= 0) {
+        return Status::Truncated("page " + std::to_string(page_index) +
+                                 " is past the end of the file");
+      }
+      if (errno != EINTR && errno != EAGAIN) {
+        return Status::IoError("pread failed");
+      }
+    }
+    if (attempt + 1 >= internal::kMaxIoAttempts) {
+      return Status::IoError("pread failed after retries");
+    }
+    io_retries_->Increment();
+    global_io_retries_->Increment();
+    internal::BackoffSleep(attempt);
+  }
   page_reads_->Increment();
   global_page_reads_->Increment();
   return Status::OK();
 }
 
-Status LabelStore::WritePage(uint64_t page_index,
-                             const std::vector<char>& page) {
+Status LabelStore::ReadPage(uint64_t page_index, std::vector<char>* page) {
+  CDBS_RETURN_NOT_OK(ReadPageRaw(page_index, page));
+  const uint32_t stored = GetU32(page->data() + kPageDataSize);
+  if (stored != util::Crc32c(page->data(), kPageDataSize)) {
+    checksum_failures_->Increment();
+    global_checksum_failures_->Increment();
+    return Status::Corruption("page " + std::to_string(page_index) +
+                              " checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Status LabelStore::WritePage(uint64_t page_index, std::vector<char>* page) {
   obs::ScopedTimer timer(write_ns_);
-  const ssize_t n = ::pwrite(fd_, page.data(), kPageSize,
-                             static_cast<off_t>(page_index * kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("pwrite failed");
+  if (crashed_) return Status::IoError("store crashed (injected)");
+  PutU32(page->data() + kPageDataSize,
+         util::Crc32c(page->data(), kPageDataSize));
+  if (CDBS_FAILPOINT("storage.write_page.crash")) {
+    crashed_ = true;
+    return Status::IoError("injected crash: page write");
+  }
+  if (CDBS_FAILPOINT("storage.write_page.short_write")) {
+    // Simulated torn write: half the page lands, then the process "dies".
+    ::pwrite(fd_, page->data(), kPageSize / 2,
+             static_cast<off_t>(page_index * kPageSize));
+    crashed_ = true;
+    return Status::IoError("injected crash: short page write");
+  }
+  for (int attempt = 0;; ++attempt) {
+    const bool injected = CDBS_FAILPOINT("storage.write_page.io_error");
+    if (!injected) {
+      const ssize_t n = ::pwrite(fd_, page->data(), kPageSize,
+                                 static_cast<off_t>(page_index * kPageSize));
+      if (n == static_cast<ssize_t>(kPageSize)) break;
+      if (n < 0 && errno != EINTR && errno != EAGAIN) {
+        return Status::IoError("pwrite failed");
+      }
+      // A genuine short write is retried whole: pwrite is positioned, so
+      // re-issuing the full page is idempotent.
+    }
+    if (attempt + 1 >= internal::kMaxIoAttempts) {
+      return Status::IoError("pwrite failed after retries");
+    }
+    io_retries_->Increment();
+    global_io_retries_->Increment();
+    internal::BackoffSleep(attempt);
   }
   page_writes_->Increment();
   global_page_writes_->Increment();

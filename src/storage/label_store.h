@@ -2,10 +2,13 @@
 #define CDBS_STORAGE_LABEL_STORE_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "storage/wal.h"
 #include "util/status.h"
 
 /// \file
@@ -16,9 +19,14 @@
 /// store reproduces that: every record rewrite is a page read-modify-write
 /// against a real file.
 ///
-/// Layout: fixed 4 KiB pages; each page holds a contiguous run of
+/// Layout: fixed 4 KiB pages, the last 4 bytes of each holding a CRC32C of
+/// the rest (verified on every read); each page holds a contiguous run of
 /// fixed-slot records (slot size chosen at bulk load from the largest
 /// record, with headroom for label growth). Records are addressed by index.
+/// Updates applied through `ApplyBatch` are crash-consistent: the batch is
+/// logged to a write-ahead log and fsynced before any page is touched, and
+/// `OpenExisting` replays the log / truncates its torn tail. The full
+/// on-disk format and recovery protocol are in docs/DURABILITY.md.
 
 namespace cdbs::storage {
 
@@ -31,14 +39,54 @@ struct IoStats {
   uint64_t bytes_written = 0;
 };
 
+/// One atomic multi-record update: any mix of in-place rewrites and
+/// appends, or a full reload (the overflow re-encode of Example 6.1).
+/// Build it up, then hand it to `LabelStore::ApplyBatch` — the whole batch
+/// reaches the store or none of it does, even across a crash.
+class StoreBatch {
+ public:
+  /// Replaces record `index` in place.
+  void Rewrite(uint64_t index, std::string record);
+
+  /// Appends a record at the end.
+  void Append(std::string record);
+
+  /// Replaces the entire store content with `records`, re-sizing slots
+  /// with `headroom` growth bytes. Supersedes any queued ops.
+  void Reload(std::vector<std::string> records, uint64_t headroom);
+
+  bool empty() const { return ops_.empty() && !reload_; }
+
+ private:
+  friend class LabelStore;
+
+  enum class OpKind { kRewrite, kAppend };
+  struct Op {
+    OpKind kind;
+    uint64_t index;  // kRewrite only
+    std::string record;
+  };
+
+  std::vector<Op> ops_;
+  bool reload_ = false;
+  std::vector<std::string> reload_records_;
+  uint64_t reload_headroom_ = 0;
+};
+
 /// File-backed label store.
 ///
-/// File layout: one header page (magic, slot size, record count) followed
-/// by data pages of fixed-size slots. A store written by BulkLoad/Append
-/// can be re-opened later with OpenExisting.
+/// File layout: one header page (magic, format version, slot size, record
+/// count, CRC) followed by data pages of fixed-size slots, each page
+/// CRC-protected. A store written by BulkLoad/Append/ApplyBatch can be
+/// re-opened later with OpenExisting; a sibling `<path>.wal` write-ahead
+/// log makes ApplyBatch updates atomic across crashes.
 class LabelStore {
  public:
   static constexpr size_t kPageSize = 4096;
+  /// Trailing bytes of every page reserved for its CRC32C.
+  static constexpr size_t kPageCrcBytes = 4;
+  /// Slot-usable bytes per page.
+  static constexpr size_t kPageDataSize = kPageSize - kPageCrcBytes;
 
   LabelStore();
   ~LabelStore();
@@ -46,33 +94,55 @@ class LabelStore {
   LabelStore(const LabelStore&) = delete;
   LabelStore& operator=(const LabelStore&) = delete;
 
-  /// Creates (truncates) the store file.
+  /// Creates (truncates) the store file, writes and syncs an empty header,
+  /// and resets the sibling WAL.
   Status Open(const std::string& path);
 
-  /// Opens an existing store file and loads its header. Returns Corruption
-  /// if the file is not a label store.
+  /// Opens an existing store file: replays any pending WAL batch (redo),
+  /// truncates a torn WAL tail, then loads and checksums the header.
+  /// Returns Truncated for a file cut short, Corruption for a wrong magic
+  /// or a failing checksum.
   Status OpenExisting(const std::string& path);
 
   /// Writes all records, sizing slots to fit the largest plus `headroom`
-  /// bytes of growth. Replaces any previous content.
+  /// bytes of growth. Replaces any previous content and syncs. Not WAL-
+  /// logged — a crash mid-load leaves a detectable (checksummed) but
+  /// unrecoverable partial store; use ApplyBatch for incremental updates.
   Status BulkLoad(const std::vector<std::string>& records, size_t headroom);
+
+  /// Applies `batch` atomically: logs it to the WAL, fsyncs, writes the
+  /// affected pages + header, fsyncs, then checkpoints the WAL. After a
+  /// crash anywhere inside, OpenExisting recovers either the full batch or
+  /// none of it. Returns OutOfRange (before any I/O) when a record does
+  /// not fit its slot — the caller re-issues as a Reload batch.
+  Status ApplyBatch(const StoreBatch& batch);
 
   /// Number of records.
   size_t size() const { return record_count_; }
 
-  /// Reads one record (page read + slot decode).
+  /// Reads one record (page read + checksum verify + slot decode).
   Status Read(size_t index, std::string* record);
 
   /// Rewrites one record in place: page read, modify, page write. The
   /// record must fit the slot; returns OutOfRange otherwise (caller
-  /// re-bulk-loads, which is exactly a re-labeling).
+  /// re-bulk-loads, which is exactly a re-labeling). Not WAL-logged.
   Status Rewrite(size_t index, const std::string& record);
 
-  /// Appends one record at the end (may touch the last page only).
+  /// Appends one record at the end (may touch the last page only). Not
+  /// WAL-logged.
   Status Append(const std::string& record);
 
   /// Flushes OS buffers for the file.
   Status Sync();
+
+  /// Reads and checksum-verifies every page (header + data). OK iff the
+  /// whole store is intact.
+  Status VerifyChecksums();
+
+  /// The sibling WAL path for a store at `store_path`.
+  static std::string WalPath(const std::string& store_path) {
+    return store_path + ".wal";
+  }
 
   /// I/O counters since Open — a thin view over metrics().
   IoStats io_stats() const;
@@ -85,27 +155,50 @@ class LabelStore {
   size_t slot_size() const { return slot_size_; }
 
  private:
-  size_t SlotsPerPage() const { return kPageSize / slot_size_; }
+  size_t SlotsPerPage() const { return kPageDataSize / slot_size_; }
+  uint64_t PagesFor(uint64_t record_count, size_t slot_size) const;
 
+  Status ReadPageRaw(uint64_t page_index, std::vector<char>* page);
   Status ReadPage(uint64_t page_index, std::vector<char>* page);
-  Status WritePage(uint64_t page_index, const std::vector<char>& page);
+  Status WritePage(uint64_t page_index, std::vector<char>* page);
   Status WriteHeader();
+  Status WriteHeaderWith(uint64_t slot_size, uint64_t record_count);
+  Status SyncFile();
+
+  /// Writes a set of fully-built page images plus the header, growing or
+  /// shrinking the file to `total_pages`. The physical half of ApplyBatch,
+  /// shared with WAL replay.
+  Status ApplyPageImages(uint64_t new_record_count, uint64_t new_slot_size,
+                         uint64_t total_pages,
+                         std::map<uint64_t, std::vector<char>>& pages);
+
+  /// Decodes one recovered WAL payload and re-applies it (idempotent).
+  Status ReplayWalRecord(const std::string& payload);
 
   int fd_ = -1;
   std::string path_;
   size_t slot_size_ = 0;
   size_t record_count_ = 0;
+  bool crashed_ = false;  // poisoned by an injected crash failpoint
+  std::unique_ptr<Wal> wal_;
 
   obs::MetricRegistry registry_;
   // Per-instance counters (reset on Open) and their process-wide mirrors.
   obs::Counter* page_reads_;
   obs::Counter* page_writes_;
   obs::Counter* bytes_written_;
+  obs::Counter* checksum_failures_;
+  obs::Counter* io_retries_;
+  obs::Counter* recoveries_;
   obs::Histogram* read_ns_;
   obs::Histogram* write_ns_;
+  obs::Histogram* recovery_ns_;
   obs::Counter* global_page_reads_;
   obs::Counter* global_page_writes_;
   obs::Counter* global_bytes_written_;
+  obs::Counter* global_checksum_failures_;
+  obs::Counter* global_io_retries_;
+  obs::Counter* global_recoveries_;
 };
 
 }  // namespace cdbs::storage

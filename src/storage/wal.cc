@@ -1,0 +1,199 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/io_retry.h"
+#include "util/crc32c.h"
+#include "util/failpoint.h"
+
+namespace cdbs::storage {
+
+namespace {
+
+constexpr size_t kRecordHeader = 8;  // u32 crc32c + u32 len
+
+void PutU32(char* dst, uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
+uint32_t GetU32(const char* src) {
+  uint32_t v = 0;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Wal::Wal(obs::MetricRegistry* registry) {
+  appends_ = registry->GetCounter("wal.appends", "Records appended to the WAL");
+  bytes_written_ =
+      registry->GetCounter("wal.bytes_written", "Bytes appended to the WAL");
+  syncs_ = registry->GetCounter("wal.syncs", "WAL fsyncs");
+  replayed_records_ = registry->GetCounter(
+      "wal.replayed_records", "Intact records replayed during recovery");
+  checksum_failures_ = registry->GetCounter(
+      "wal.checksum_failures", "WAL records dropped for a bad checksum");
+  truncated_bytes_ = registry->GetCounter(
+      "wal.truncated_bytes", "Torn-tail bytes truncated during recovery");
+  io_retries_ = registry->GetCounter(
+      "wal.io_retries", "Transient WAL I/O failures that were retried");
+  obs::MetricRegistry& global = obs::MetricRegistry::Default();
+  global_appends_ =
+      global.GetCounter("wal.appends", "Records appended, all WALs");
+  global_replayed_ = global.GetCounter("wal.replayed_records",
+                                       "Records replayed, all WALs");
+  global_checksum_failures_ = global.GetCounter(
+      "wal.checksum_failures", "WAL checksum failures, all WALs");
+  global_io_retries_ =
+      global.GetCounter("wal.io_retries", "WAL I/O retries, all WALs");
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Wal::Open(const std::string& path) {
+  if (fd_ >= 0) ::close(fd_);
+  crashed_ = false;
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) return Status::IoError("cannot open WAL " + path);
+  path_ = path;
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Status::IoError("fstat failed on WAL");
+  end_offset_ = static_cast<uint64_t>(st.st_size);
+  return Status::OK();
+}
+
+Status Wal::WriteAt(uint64_t offset, const char* data, size_t n) {
+  for (int attempt = 0;; ++attempt) {
+    bool failed = CDBS_FAILPOINT("wal.append.io_error");
+    if (!failed) {
+      const ssize_t written =
+          ::pwrite(fd_, data, n, static_cast<off_t>(offset));
+      if (written == static_cast<ssize_t>(n)) return Status::OK();
+      failed = (written < 0 && (errno == EINTR || errno == EAGAIN)) ||
+               written >= 0;  // short write: retry the whole record
+      if (!failed) return Status::IoError("pwrite failed on WAL");
+    }
+    if (attempt + 1 >= internal::kMaxIoAttempts) {
+      return Status::IoError("WAL write failed after retries");
+    }
+    io_retries_->Increment();
+    global_io_retries_->Increment();
+    internal::BackoffSleep(attempt);
+  }
+}
+
+Status Wal::Append(std::string_view payload) {
+  if (fd_ < 0) return Status::Internal("WAL not open");
+  if (crashed_) return Status::IoError("WAL crashed (injected)");
+  std::string record(kRecordHeader + payload.size(), '\0');
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  PutU32(record.data() + 4, len);
+  std::memcpy(record.data() + kRecordHeader, payload.data(), payload.size());
+  const uint32_t crc =
+      util::Crc32c(record.data() + 4, 4 + payload.size());
+  PutU32(record.data(), crc);
+
+  if (CDBS_FAILPOINT("wal.append.short_write")) {
+    // Simulated crash mid-append: half the record reaches the file, then
+    // this WAL handle is dead. Recovery must truncate the torn tail.
+    ::pwrite(fd_, record.data(), record.size() / 2,
+             static_cast<off_t>(end_offset_));
+    crashed_ = true;
+    return Status::IoError("injected crash: WAL short write");
+  }
+  CDBS_RETURN_NOT_OK(WriteAt(end_offset_, record.data(), record.size()));
+  end_offset_ += record.size();
+  appends_->Increment();
+  global_appends_->Increment();
+  bytes_written_->Increment(record.size());
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  if (fd_ < 0) return Status::Internal("WAL not open");
+  if (crashed_) return Status::IoError("WAL crashed (injected)");
+  if (CDBS_FAILPOINT("wal.sync.crash")) {
+    crashed_ = true;
+    return Status::IoError("injected crash: WAL sync");
+  }
+  for (int attempt = 0;; ++attempt) {
+    const bool failed =
+        CDBS_FAILPOINT("wal.sync.io_error") || ::fdatasync(fd_) != 0;
+    if (!failed) break;
+    if (attempt + 1 >= internal::kMaxIoAttempts) {
+      return Status::IoError("WAL fdatasync failed after retries");
+    }
+    io_retries_->Increment();
+    global_io_retries_->Increment();
+    internal::BackoffSleep(attempt);
+  }
+  syncs_->Increment();
+  return Status::OK();
+}
+
+Status Wal::Recover(std::vector<std::string>* payloads) {
+  if (fd_ < 0) return Status::Internal("WAL not open");
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Status::IoError("fstat failed on WAL");
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  uint64_t offset = 0;
+  bool torn = false;
+  while (offset + kRecordHeader <= size) {
+    char header[kRecordHeader];
+    if (::pread(fd_, header, kRecordHeader, static_cast<off_t>(offset)) !=
+        static_cast<ssize_t>(kRecordHeader)) {
+      return Status::IoError("pread failed on WAL header");
+    }
+    const uint32_t crc = GetU32(header);
+    const uint32_t len = GetU32(header + 4);
+    if (offset + kRecordHeader + len > size) {
+      torn = true;  // length runs past the tail: torn append
+      break;
+    }
+    std::string payload(len, '\0');
+    if (len > 0 &&
+        ::pread(fd_, payload.data(), len,
+                static_cast<off_t>(offset + kRecordHeader)) !=
+            static_cast<ssize_t>(len)) {
+      return Status::IoError("pread failed on WAL payload");
+    }
+    uint32_t actual = util::Crc32c(header + 4, 4);
+    actual = util::Crc32c(payload.data(), payload.size(),
+                          actual);
+    if (actual != crc) {
+      checksum_failures_->Increment();
+      global_checksum_failures_->Increment();
+      torn = true;
+      break;
+    }
+    payloads->push_back(std::move(payload));
+    replayed_records_->Increment();
+    global_replayed_->Increment();
+    offset += kRecordHeader + len;
+  }
+  if (offset < size) torn = true;  // trailing sub-header bytes
+  if (torn) {
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+      return Status::IoError("cannot truncate torn WAL tail");
+    }
+    truncated_bytes_->Increment(size - offset);
+  }
+  end_offset_ = offset;
+  return Status::OK();
+}
+
+Status Wal::Reset() {
+  if (fd_ < 0) return Status::Internal("WAL not open");
+  if (crashed_) return Status::IoError("WAL crashed (injected)");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IoError("cannot reset WAL");
+  }
+  end_offset_ = 0;
+  return Status::OK();
+}
+
+}  // namespace cdbs::storage

@@ -1,0 +1,84 @@
+#ifndef CDBS_STORAGE_WAL_H_
+#define CDBS_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+/// \file
+/// A checksummed, length-prefixed write-ahead log. `LabelStore` logs every
+/// update batch here — as one record, fsynced — *before* mutating any page,
+/// so a crash at any point leaves either a replayable record (redo wins) or
+/// a torn tail (truncated on recovery, pre-update state wins). Record
+/// layout and the recovery protocol are documented in docs/DURABILITY.md.
+///
+/// On-disk record: `[u32 crc32c][u32 len][len payload bytes]`, little-
+/// endian, where the CRC covers the length field plus the payload — a
+/// record whose length was torn mid-write fails its checksum instead of
+/// misparsing the tail.
+
+namespace cdbs::storage {
+
+class Wal {
+ public:
+  /// Binds this WAL's counters into `registry` (the owning store's private
+  /// registry); increments are mirrored into MetricRegistry::Default().
+  explicit Wal(obs::MetricRegistry* registry);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (creating if missing) the log file, preserving its contents.
+  Status Open(const std::string& path);
+
+  /// Appends one record at the current tail. Does not sync.
+  Status Append(std::string_view payload);
+
+  /// Flushes the log to stable storage.
+  Status Sync();
+
+  /// Scans the log from the start, appending every intact payload to
+  /// `payloads`. A torn or checksum-failing tail is truncated away (the
+  /// file is physically cut at the last intact record boundary); intact
+  /// records before the tear are still returned.
+  Status Recover(std::vector<std::string>* payloads);
+
+  /// Empties the log (after a checkpoint: the store's pages and header are
+  /// durable, so the logged batch is no longer needed).
+  Status Reset();
+
+  /// Current log tail offset in bytes.
+  uint64_t size_bytes() const { return end_offset_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Status WriteAt(uint64_t offset, const char* data, size_t n);
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t end_offset_ = 0;
+  bool crashed_ = false;  // poisoned by an injected crash failpoint
+
+  // Private counters and their process-wide mirrors.
+  obs::Counter* appends_;
+  obs::Counter* bytes_written_;
+  obs::Counter* syncs_;
+  obs::Counter* replayed_records_;
+  obs::Counter* checksum_failures_;
+  obs::Counter* truncated_bytes_;
+  obs::Counter* io_retries_;
+  obs::Counter* global_appends_;
+  obs::Counter* global_replayed_;
+  obs::Counter* global_checksum_failures_;
+  obs::Counter* global_io_retries_;
+};
+
+}  // namespace cdbs::storage
+
+#endif  // CDBS_STORAGE_WAL_H_

@@ -1,0 +1,100 @@
+#include "util/crc32c.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define CDBS_CRC32C_X86 1
+#include <nmmintrin.h>
+#endif
+
+namespace cdbs::util {
+
+namespace {
+
+// Slice-by-8 tables for the reflected Castagnoli polynomial, built once at
+// first use. Table 0 is the classic byte-at-a-time table; table k folds a
+// byte that sits k positions further into the message.
+struct Crc32cTables {
+  uint32_t t[8][256];
+
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+uint32_t SoftwareCrc32c(const uint8_t* p, size_t n, uint32_t crc) {
+  static const Crc32cTables tables;
+  const auto& t = tables.t;
+  while (n >= 8) {
+    uint64_t word = 0;
+    std::memcpy(&word, p, 8);
+    word ^= crc;
+    crc = t[7][word & 0xFF] ^ t[6][(word >> 8) & 0xFF] ^
+          t[5][(word >> 16) & 0xFF] ^ t[4][(word >> 24) & 0xFF] ^
+          t[3][(word >> 32) & 0xFF] ^ t[2][(word >> 40) & 0xFF] ^
+          t[1][(word >> 48) & 0xFF] ^ t[0][(word >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  }
+  return crc;
+}
+
+#ifdef CDBS_CRC32C_X86
+__attribute__((target("sse4.2"))) uint32_t HardwareCrc32c(const uint8_t* p,
+                                                          size_t n,
+                                                          uint32_t crc) {
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word = 0;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return crc;
+}
+
+bool CpuHasSse42() { return __builtin_cpu_supports("sse4.2") != 0; }
+#endif  // CDBS_CRC32C_X86
+
+}  // namespace
+
+bool Crc32cIsHardwareAccelerated() {
+#ifdef CDBS_CRC32C_X86
+  static const bool has = CpuHasSse42();
+  return has;
+#else
+  return false;
+#endif
+}
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint32_t crc = seed ^ 0xFFFFFFFFu;
+#ifdef CDBS_CRC32C_X86
+  if (Crc32cIsHardwareAccelerated()) {
+    return HardwareCrc32c(p, n, crc) ^ 0xFFFFFFFFu;
+  }
+#endif
+  return SoftwareCrc32c(p, n, crc) ^ 0xFFFFFFFFu;
+}
+
+}  // namespace cdbs::util

@@ -1,0 +1,27 @@
+#ifndef CDBS_UTIL_CRC32C_H_
+#define CDBS_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum guarding every label-store page and WAL record (see
+/// docs/DURABILITY.md). Uses the SSE4.2 CRC32 instruction when the CPU has
+/// it (runtime-dispatched, no special build flags needed) and a slice-by-8
+/// table fallback otherwise, so checksumming a 4 KiB page costs far less
+/// than the pwrite it protects.
+
+namespace cdbs::util {
+
+/// CRC-32C of `data[0, n)`, continuing from `seed` (pass the previous
+/// return value to checksum a buffer in chunks; 0 starts a fresh CRC).
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+/// True when the hardware (SSE4.2) path is in use — exposed for tests and
+/// the durability bench.
+bool Crc32cIsHardwareAccelerated();
+
+}  // namespace cdbs::util
+
+#endif  // CDBS_UTIL_CRC32C_H_

@@ -1,0 +1,224 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <random>
+
+#include "obs/metrics.h"
+
+namespace cdbs::util {
+
+namespace {
+
+enum class Mode { kAlways, kOneShot, kAfterN, kProb };
+
+struct SiteConfig {
+  Mode mode = Mode::kAlways;
+  uint64_t remaining_passes = 0;  // kAfterN: evaluations left before firing
+  double probability = 0;         // kProb
+};
+
+struct State {
+  std::mutex mu;
+  std::map<std::string, SiteConfig, std::less<>> sites;
+  // Deterministic across runs so CI failures replay; reseeded by
+  // DeactivateAll so each test starts from the same sequence.
+  std::mt19937_64 rng{0x9E3779B97F4A7C15ull};
+  // Lock-free "anything armed?" gate for the inactive fast path.
+  std::atomic<size_t> active_count{0};
+};
+
+State& GetState() {
+  static State* state = new State();
+  return *state;
+}
+
+Status ParseSpec(std::string_view spec, SiteConfig* out) {
+  if (spec == "always") {
+    out->mode = Mode::kAlways;
+    return Status::OK();
+  }
+  if (spec == "oneshot") {
+    out->mode = Mode::kAfterN;
+    out->remaining_passes = 0;
+    return Status::OK();
+  }
+  if (spec.rfind("after=", 0) == 0) {
+    const std::string n(spec.substr(6));
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(n.c_str(), &end, 10);
+    if (n.empty() || end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad failpoint count: " + n);
+    }
+    out->mode = Mode::kAfterN;
+    out->remaining_passes = v;
+    return Status::OK();
+  }
+  if (spec.rfind("prob=", 0) == 0) {
+    const std::string p(spec.substr(5));
+    char* end = nullptr;
+    const double v = std::strtod(p.c_str(), &end);
+    if (p.empty() || end == nullptr || *end != '\0' || v < 0 || v > 1) {
+      return Status::InvalidArgument("bad failpoint probability: " + p);
+    }
+    out->mode = Mode::kProb;
+    out->probability = v;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown failpoint spec: " +
+                                 std::string(spec));
+}
+
+void ActivateLocked(State& state, std::string_view site,
+                    const SiteConfig& config) {
+  auto [it, inserted] =
+      state.sites.insert_or_assign(std::string(site), config);
+  (void)it;
+  if (inserted) {
+    state.active_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status ActivateFromListImpl(std::string_view list) {
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t end = list.find_first_of(";,", pos);
+    if (end == std::string_view::npos) end = list.size();
+    const std::string_view entry = list.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == 0 || eq == std::string_view::npos) {
+      return Status::InvalidArgument("bad failpoint entry: " +
+                                     std::string(entry));
+    }
+    CDBS_RETURN_NOT_OK(
+        Failpoints::Activate(entry.substr(0, eq), entry.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+// Parses CDBS_FAILPOINTS exactly once, before the first fast-path check,
+// so env-armed sites are never missed by the active_count gate.
+void LoadFromEnvOnce() {
+  static const bool loaded = [] {
+    const char* raw = std::getenv("CDBS_FAILPOINTS");
+    if (raw != nullptr && raw[0] != '\0') {
+      const Status status = ActivateFromListImpl(raw);
+      if (!status.ok()) {
+        std::fprintf(stderr, "warning: CDBS_FAILPOINTS: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    return true;
+  }();
+  (void)loaded;
+}
+
+obs::Counter* TotalCounter() {
+  static obs::Counter* counter = obs::MetricRegistry::Default().GetCounter(
+      "failpoint.injections", "Faults injected across all failpoint sites");
+  return counter;
+}
+
+obs::Counter* SiteCounter(std::string_view site) {
+  return obs::MetricRegistry::Default().GetCounter(
+      "failpoint.injections." + std::string(site),
+      "Faults injected at this site");
+}
+
+}  // namespace
+
+Status Failpoints::Activate(std::string_view site, std::string_view spec) {
+  if (site.empty()) return Status::InvalidArgument("empty failpoint site");
+  if (spec == "off") {
+    Deactivate(site);
+    return Status::OK();
+  }
+  SiteConfig config;
+  CDBS_RETURN_NOT_OK(ParseSpec(spec, &config));
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  ActivateLocked(state, site, config);
+  return Status::OK();
+}
+
+void Failpoints::Deactivate(std::string_view site) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.sites.find(site);
+  if (it != state.sites.end()) {
+    state.sites.erase(it);
+    state.active_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::DeactivateAll() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.sites.clear();
+  state.active_count.store(0, std::memory_order_relaxed);
+  state.rng.seed(0x9E3779B97F4A7C15ull);
+}
+
+Status Failpoints::ActivateFromList(std::string_view list) {
+  return ActivateFromListImpl(list);
+}
+
+bool Failpoints::ShouldFail(std::string_view site) {
+  LoadFromEnvOnce();
+  State& state = GetState();
+  if (state.active_count.load(std::memory_order_relaxed) == 0) return false;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto it = state.sites.find(site);
+    if (it == state.sites.end()) return false;
+    SiteConfig& config = it->second;
+    switch (config.mode) {
+      case Mode::kAlways:
+        fire = true;
+        break;
+      case Mode::kOneShot:  // normalized to kAfterN by ParseSpec
+      case Mode::kAfterN:
+        if (config.remaining_passes == 0) {
+          fire = true;
+          state.sites.erase(it);
+          state.active_count.fetch_sub(1, std::memory_order_relaxed);
+        } else {
+          --config.remaining_passes;
+        }
+        break;
+      case Mode::kProb: {
+        std::uniform_real_distribution<double> dist(0.0, 1.0);
+        fire = dist(state.rng) < config.probability;
+        break;
+      }
+    }
+  }
+  if (fire) {
+    TotalCounter()->Increment();
+    SiteCounter(site)->Increment();
+  }
+  return fire;
+}
+
+std::vector<std::string> Failpoints::ActiveSites() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::string> sites;
+  sites.reserve(state.sites.size());
+  for (const auto& [name, config] : state.sites) sites.push_back(name);
+  return sites;
+}
+
+uint64_t Failpoints::InjectionCount(std::string_view site) {
+  return SiteCounter(site)->value();
+}
+
+uint64_t Failpoints::TotalInjections() { return TotalCounter()->value(); }
+
+}  // namespace cdbs::util

@@ -1,0 +1,75 @@
+#ifndef CDBS_UTIL_FAILPOINT_H_
+#define CDBS_UTIL_FAILPOINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Failpoints: named fault-injection sites compiled into the I/O paths
+/// (`storage.write_page.io_error`, `wal.sync.crash`, ...; the full catalog
+/// lives in docs/DURABILITY.md). A site is inert until activated, either
+/// programmatically (tests) or via the `CDBS_FAILPOINTS` environment
+/// variable (CI), and the inactive fast path is one relaxed atomic load —
+/// cheap enough to leave the sites in release builds.
+///
+/// Trigger specs:
+///
+///   | spec       | behavior                                             |
+///   |------------|------------------------------------------------------|
+///   | `off`      | deactivates the site                                 |
+///   | `always`   | fires on every evaluation                            |
+///   | `oneshot`  | fires on the next evaluation, then deactivates       |
+///   | `after=N`  | lets N evaluations pass, fires once, then deactivates|
+///   | `prob=P`   | fires independently with probability P in [0, 1]     |
+///
+/// `CDBS_FAILPOINTS` holds a `;`- or `,`-separated list of `site=spec`
+/// entries, e.g. `CDBS_FAILPOINTS="storage.write_page.io_error=prob=0.01"`.
+/// It is parsed once, at the first evaluation of any site; malformed
+/// entries warn on stderr and are skipped (the library must come up even
+/// with a bad knob).
+///
+/// Every firing increments `failpoint.injections` and the per-site counter
+/// `failpoint.injections.<site>` in the default metric registry.
+
+namespace cdbs::util {
+
+class Failpoints {
+ public:
+  /// Activates (or re-arms) `site` with a trigger spec. Returns
+  /// InvalidArgument on a malformed spec; `off` deactivates.
+  static Status Activate(std::string_view site, std::string_view spec);
+
+  /// Deactivates one site / every site. Deterministic `prob` sequencing is
+  /// also reset by DeactivateAll (tests).
+  static void Deactivate(std::string_view site);
+  static void DeactivateAll();
+
+  /// Parses a `site=spec[;site=spec...]` list (the CDBS_FAILPOINTS
+  /// grammar) and activates every entry. Stops at the first malformed
+  /// entry and returns InvalidArgument for it.
+  static Status ActivateFromList(std::string_view list);
+
+  /// True when `site` fires now. Consumes oneshot/after-N arming and
+  /// advances prob sequencing; inactive sites cost one atomic load.
+  static bool ShouldFail(std::string_view site);
+
+  /// Sites currently armed, sorted.
+  static std::vector<std::string> ActiveSites();
+
+  /// Total firings of `site` since process start (from the metric
+  /// registry; 0 for a site that never fired).
+  static uint64_t InjectionCount(std::string_view site);
+
+  /// Total firings across all sites.
+  static uint64_t TotalInjections();
+};
+
+/// Sugar for call sites: `if (CDBS_FAILPOINT("wal.sync.crash")) ...`.
+#define CDBS_FAILPOINT(site) ::cdbs::util::Failpoints::ShouldFail(site)
+
+}  // namespace cdbs::util
+
+#endif  // CDBS_UTIL_FAILPOINT_H_

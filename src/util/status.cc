@@ -16,6 +16,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kTruncated:
+      return "Truncated";
     case StatusCode::kIoError:
       return "IoError";
     case StatusCode::kUnimplemented:

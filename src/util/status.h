@@ -22,6 +22,7 @@ enum class StatusCode {
   kNotFound,
   kAlreadyExists,
   kCorruption,
+  kTruncated,
   kIoError,
   kUnimplemented,
   kInternal,
@@ -56,6 +57,9 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Truncated(std::string msg) {
+    return Status(StatusCode::kTruncated, std::move(msg));
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));

@@ -1,0 +1,145 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cdbs::util {
+namespace {
+
+// All sites here are namespaced "test.*" so a CDBS_FAILPOINTS environment
+// (the CI fault-injection job arms storage/wal sites process-wide) cannot
+// collide with these assertions.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& site : Failpoints::ActiveSites()) {
+      if (site.rfind("test.", 0) == 0) Failpoints::Deactivate(site);
+    }
+  }
+};
+
+TEST_F(FailpointTest, InactiveSiteNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(Failpoints::ShouldFail("test.never.activated"));
+  }
+  EXPECT_EQ(Failpoints::InjectionCount("test.never.activated"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryTimeAndCounts) {
+  ASSERT_TRUE(Failpoints::Activate("test.always", "always").ok());
+  const uint64_t before = Failpoints::InjectionCount("test.always");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(Failpoints::ShouldFail("test.always"));
+  }
+  EXPECT_EQ(Failpoints::InjectionCount("test.always"), before + 5);
+}
+
+TEST_F(FailpointTest, OneshotFiresExactlyOnceThenDisarms) {
+  ASSERT_TRUE(Failpoints::Activate("test.oneshot", "oneshot").ok());
+  EXPECT_TRUE(Failpoints::ShouldFail("test.oneshot"));
+  EXPECT_FALSE(Failpoints::ShouldFail("test.oneshot"));
+  EXPECT_FALSE(Failpoints::ShouldFail("test.oneshot"));
+  const auto sites = Failpoints::ActiveSites();
+  EXPECT_EQ(std::count(sites.begin(), sites.end(), "test.oneshot"), 0);
+}
+
+TEST_F(FailpointTest, AfterNLetsNPassThenFiresOnce) {
+  ASSERT_TRUE(Failpoints::Activate("test.after", "after=3").ok());
+  EXPECT_FALSE(Failpoints::ShouldFail("test.after"));
+  EXPECT_FALSE(Failpoints::ShouldFail("test.after"));
+  EXPECT_FALSE(Failpoints::ShouldFail("test.after"));
+  EXPECT_TRUE(Failpoints::ShouldFail("test.after"));
+  EXPECT_FALSE(Failpoints::ShouldFail("test.after"));  // disarmed
+}
+
+TEST_F(FailpointTest, ProbabilityExtremes) {
+  ASSERT_TRUE(Failpoints::Activate("test.prob0", "prob=0").ok());
+  ASSERT_TRUE(Failpoints::Activate("test.prob1", "prob=1").ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(Failpoints::ShouldFail("test.prob0"));
+    EXPECT_TRUE(Failpoints::ShouldFail("test.prob1"));
+  }
+}
+
+TEST_F(FailpointTest, ProbabilityMidpointFiresSometimes) {
+  ASSERT_TRUE(Failpoints::Activate("test.prob_half", "prob=0.5").ok());
+  int fired = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (Failpoints::ShouldFail("test.prob_half")) ++fired;
+  }
+  // Binomial(400, 0.5): anything outside [100, 300] means broken sequencing.
+  EXPECT_GT(fired, 100);
+  EXPECT_LT(fired, 300);
+}
+
+TEST_F(FailpointTest, OffSpecDeactivates) {
+  ASSERT_TRUE(Failpoints::Activate("test.off_me", "always").ok());
+  EXPECT_TRUE(Failpoints::ShouldFail("test.off_me"));
+  ASSERT_TRUE(Failpoints::Activate("test.off_me", "off").ok());
+  EXPECT_FALSE(Failpoints::ShouldFail("test.off_me"));
+}
+
+TEST_F(FailpointTest, ReActivationReplacesTrigger) {
+  ASSERT_TRUE(Failpoints::Activate("test.rearm", "after=50").ok());
+  ASSERT_TRUE(Failpoints::Activate("test.rearm", "always").ok());
+  EXPECT_TRUE(Failpoints::ShouldFail("test.rearm"));
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  EXPECT_EQ(Failpoints::Activate("test.bad", "bogus").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Activate("test.bad", "after=").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Activate("test.bad", "after=x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Activate("test.bad", "prob=2").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Activate("test.bad", "prob=-0.5").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Activate("", "always").code(),
+            StatusCode::kInvalidArgument);
+  // Nothing got armed along the way.
+  EXPECT_FALSE(Failpoints::ShouldFail("test.bad"));
+}
+
+TEST_F(FailpointTest, ActivateFromListArmsEveryEntry) {
+  ASSERT_TRUE(Failpoints::ActivateFromList(
+                  "test.list_a=always;test.list_b=after=1,test.list_c=prob=0")
+                  .ok());
+  EXPECT_TRUE(Failpoints::ShouldFail("test.list_a"));
+  EXPECT_FALSE(Failpoints::ShouldFail("test.list_b"));
+  EXPECT_TRUE(Failpoints::ShouldFail("test.list_b"));
+  EXPECT_FALSE(Failpoints::ShouldFail("test.list_c"));
+}
+
+TEST_F(FailpointTest, ActivateFromListRejectsMalformedEntry) {
+  EXPECT_EQ(Failpoints::ActivateFromList("test.list_ok=always;no-equals-here")
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::ActivateFromList("=always").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, ActiveSitesListsArmedSitesSorted) {
+  ASSERT_TRUE(Failpoints::Activate("test.site_b", "always").ok());
+  ASSERT_TRUE(Failpoints::Activate("test.site_a", "always").ok());
+  const auto sites = Failpoints::ActiveSites();
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  EXPECT_EQ(std::count(sites.begin(), sites.end(), "test.site_a"), 1);
+  EXPECT_EQ(std::count(sites.begin(), sites.end(), "test.site_b"), 1);
+}
+
+TEST_F(FailpointTest, TotalInjectionsAggregatesAcrossSites) {
+  const uint64_t before = Failpoints::TotalInjections();
+  ASSERT_TRUE(Failpoints::Activate("test.total_1", "oneshot").ok());
+  ASSERT_TRUE(Failpoints::Activate("test.total_2", "oneshot").ok());
+  EXPECT_TRUE(Failpoints::ShouldFail("test.total_1"));
+  EXPECT_TRUE(Failpoints::ShouldFail("test.total_2"));
+  EXPECT_GE(Failpoints::TotalInjections(), before + 2);
+}
+
+}  // namespace
+}  // namespace cdbs::util

@@ -1,5 +1,8 @@
 #include "storage/label_store.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -143,12 +146,161 @@ TEST_F(LabelStoreTest, OpenExistingRejectsGarbage) {
   {
     std::FILE* f = std::fopen(garbage.c_str(), "wb");
     ASSERT_NE(f, nullptr);
-    std::fputs("this is not a label store", f);
+    for (size_t i = 0; i < LabelStore::kPageSize; ++i) {
+      std::fputc('j', f);  // a full header page of junk: wrong magic
+    }
     std::fclose(f);
   }
   LabelStore other;
   EXPECT_EQ(other.OpenExisting(garbage).code(), StatusCode::kCorruption);
   std::remove(garbage.c_str());
+  std::remove(LabelStore::WalPath(garbage).c_str());
+}
+
+TEST_F(LabelStoreTest, OpenExistingDistinguishesTruncatedFromWrongMagic) {
+  // A file cut short of even one header page is Truncated, not Corruption.
+  const std::string stub = ::testing::TempDir() + "/short_store.bin";
+  {
+    std::FILE* f = std::fopen(stub.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a label store", f);
+    std::fclose(f);
+  }
+  LabelStore other;
+  EXPECT_EQ(other.OpenExisting(stub).code(), StatusCode::kTruncated);
+  std::remove(stub.c_str());
+  std::remove(LabelStore::WalPath(stub).c_str());
+}
+
+TEST_F(LabelStoreTest, OpenExistingDetectsTruncatedDataPages) {
+  std::vector<std::string> records(2000, "0123456789");
+  ASSERT_TRUE(store_.BulkLoad(records, 4).ok());
+  // Chop the file back to the header page only.
+  ASSERT_EQ(::truncate(path_.c_str(),
+                       static_cast<off_t>(LabelStore::kPageSize)),
+            0);
+  LabelStore other;
+  EXPECT_EQ(other.OpenExisting(path_).code(), StatusCode::kTruncated);
+}
+
+TEST_F(LabelStoreTest, EmptyStoreIsDurableAndReopenable) {
+  // Open() syncs a valid header before any record arrives.
+  LabelStore reopened;
+  ASSERT_TRUE(reopened.OpenExisting(path_).ok());
+  EXPECT_EQ(reopened.size(), 0u);
+  ASSERT_TRUE(reopened.VerifyChecksums().ok());
+}
+
+namespace {
+uint64_t CounterValue(const LabelStore& store, const std::string& name) {
+  for (const auto& m : store.metrics().Snapshot()) {
+    if (m.name == name) return m.counter_value;
+  }
+  return 0;
+}
+
+void FlipByteInFile(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, offset, SEEK_SET);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  std::fseek(f, offset, SEEK_SET);
+  std::fputc(byte ^ 0x04, f);  // single bit flip
+  std::fclose(f);
+}
+}  // namespace
+
+TEST_F(LabelStoreTest, BitFlipInDataPageIsDetectedOnRead) {
+  std::vector<std::string> records(100, "payload");
+  ASSERT_TRUE(store_.BulkLoad(records, 4).ok());
+  ASSERT_TRUE(store_.Sync().ok());
+  // Flip one bit inside the first data page, past the slots we sampled.
+  FlipByteInFile(path_, static_cast<long>(LabelStore::kPageSize) + 37);
+
+  LabelStore reopened;
+  ASSERT_TRUE(reopened.OpenExisting(path_).ok());  // header is fine
+  std::string got;
+  const Status status = reopened.Read(0, &got);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(CounterValue(reopened, "storage.checksum_failures"), 1u);
+  // Whole-store verification flags it too.
+  EXPECT_EQ(reopened.VerifyChecksums().code(), StatusCode::kCorruption);
+}
+
+TEST_F(LabelStoreTest, BitFlipInHeaderIsDetectedOnOpen) {
+  ASSERT_TRUE(store_.BulkLoad({"alpha", "beta"}, 4).ok());
+  ASSERT_TRUE(store_.Sync().ok());
+  FlipByteInFile(path_, 9);  // inside the slot-size field
+
+  LabelStore reopened;
+  const Status status = reopened.OpenExisting(path_);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(CounterValue(reopened, "storage.checksum_failures"), 1u);
+}
+
+TEST_F(LabelStoreTest, ApplyBatchAppliesRewritesAndAppendsTogether) {
+  ASSERT_TRUE(store_.BulkLoad({"one", "two", "three"}, 8).ok());
+  StoreBatch batch;
+  batch.Rewrite(0, "ONE");
+  batch.Rewrite(2, "THREE");
+  batch.Append("four");
+  batch.Append("five");
+  ASSERT_TRUE(store_.ApplyBatch(batch).ok());
+  EXPECT_EQ(store_.size(), 5u);
+  const char* expected[] = {"ONE", "two", "THREE", "four", "five"};
+  for (size_t i = 0; i < 5; ++i) {
+    std::string got;
+    ASSERT_TRUE(store_.Read(i, &got).ok()) << i;
+    EXPECT_EQ(got, expected[i]) << i;
+  }
+  ASSERT_TRUE(store_.VerifyChecksums().ok());
+}
+
+TEST_F(LabelStoreTest, ApplyBatchRejectsOversizedRecordBeforeAnyIo) {
+  ASSERT_TRUE(store_.BulkLoad({"abc"}, 2).ok());
+  const uint64_t writes_before = store_.io_stats().page_writes;
+  StoreBatch batch;
+  batch.Rewrite(0, "ok");
+  batch.Append(std::string(64, 'x'));
+  EXPECT_EQ(store_.ApplyBatch(batch).code(), StatusCode::kOutOfRange);
+  // Validation failed before the WAL or any page was touched.
+  EXPECT_EQ(store_.io_stats().page_writes, writes_before);
+  EXPECT_EQ(CounterValue(store_, "wal.appends"), 0u);
+  std::string got;
+  ASSERT_TRUE(store_.Read(0, &got).ok());
+  EXPECT_EQ(got, "abc");
+}
+
+TEST_F(LabelStoreTest, ApplyBatchReloadResizesSlots) {
+  ASSERT_TRUE(store_.BulkLoad({"a", "b", "c"}, 2).ok());
+  StoreBatch batch;
+  batch.Reload({std::string(200, 'x'), "tiny", std::string(150, 'y')}, 16);
+  ASSERT_TRUE(store_.ApplyBatch(batch).ok());
+  EXPECT_EQ(store_.size(), 3u);
+  EXPECT_EQ(store_.slot_size(), 200u + 2u + 16u);
+  std::string got;
+  ASSERT_TRUE(store_.Read(0, &got).ok());
+  EXPECT_EQ(got, std::string(200, 'x'));
+
+  LabelStore reopened;
+  ASSERT_TRUE(reopened.OpenExisting(path_).ok());
+  EXPECT_EQ(reopened.size(), 3u);
+  ASSERT_TRUE(reopened.Read(2, &got).ok());
+  EXPECT_EQ(got, std::string(150, 'y'));
+}
+
+TEST_F(LabelStoreTest, ApplyBatchCheckpointsTheWal) {
+  ASSERT_TRUE(store_.BulkLoad({"a", "b"}, 8).ok());
+  StoreBatch batch;
+  batch.Rewrite(1, "B");
+  ASSERT_TRUE(store_.ApplyBatch(batch).ok());
+  // After a clean apply the WAL is empty again (checkpointed).
+  struct stat st;
+  ASSERT_EQ(::stat(LabelStore::WalPath(path_).c_str(), &st), 0);
+  EXPECT_EQ(st.st_size, 0);
+  EXPECT_EQ(CounterValue(store_, "wal.appends"), 1u);
+  EXPECT_GE(CounterValue(store_, "wal.syncs"), 1u);
 }
 
 TEST_F(LabelStoreTest, OpenExistingRejectsMissingFile) {

@@ -27,6 +27,7 @@ TEST(StatusTest, AllFactoriesSetTheirCode) {
   EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Truncated("x").code(), StatusCode::kTruncated);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);

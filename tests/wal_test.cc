@@ -1,0 +1,199 @@
+#include "storage/wal.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace cdbs::storage {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/wal_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".wal";
+    std::remove(path_.c_str());
+  }
+
+  void TearDown() override {
+    util::Failpoints::Deactivate("wal.append.short_write");
+    util::Failpoints::Deactivate("wal.sync.crash");
+    std::remove(path_.c_str());
+  }
+
+  uint64_t FileSize() const {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    return static_cast<uint64_t>(size);
+  }
+
+  void AppendRawBytes(const std::string& bytes) {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+
+  void FlipByteAt(long offset) {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, offset, SEEK_SET);
+    const int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    std::fseek(f, offset, SEEK_SET);
+    std::fputc(byte ^ 0xFF, f);
+    std::fclose(f);
+  }
+
+  std::string path_;
+  obs::MetricRegistry registry_;
+};
+
+TEST_F(WalTest, AppendRecoverRoundTrip) {
+  {
+    Wal wal(&registry_);
+    ASSERT_TRUE(wal.Open(path_).ok());
+    ASSERT_TRUE(wal.Append("first-record").ok());
+    ASSERT_TRUE(wal.Append("").ok());  // empty payloads are legal
+    ASSERT_TRUE(wal.Append(std::string(10000, 'x')).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  Wal reopened(&registry_);
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(reopened.Recover(&payloads).ok());
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "first-record");
+  EXPECT_EQ(payloads[1], "");
+  EXPECT_EQ(payloads[2], std::string(10000, 'x'));
+}
+
+TEST_F(WalTest, RecoverTruncatesTornTail) {
+  {
+    Wal wal(&registry_);
+    ASSERT_TRUE(wal.Open(path_).ok());
+    ASSERT_TRUE(wal.Append("intact-one").ok());
+    ASSERT_TRUE(wal.Append("intact-two").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  const uint64_t intact_size = FileSize();
+  AppendRawBytes("torn");  // a crash mid-append: header fragment only
+
+  Wal reopened(&registry_);
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(reopened.Recover(&payloads).ok());
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], "intact-one");
+  EXPECT_EQ(payloads[1], "intact-two");
+  // The torn bytes were physically cut away.
+  EXPECT_EQ(FileSize(), intact_size);
+  EXPECT_EQ(reopened.size_bytes(), intact_size);
+}
+
+TEST_F(WalTest, RecoverTruncatesRecordWithLengthPastEof) {
+  {
+    Wal wal(&registry_);
+    ASSERT_TRUE(wal.Open(path_).ok());
+    ASSERT_TRUE(wal.Append("good").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  const uint64_t intact_size = FileSize();
+  // A full 8-byte header whose length field points far past the tail —
+  // the payload never made it to disk.
+  std::string header(8, '\0');
+  header[4] = static_cast<char>(0xFF);
+  header[5] = static_cast<char>(0xFF);
+  AppendRawBytes(header);
+
+  Wal reopened(&registry_);
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(reopened.Recover(&payloads).ok());
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "good");
+  EXPECT_EQ(FileSize(), intact_size);
+}
+
+TEST_F(WalTest, BitFlipDropsRecordAndCountsChecksumFailure) {
+  uint64_t first_record_end = 0;
+  {
+    Wal wal(&registry_);
+    ASSERT_TRUE(wal.Open(path_).ok());
+    ASSERT_TRUE(wal.Append("record-one").ok());
+    first_record_end = wal.size_bytes();
+    ASSERT_TRUE(wal.Append("record-two").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  // Flip one payload byte inside the second record.
+  FlipByteAt(static_cast<long>(first_record_end) + 8 + 2);
+
+  Wal reopened(&registry_);
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  const uint64_t failures_before =
+      registry_.GetCounter("wal.checksum_failures")->value();
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(reopened.Recover(&payloads).ok());
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "record-one");
+  EXPECT_EQ(registry_.GetCounter("wal.checksum_failures")->value(),
+            failures_before + 1);
+  // The log was cut back to the last intact boundary.
+  EXPECT_EQ(FileSize(), first_record_end);
+}
+
+TEST_F(WalTest, ResetEmptiesTheLog) {
+  Wal wal(&registry_);
+  ASSERT_TRUE(wal.Open(path_).ok());
+  ASSERT_TRUE(wal.Append("soon gone").ok());
+  ASSERT_TRUE(wal.Reset().ok());
+  EXPECT_EQ(wal.size_bytes(), 0u);
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(wal.Recover(&payloads).ok());
+  EXPECT_TRUE(payloads.empty());
+}
+
+TEST_F(WalTest, InjectedShortWritePoisonsHandleAndRecoversClean) {
+  Wal wal(&registry_);
+  ASSERT_TRUE(wal.Open(path_).ok());
+  ASSERT_TRUE(wal.Append("durable").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  const uint64_t intact_size = wal.size_bytes();
+
+  ASSERT_TRUE(
+      util::Failpoints::Activate("wal.append.short_write", "oneshot").ok());
+  EXPECT_EQ(wal.Append("never lands").code(), StatusCode::kIoError);
+  // The handle simulates a dead process: everything fails from here on.
+  EXPECT_EQ(wal.Append("also fails").code(), StatusCode::kIoError);
+  EXPECT_EQ(wal.Sync().code(), StatusCode::kIoError);
+
+  Wal reopened(&registry_);
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(reopened.Recover(&payloads).ok());
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "durable");
+  EXPECT_EQ(reopened.size_bytes(), intact_size);
+}
+
+TEST_F(WalTest, InjectedSyncCrashPoisonsHandle) {
+  Wal wal(&registry_);
+  ASSERT_TRUE(wal.Open(path_).ok());
+  ASSERT_TRUE(wal.Append("buffered").ok());
+  ASSERT_TRUE(
+      util::Failpoints::Activate("wal.sync.crash", "oneshot").ok());
+  EXPECT_EQ(wal.Sync().code(), StatusCode::kIoError);
+  EXPECT_EQ(wal.Append("after death").code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cdbs::storage
