@@ -1,0 +1,111 @@
+#ifndef CDBS_CONCURRENCY_BOUNDED_QUEUE_H_
+#define CDBS_CONCURRENCY_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+/// \file
+/// A bounded multi-producer queue, the admission-control half of the write
+/// pipeline: producers block (`Push`) or bounce (`TryPush`) when the
+/// consumer falls behind, and the consumer drains in batches (`PopBatch`)
+/// so that everything queued while the previous group was fsyncing commits
+/// under the *next* single fsync — classic group commit.
+
+namespace cdbs::concurrency {
+
+/// FIFO queue with a hard capacity. Any number of producers; `PopBatch`
+/// supports one or more consumers (the engine uses one: the writer).
+/// `T` needs to be movable only.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    CDBS_CHECK(capacity > 0);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item`, blocking while the queue is full (backpressure).
+  /// Returns false — leaving `item` untouched — when the queue is closed.
+  bool Push(T&& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking enqueue (admission control). Returns false — leaving
+  /// `item` untouched — when the queue is full or closed.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is available (or the queue closes),
+  /// then moves up to `max_items` into `*out` (appended). Returns the
+  /// number popped; 0 means closed-and-drained — the consumer's exit
+  /// signal.
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    const size_t n = items_.size() < max_items ? items_.size() : max_items;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  /// Closes the queue: subsequent pushes fail, blocked pushers wake and
+  /// fail, and consumers drain what remains before PopBatch returns 0.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cdbs::concurrency
+
+#endif  // CDBS_CONCURRENCY_BOUNDED_QUEUE_H_

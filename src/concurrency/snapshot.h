@@ -1,0 +1,244 @@
+#ifndef CDBS_CONCURRENCY_SNAPSHOT_H_
+#define CDBS_CONCURRENCY_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+/// \file
+/// Epoch-based snapshot publication for single-writer / many-reader data.
+///
+/// The writer periodically publishes an immutable *version* of its state; a
+/// reader pins the current version for the duration of one operation and
+/// reads it without any lock. This is what makes CDBS a good fit for a
+/// concurrent serving layer: insertions never relabel existing nodes
+/// (Theorem 3.1 of the paper), so a published snapshot stays internally
+/// consistent forever — readers evaluate whole queries against one version
+/// while the writer mutates its private copy and publishes the next.
+///
+/// Reclamation is epoch-based: every version carries the epoch at which it
+/// was published; readers announce the epoch they intend to read in a
+/// per-slot atomic before dereferencing the version pointer, and the writer
+/// frees a retired version only once every announced epoch is strictly
+/// newer. The full protocol and its ordering argument are spelled out in
+/// docs/CONCURRENCY.md.
+
+namespace cdbs::concurrency {
+
+/// Publishes immutable versions of a `T` from one writer thread to any
+/// number of reader threads.
+///
+/// Thread contract:
+///  - `Publish` must be called from one thread at a time (the writer).
+///  - `Acquire` may be called from any thread, concurrently with `Publish`
+///    and with other `Acquire`s.
+///  - No `Pin` may be alive when the manager is destroyed.
+///
+/// Pins are meant to be short-lived (one query). A pin held forever blocks
+/// reclamation of every version published after it was taken.
+template <typename T>
+class SnapshotManager {
+ private:
+  struct Version;  // declared below; Pin holds a pointer to one
+
+ public:
+  /// Announcement slots available to concurrently-pinned readers. More
+  /// concurrent pins than this simply spin-wait for a slot to free up.
+  static constexpr int kReaderSlots = 128;
+
+  /// A pinned, readable version. RAII: releases its reader slot on
+  /// destruction. Movable, not copyable.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept
+        : manager_(other.manager_),
+          slot_(other.slot_),
+          version_(other.version_) {
+      other.manager_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        manager_ = other.manager_;
+        slot_ = other.slot_;
+        version_ = other.version_;
+        other.manager_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
+
+    /// The pinned view. Valid until Release/destruction.
+    const T& view() const { return *version_->view; }
+    const T* operator->() const { return version_->view.get(); }
+
+    /// Epoch at which the pinned version was published.
+    uint64_t epoch() const { return version_->epoch; }
+
+    explicit operator bool() const { return manager_ != nullptr; }
+
+    /// Drops the pin early (idempotent).
+    void Release() {
+      if (manager_ == nullptr) return;
+      manager_->slots_[slot_].announced.store(kSlotFree,
+                                              std::memory_order_seq_cst);
+      manager_ = nullptr;
+    }
+
+   private:
+    friend class SnapshotManager;
+    Pin(const SnapshotManager* manager, int slot, const Version* version)
+        : manager_(manager), slot_(slot), version_(version) {}
+
+    const SnapshotManager* manager_ = nullptr;
+    int slot_ = 0;
+    const Version* version_ = nullptr;
+  };
+
+  explicit SnapshotManager(std::unique_ptr<const T> initial) {
+    CDBS_CHECK(initial != nullptr);
+    current_.store(new Version{1, std::move(initial)},
+                   std::memory_order_seq_cst);
+    epoch_.store(1, std::memory_order_seq_cst);
+  }
+
+  ~SnapshotManager() {
+    // Contract: no live pins. Everything is ours to free.
+    delete current_.load(std::memory_order_acquire);
+    for (Version* v : retired_) delete v;
+  }
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// Pins the current version for reading. Wait-free against the writer in
+  /// practice: the validation loop re-runs only when a Publish lands in the
+  /// nanoseconds between announcing and validating.
+  ///
+  /// Ordering argument (all accesses seq_cst): the reader announces epoch
+  /// `e`, then loads `current_`, then re-checks `epoch_ == e`. If the
+  /// version it loaded is later retired and considered for reclamation, the
+  /// writer's slot scan happens after its `current_` swing, which the
+  /// reader's load preceded — so the scan observes the reader's earlier
+  /// announcement of `e <= version.epoch` and keeps the version alive.
+  Pin Acquire() const {
+    const int slot = ClaimSlot();
+    for (;;) {
+      const uint64_t e = epoch_.load(std::memory_order_seq_cst);
+      slots_[slot].announced.store(e, std::memory_order_seq_cst);
+      const Version* v = current_.load(std::memory_order_seq_cst);
+      if (epoch_.load(std::memory_order_seq_cst) == e) {
+        return Pin(this, slot, v);
+      }
+      // A Publish raced in between announce and validate; re-announce at
+      // the newer epoch. (`v` was never dereferenced.)
+    }
+  }
+
+  /// Publishes `next` as the new current version and retires the old one;
+  /// frees any retired versions no reader can still hold. Single writer
+  /// only.
+  void Publish(std::unique_ptr<const T> next) {
+    CDBS_CHECK(next != nullptr);
+    const uint64_t next_epoch = epoch_.load(std::memory_order_relaxed) + 1;
+    Version* fresh = new Version{next_epoch, std::move(next)};
+    Version* old = current_.load(std::memory_order_relaxed);
+    // Order matters: swing the pointer first, then bump the epoch. A reader
+    // that validates `epoch_ == e` is then guaranteed its `current_` load
+    // saw a version of epoch >= e (never older), so its announcement of `e`
+    // protects whatever it holds.
+    current_.store(fresh, std::memory_order_seq_cst);
+    epoch_.store(next_epoch, std::memory_order_seq_cst);
+    retired_.push_back(old);
+    Reclaim();
+  }
+
+  /// Epoch of the current version.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_seq_cst); }
+
+  /// Versions currently alive (1 current + retired-but-maybe-pinned).
+  /// Writer-thread accurate; advisory elsewhere.
+  size_t live_versions() const {
+    return 1 + retired_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Total versions freed by reclamation so far.
+  uint64_t reclaimed() const {
+    return reclaimed_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr uint64_t kSlotFree = ~uint64_t{0};
+
+  struct Version {
+    uint64_t epoch;
+    std::unique_ptr<const T> view;
+  };
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> announced{kSlotFree};
+  };
+
+  int ClaimSlot() const {
+    // Threads scatter their scans so that under low contention each settles
+    // on its own cache line.
+    static std::atomic<unsigned> next_start{0};
+    thread_local unsigned start =
+        next_start.fetch_add(1, std::memory_order_relaxed) % kReaderSlots;
+    for (;;) {
+      for (int i = 0; i < kReaderSlots; ++i) {
+        const int slot = static_cast<int>((start + i) % kReaderSlots);
+        uint64_t expected = kSlotFree;
+        // Claim by CASing the current epoch in; the validation loop in
+        // Acquire overwrites it with plain stores once the slot is ours.
+        if (slots_[slot].announced.compare_exchange_strong(
+                expected, epoch_.load(std::memory_order_seq_cst),
+                std::memory_order_seq_cst)) {
+          return slot;
+        }
+      }
+      std::this_thread::yield();  // all slots busy: wait for a reader to end
+    }
+  }
+
+  /// Frees every retired version whose epoch is older than every announced
+  /// epoch. Writer thread only.
+  void Reclaim() {
+    uint64_t min_announced = kSlotFree;
+    for (const Slot& s : slots_) {
+      const uint64_t a = s.announced.load(std::memory_order_seq_cst);
+      if (a < min_announced) min_announced = a;
+    }
+    size_t kept = 0;
+    for (Version* v : retired_) {
+      if (v->epoch < min_announced) {
+        delete v;
+        reclaimed_count_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        retired_[kept++] = v;
+      }
+    }
+    retired_.resize(kept);
+    retired_count_.store(kept, std::memory_order_relaxed);
+  }
+
+  std::atomic<Version*> current_{nullptr};
+  std::atomic<uint64_t> epoch_{0};
+  mutable Slot slots_[kReaderSlots];
+
+  // Writer-thread private.
+  std::vector<Version*> retired_;
+  std::atomic<size_t> retired_count_{0};
+  std::atomic<uint64_t> reclaimed_count_{0};
+};
+
+}  // namespace cdbs::concurrency
+
+#endif  // CDBS_CONCURRENCY_SNAPSHOT_H_

@@ -1,0 +1,53 @@
+#ifndef CDBS_CONCURRENCY_THREAD_POOL_H_
+#define CDBS_CONCURRENCY_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file
+/// A fixed-size worker pool: the request-executor half of the concurrent
+/// serving layer. Read requests submitted to `ConcurrentXmlDb` run on these
+/// workers, each pinning its own snapshot — so the pool size is the read
+/// parallelism.
+
+namespace cdbs::concurrency {
+
+/// Runs submitted tasks on `num_threads` worker threads, FIFO.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();  // implies Shutdown()
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`. Returns false (dropping the task) after Shutdown.
+  bool Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, runs everything already queued, joins the
+  /// workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks queued but not yet started. Advisory (racy by nature).
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cdbs::concurrency
+
+#endif  // CDBS_CONCURRENCY_THREAD_POOL_H_

@@ -1,0 +1,319 @@
+#include "engine/concurrent_db.h"
+
+#include <optional>
+#include <utility>
+
+#include "query/evaluator.h"
+#include "query/xpath.h"
+#include "util/check.h"
+
+namespace cdbs::engine {
+
+Result<std::unique_ptr<ConcurrentXmlDb>> ConcurrentXmlDb::Open(
+    xml::Document doc, const ConcurrentXmlDbOptions& options) {
+  Result<std::unique_ptr<XmlDb>> db = XmlDb::Open(std::move(doc), options.db);
+  if (!db.ok()) return db.status();
+  return std::unique_ptr<ConcurrentXmlDb>(
+      new ConcurrentXmlDb(std::move(db).value(), options));
+}
+
+Result<std::unique_ptr<ConcurrentXmlDb>> ConcurrentXmlDb::OpenFromXml(
+    std::string_view xml, const ConcurrentXmlDbOptions& options) {
+  Result<std::unique_ptr<XmlDb>> db = XmlDb::OpenFromXml(xml, options.db);
+  if (!db.ok()) return db.status();
+  return std::unique_ptr<ConcurrentXmlDb>(
+      new ConcurrentXmlDb(std::move(db).value(), options));
+}
+
+ConcurrentXmlDb::ConcurrentXmlDb(std::unique_ptr<XmlDb> db,
+                                 const ConcurrentXmlDbOptions& options)
+    : options_(options),
+      db_(std::move(db)),
+      snapshots_(db_->labeled().Fork()),
+      write_queue_(options.write_queue_capacity) {
+  obs::MetricRegistry& local = db_->registry_;
+  obs::MetricRegistry& global = obs::MetricRegistry::Default();
+  auto hist = [&](std::string_view name, std::string_view help) {
+    return MirroredHistogram{local.GetHistogram(name, help),
+                             global.GetHistogram(name, help)};
+  };
+  auto counter = [&](std::string_view name, std::string_view help) {
+    return MirroredCounter{local.GetCounter(name, help),
+                           global.GetCounter(name, help)};
+  };
+  auto gauge = [&](std::string_view name, std::string_view help) {
+    return MirroredGauge{local.GetGauge(name, help),
+                         global.GetGauge(name, help)};
+  };
+  read_ns_ = hist("engine.concurrent.read.ns",
+                  "Wall time per snapshot-isolated read");
+  write_wait_ns_ = hist("engine.concurrent.write.wait.ns",
+                        "Submission-to-dequeue wait per write");
+  write_ns_ = hist("engine.concurrent.write.ns",
+                   "Submission-to-durable-commit wall time per write");
+  commit_batch_ = hist("engine.concurrent.commit.batch",
+                       "Write requests folded into one group commit");
+  reads_ = counter("engine.concurrent.reads", "Snapshot-isolated reads");
+  writes_ = counter("engine.concurrent.writes",
+                    "Write requests processed by the writer");
+  rejected_ = counter("engine.concurrent.rejected",
+                      "Writes bounced by admission control");
+  snapshots_published_ = counter("engine.concurrent.snapshots",
+                                 "Snapshots published (one per group commit)");
+  queue_depth_ = gauge("engine.concurrent.queue.depth",
+                       "Write submission queue depth");
+  snapshots_live_ = gauge("engine.concurrent.snapshots.live",
+                          "Snapshot versions alive (current + pinned)");
+  snapshots_live_.Set(1);
+
+  readers_ =
+      std::make_unique<concurrency::ThreadPool>(options_.read_workers);
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+ConcurrentXmlDb::~ConcurrentXmlDb() { Shutdown(); }
+
+void ConcurrentXmlDb::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    shut_down_.store(true);
+    write_queue_.Close();
+    if (writer_.joinable()) writer_.join();
+    readers_->Shutdown();
+  });
+}
+
+// --------------------------------------------------------------------------
+// Read path.
+
+Result<std::vector<NodeId>> ConcurrentXmlDb::Query(
+    const std::string& xpath) const {
+  util::Stopwatch timer;
+  const auto pin = snapshots_.Acquire();
+  Result<query::Query> parsed = query::ParseQuery(xpath);
+  if (!parsed.ok()) return parsed.status();
+  Result<std::vector<NodeId>> out = query::EvaluateQuery(*parsed, pin.view());
+  reads_.Increment();
+  read_ns_.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+  return out;
+}
+
+Result<uint64_t> ConcurrentXmlDb::Count(const std::string& xpath) const {
+  Result<std::vector<NodeId>> matches = Query(xpath);
+  if (!matches.ok()) return matches.status();
+  return static_cast<uint64_t>(matches->size());
+}
+
+std::string ConcurrentXmlDb::TagOf(NodeId node) const {
+  const auto pin = snapshots_.Acquire();
+  return pin->tag(node);
+}
+
+std::future<Result<std::vector<NodeId>>> ConcurrentXmlDb::SubmitQuery(
+    std::string xpath) {
+  auto promise =
+      std::make_shared<std::promise<Result<std::vector<NodeId>>>>();
+  std::future<Result<std::vector<NodeId>>> fut = promise->get_future();
+  const bool accepted = readers_->Submit(
+      [this, promise, xpath = std::move(xpath)] {
+        promise->set_value(Query(xpath));
+      });
+  if (!accepted) {
+    promise->set_value(
+        Status::IoError("read pool shut down; query rejected"));
+  }
+  return fut;
+}
+
+// --------------------------------------------------------------------------
+// Write path: submission.
+
+std::future<Result<NodeId>> ConcurrentXmlDb::SubmitInsert(
+    WriteRequest::Kind kind, NodeId target, std::string tag, bool blocking,
+    bool* accepted) {
+  WriteRequest req;
+  req.kind = kind;
+  req.target = target;
+  req.tag = std::move(tag);
+  std::future<Result<NodeId>> fut = req.insert_promise.get_future();
+  const bool admitted = blocking ? write_queue_.Push(std::move(req))
+                                 : write_queue_.TryPush(std::move(req));
+  if (accepted != nullptr) *accepted = admitted;
+  if (!admitted) {
+    // `req` is untouched on a failed push; fail its promise in place.
+    rejected_.Increment();
+    req.insert_promise.set_value(
+        Status::IoError(shut_down_.load() ? "database shut down"
+                                          : "write queue full"));
+    return fut;
+  }
+  queue_depth_.Set(static_cast<double>(write_queue_.size()));
+  return fut;
+}
+
+std::future<Result<NodeId>> ConcurrentXmlDb::SubmitInsertBefore(
+    NodeId target, std::string tag) {
+  return SubmitInsert(WriteRequest::Kind::kInsertBefore, target,
+                      std::move(tag), /*blocking=*/true, nullptr);
+}
+
+std::future<Result<NodeId>> ConcurrentXmlDb::SubmitInsertAfter(
+    NodeId target, std::string tag) {
+  return SubmitInsert(WriteRequest::Kind::kInsertAfter, target,
+                      std::move(tag), /*blocking=*/true, nullptr);
+}
+
+std::future<Result<NodeId>> ConcurrentXmlDb::TrySubmitInsertAfter(
+    NodeId target, std::string tag, bool* accepted) {
+  return SubmitInsert(WriteRequest::Kind::kInsertAfter, target,
+                      std::move(tag), /*blocking=*/false, accepted);
+}
+
+std::future<Result<uint64_t>> ConcurrentXmlDb::SubmitDelete(NodeId target) {
+  WriteRequest req;
+  req.kind = WriteRequest::Kind::kDelete;
+  req.target = target;
+  std::future<Result<uint64_t>> fut = req.delete_promise.get_future();
+  if (!write_queue_.Push(std::move(req))) {
+    rejected_.Increment();
+    req.delete_promise.set_value(Status::IoError("database shut down"));
+    return fut;
+  }
+  queue_depth_.Set(static_cast<double>(write_queue_.size()));
+  return fut;
+}
+
+Result<NodeId> ConcurrentXmlDb::InsertElementBefore(NodeId target,
+                                                    const std::string& tag) {
+  return SubmitInsertBefore(target, tag).get();
+}
+
+Result<NodeId> ConcurrentXmlDb::InsertElementAfter(NodeId target,
+                                                   const std::string& tag) {
+  return SubmitInsertAfter(target, tag).get();
+}
+
+Result<uint64_t> ConcurrentXmlDb::DeleteElement(NodeId target) {
+  return SubmitDelete(target).get();
+}
+
+// --------------------------------------------------------------------------
+// Write path: the single writer.
+
+void ConcurrentXmlDb::WriterLoop() {
+  std::vector<WriteRequest> group;
+  for (;;) {
+    group.clear();
+    const size_t n =
+        write_queue_.PopBatch(&group, options_.group_commit_limit);
+    if (n == 0) return;  // closed and drained
+    queue_depth_.Set(static_cast<double>(write_queue_.size()));
+    ProcessGroup(&group);
+  }
+}
+
+void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
+  struct PendingInsert {
+    size_t request_index;
+    XmlDb::AppliedInsert applied;
+  };
+  const size_t n = group->size();
+  std::vector<PendingInsert> pending;
+  std::vector<storage::StoreBatch> batches;
+  std::vector<std::optional<Result<NodeId>>> insert_results(n);
+  std::vector<std::optional<Result<uint64_t>>> delete_results(n);
+  bool mutated = false;
+
+  // Phase 1: apply every request to the writer's in-memory state, building
+  // one store batch per successful insertion. Later requests see earlier
+  // ones' effects — submission order is commit order.
+  for (size_t i = 0; i < n; ++i) {
+    WriteRequest& req = (*group)[i];
+    write_wait_ns_.Record(static_cast<uint64_t>(req.queued.ElapsedNanos()));
+    if (req.kind == WriteRequest::Kind::kDelete) {
+      Result<uint64_t> removed = db_->DeleteElement(req.target);
+      if (removed.ok() && *removed > 0) mutated = true;
+      delete_results[i].emplace(std::move(removed));
+      continue;
+    }
+    XmlDb::AppliedInsert applied;
+    Result<NodeId> id = db_->ApplyInsertInMemory(
+        req.target, req.tag, req.kind == WriteRequest::Kind::kInsertBefore,
+        &applied);
+    if (id.ok()) {
+      // Serialize this insertion's store ops *now*, against the labels as
+      // they stand after it — so a crash that recovers only a WAL prefix
+      // lands on exactly the state some prefix of this group produced.
+      batches.emplace_back();
+      db_->BuildPersistOps(applied.result, &batches.back());
+      pending.push_back(PendingInsert{i, applied});
+      mutated = true;
+    }
+    insert_results[i].emplace(std::move(id));
+  }
+
+  // Phase 2: one group commit — a single WAL append + fsync covers every
+  // insertion in the group.
+  Status persisted = Status::OK();
+  if (!pending.empty()) persisted = db_->PersistBatches(batches);
+  if (!persisted.ok()) {
+    // The store took none of it (all-or-nothing on disk). Undo the
+    // insertions in reverse order; deletions never touch the store and
+    // stand, exactly as in the single-threaded engine.
+    for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+      db_->RollbackInsert(it->applied);
+      insert_results[it->request_index].emplace(persisted);
+    }
+    mutated = false;
+    for (const auto& d : delete_results) {
+      if (d.has_value() && d->ok() && **d > 0) mutated = true;
+    }
+  } else {
+    for (const PendingInsert& p : pending) {
+      db_->NoteInsertCommitted(p.applied.result);
+    }
+  }
+
+  // Publish the post-group snapshot before resolving any promise, so a
+  // client that waits on its future then queries is guaranteed to see its
+  // own write (read-your-writes across the two pipelines).
+  if (mutated) PublishSnapshot();
+
+  writes_.Increment(n);
+  commit_batch_.Record(n);
+  for (size_t i = 0; i < n; ++i) {
+    WriteRequest& req = (*group)[i];
+    write_ns_.Record(static_cast<uint64_t>(req.queued.ElapsedNanos()));
+    if (req.kind == WriteRequest::Kind::kDelete) {
+      req.delete_promise.set_value(std::move(*delete_results[i]));
+    } else {
+      req.insert_promise.set_value(std::move(*insert_results[i]));
+    }
+  }
+}
+
+void ConcurrentXmlDb::PublishSnapshot() {
+  snapshots_.Publish(db_->labeled().Fork());
+  snapshots_published_.Increment();
+  snapshots_live_.Set(static_cast<double>(snapshots_.live_versions()));
+}
+
+// --------------------------------------------------------------------------
+
+XmlDbStats ConcurrentXmlDb::Stats() const {
+  const auto pin = snapshots_.Acquire();
+  XmlDbStats stats;
+  const labeling::Labeling& lab = pin->labeling();
+  stats.node_count = lab.num_nodes();
+  stats.label_bits = lab.TotalLabelBits();
+  stats.avg_label_bits = lab.AvgLabelBits();
+  stats.insertions = db_->insertions_->value();
+  stats.deletions = db_->deletions_->value();
+  stats.relabeled_total = db_->relabeled_total_->value();
+  stats.overflow_events = db_->overflow_events_->value();
+  if (db_->store_ != nullptr) {
+    stats.store_page_writes = db_->store_->io_stats().page_writes;
+  }
+  return stats;
+}
+
+}  // namespace cdbs::engine

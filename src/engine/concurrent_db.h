@@ -1,0 +1,218 @@
+#ifndef CDBS_ENGINE_CONCURRENT_DB_H_
+#define CDBS_ENGINE_CONCURRENT_DB_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "concurrency/bounded_queue.h"
+#include "concurrency/snapshot.h"
+#include "concurrency/thread_pool.h"
+#include "engine/xml_db.h"
+#include "obs/metrics.h"
+#include "query/tag_index.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+/// \file
+/// A multi-client front-end over `XmlDb`: snapshot-isolated reads from any
+/// thread, writes serialized through a single writer thread that
+/// group-commits them (one store fsync per batch of insertions). See
+/// docs/CONCURRENCY.md for the architecture and its invariants.
+///
+/// Why this works so well for CDBS specifically: insertions never relabel
+/// existing nodes (Theorem 3.1), so consecutive snapshots differ only by
+/// the inserted ids — readers on an old snapshot still see an internally
+/// consistent document, and the writer's in-memory apply is cheap enough
+/// that the fsync dominates, which is exactly what group commit amortizes.
+
+namespace cdbs::engine {
+
+/// Configuration for the concurrent front-end.
+struct ConcurrentXmlDbOptions {
+  /// Options for the underlying single-threaded database.
+  XmlDbOptions db;
+  /// Worker threads executing submitted (asynchronous) read requests.
+  size_t read_workers = 4;
+  /// Capacity of the write submission queue. Blocking submits stall when
+  /// it fills (backpressure); TrySubmit* bounce instead (admission
+  /// control).
+  size_t write_queue_capacity = 256;
+  /// Most write requests folded into one group commit (one store fsync).
+  size_t group_commit_limit = 64;
+};
+
+/// A concurrently-servable XML database.
+///
+/// Thread contract:
+///  - `Query`/`Count`/`TagOf`/`Stats`/`snapshot_epoch` — any thread, any
+///    time; each pins the latest published snapshot.
+///  - `SubmitQuery` — any thread; runs on the read worker pool.
+///  - `Submit*`/`TrySubmit*` writes — any thread; applied by the single
+///    writer thread in submission order, durably group-committed before
+///    their futures resolve.
+///  - After `Shutdown` (or destruction) all submissions fail cleanly.
+class ConcurrentXmlDb {
+ public:
+  static Result<std::unique_ptr<ConcurrentXmlDb>> Open(
+      xml::Document doc, const ConcurrentXmlDbOptions& options);
+  static Result<std::unique_ptr<ConcurrentXmlDb>> OpenFromXml(
+      std::string_view xml, const ConcurrentXmlDbOptions& options);
+
+  ~ConcurrentXmlDb();
+
+  ConcurrentXmlDb(const ConcurrentXmlDb&) = delete;
+  ConcurrentXmlDb& operator=(const ConcurrentXmlDb&) = delete;
+
+  // --- read path: snapshot-isolated, lock-free against the writer ---
+
+  /// A pinned snapshot handle. While alive it blocks reclamation of its
+  /// version, so hold it only for the duration of one logical read.
+  using Snapshot =
+      concurrency::SnapshotManager<query::LabeledDocument>::Pin;
+
+  /// Pins the latest published snapshot for a multi-operation read (e.g.
+  /// evaluating a query, then order-checking its results against the SAME
+  /// version's labels).
+  Snapshot PinSnapshot() const { return snapshots_.Acquire(); }
+
+  /// Evaluates an XPath-subset query against the latest published snapshot.
+  Result<std::vector<NodeId>> Query(const std::string& xpath) const;
+
+  /// Number of matches of `xpath` in the latest snapshot.
+  Result<uint64_t> Count(const std::string& xpath) const;
+
+  /// Tag of `node` in the latest snapshot (by value: the snapshot may be
+  /// reclaimed after this returns).
+  std::string TagOf(NodeId node) const;
+
+  /// Runs `xpath` on the read worker pool.
+  std::future<Result<std::vector<NodeId>>> SubmitQuery(std::string xpath);
+
+  // --- write path: serialized, group-committed ---
+
+  /// Enqueues an insertion; blocks while the submission queue is full. The
+  /// future resolves with the new node's id once the insertion is durable
+  /// (group-committed) and visible to new snapshots.
+  std::future<Result<NodeId>> SubmitInsertBefore(NodeId target,
+                                                 std::string tag);
+  std::future<Result<NodeId>> SubmitInsertAfter(NodeId target,
+                                                std::string tag);
+
+  /// Non-blocking admission-controlled variant: fails the future
+  /// immediately with an Unavailable-style IoError when the queue is full.
+  /// `accepted`, when non-null, reports whether the request was admitted.
+  std::future<Result<NodeId>> TrySubmitInsertAfter(NodeId target,
+                                                   std::string tag,
+                                                   bool* accepted = nullptr);
+
+  /// Enqueues a subtree deletion; resolves with the number of nodes
+  /// removed.
+  std::future<Result<uint64_t>> SubmitDelete(NodeId target);
+
+  /// Convenience synchronous wrappers (submit + wait).
+  Result<NodeId> InsertElementBefore(NodeId target, const std::string& tag);
+  Result<NodeId> InsertElementAfter(NodeId target, const std::string& tag);
+  Result<uint64_t> DeleteElement(NodeId target);
+
+  // --- lifecycle & introspection ---
+
+  /// Stops accepting requests, drains both pipelines, joins all threads.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Epoch of the latest published snapshot (bumps once per group commit).
+  uint64_t snapshot_epoch() const { return snapshots_.epoch(); }
+
+  /// Snapshot versions currently alive (current + pinned-retired).
+  size_t live_snapshots() const { return snapshots_.live_versions(); }
+
+  /// Point-in-time stats assembled from the latest snapshot plus the
+  /// underlying database's counters (all atomics — safe any time).
+  XmlDbStats Stats() const;
+
+  /// The underlying database's registry, which also carries this layer's
+  /// `engine.concurrent.*` metrics. Safe to snapshot from any thread.
+  const obs::MetricRegistry& metrics() const { return db_->metrics(); }
+
+  /// Direct access to the underlying database. Only safe while no reads or
+  /// writes are in flight — i.e. after Shutdown() — for end-of-run
+  /// verification (ToXml, exhaustive consistency checks).
+  XmlDb& underlying() { return *db_; }
+
+ private:
+  struct WriteRequest {
+    enum class Kind { kInsertBefore, kInsertAfter, kDelete };
+    Kind kind = Kind::kInsertAfter;
+    NodeId target = 0;
+    std::string tag;
+    std::promise<Result<NodeId>> insert_promise;
+    std::promise<Result<uint64_t>> delete_promise;
+    util::Stopwatch queued;  // started at submission, for latency metrics
+  };
+
+  ConcurrentXmlDb(std::unique_ptr<XmlDb> db,
+                  const ConcurrentXmlDbOptions& options);
+
+  std::future<Result<NodeId>> SubmitInsert(WriteRequest::Kind kind,
+                                           NodeId target, std::string tag,
+                                           bool blocking, bool* accepted);
+  void WriterLoop();
+  void ProcessGroup(std::vector<WriteRequest>* group);
+  void PublishSnapshot();
+
+  ConcurrentXmlDbOptions options_;
+  std::unique_ptr<XmlDb> db_;  // mutated only by the writer thread
+  concurrency::SnapshotManager<query::LabeledDocument> snapshots_;
+  concurrency::BoundedQueue<WriteRequest> write_queue_;
+  std::unique_ptr<concurrency::ThreadPool> readers_;
+  std::thread writer_;
+  std::atomic<bool> shut_down_{false};
+  std::once_flag shutdown_once_;
+
+  // engine.concurrent.* metrics, registered in the db's private registry
+  // and mirrored into MetricRegistry::Default().
+  struct MirroredHistogram {
+    obs::Histogram* local;
+    obs::Histogram* global;
+    void Record(uint64_t v) {
+      local->Record(v);
+      global->Record(v);
+    }
+  };
+  struct MirroredCounter {
+    obs::Counter* local;
+    obs::Counter* global;
+    void Increment(uint64_t n = 1) {
+      local->Increment(n);
+      global->Increment(n);
+    }
+  };
+  struct MirroredGauge {
+    obs::Gauge* local;
+    obs::Gauge* global;
+    void Set(double v) {
+      local->Set(v);
+      global->Set(v);
+    }
+  };
+  mutable MirroredHistogram read_ns_;
+  MirroredHistogram write_wait_ns_;   // submission -> dequeue
+  MirroredHistogram write_ns_;        // submission -> durable commit
+  MirroredHistogram commit_batch_;    // requests per group commit
+  mutable MirroredCounter reads_;
+  MirroredCounter writes_;
+  MirroredCounter rejected_;          // admission-control bounces
+  MirroredCounter snapshots_published_;
+  MirroredGauge queue_depth_;
+  MirroredGauge snapshots_live_;
+};
+
+}  // namespace cdbs::engine
+
+#endif  // CDBS_ENGINE_CONCURRENT_DB_H_

@@ -104,20 +104,44 @@ Result<NodeId> XmlDb::QueryOne(const std::string& xpath) const {
 Result<NodeId> XmlDb::Insert(NodeId target, const std::string& tag,
                              bool before) {
   obs::ScopedTimer timer(insert_ns_);
+  AppliedInsert applied;
+  const Result<NodeId> id = ApplyInsertInMemory(target, tag, before, &applied);
+  if (!id.ok()) return id;
+  std::vector<storage::StoreBatch> batches;
+  if (store_ != nullptr) {
+    batches.emplace_back();
+    BuildPersistOps(applied.result, &batches.back());
+  }
+  const Status persisted = PersistBatches(batches);
+  if (!persisted.ok()) {
+    RollbackInsert(applied);
+    return persisted;
+  }
+  NoteInsertCommitted(applied.result);
+  return id;
+}
+
+Result<NodeId> XmlDb::ApplyInsertInMemory(NodeId target, const std::string& tag,
+                                          bool before,
+                                          AppliedInsert* applied) {
   if (target >= node_of_id_.size()) {
     return Status::OutOfRange("no such node");
   }
   if (target == 0) {
     return Status::InvalidArgument("cannot insert a sibling of the root");
   }
+  xml::Node* target_node = node_of_id_[target];
+  xml::Node* parent = target_node->parent();
+  if (parent == nullptr) {
+    // Deleted targets are detached from the tree (only the root has no
+    // parent otherwise, and target != 0 here).
+    return Status::NotFound("target node was deleted");
+  }
   labeling::Labeling* lab = labeled_->labeling_mutable();
   const labeling::InsertResult result = before
                                             ? lab->InsertSiblingBefore(target)
                                             : lab->InsertSiblingAfter(target);
   // Mirror the insertion into the tree.
-  xml::Node* target_node = node_of_id_[target];
-  xml::Node* parent = target_node->parent();
-  CDBS_CHECK(parent != nullptr);
   xml::Node* fresh = doc_.CreateElement(tag);
   const size_t index =
       parent->IndexOfChild(target_node) + (before ? 0 : 1);
@@ -125,49 +149,35 @@ Result<NodeId> XmlDb::Insert(NodeId target, const std::string& tag,
   CDBS_CHECK(result.new_node == node_of_id_.size());
   node_of_id_.push_back(fresh);
   labeled_->NoteInsertedNode(result.new_node, tag);
-
-  const Status persisted = PersistUpdate(result);
-  if (!persisted.ok()) {
-    // The store did not take the update (atomically: on disk it is all-or-
-    // nothing, see LabelStore::ApplyBatch) — roll the in-memory mutation
-    // back by deleting the fresh node again, exactly like DeleteElement
-    // does. Node ids are never reused, so the id stays burnt and the
-    // node_of_id_ entry stays (detached, like any deleted node). Existing
-    // labels the insert rewrote in memory stay rewritten — they remain a
-    // valid labeling without the new node — so the whole store is re-synced
-    // on the next successful persist.
-    const labeling::DeleteResult rollback = lab->DeleteSubtree(result.new_node);
-    doc_.RemoveChild(parent, fresh);
-    labeled_->NoteRemovedNodes(rollback.removed);
-    store_needs_reload_ = true;
-    return persisted;
-  }
-
-  insertions_->Increment();
-  global_insertions_->Increment();
-  relabeled_total_->Increment(result.relabeled);
-  global_relabeled_->Increment(result.relabeled);
-  if (result.overflow) {
-    overflow_events_->Increment();
-    global_overflows_->Increment();
-  }
+  applied->result = result;
+  applied->parent = parent;
+  applied->fresh = fresh;
   return result.new_node;
 }
 
-Status XmlDb::PersistUpdate(const labeling::InsertResult& result) {
-  if (store_ == nullptr) return Status::OK();
+void XmlDb::BuildPersistOps(const labeling::InsertResult& result,
+                            storage::StoreBatch* out) const {
   const labeling::Labeling& lab = labeled_->labeling();
+  for (const NodeId n : result.relabeled_nodes) {
+    out->Rewrite(n, lab.SerializeLabel(n));
+  }
+  out->Append(lab.SerializeLabel(result.new_node));
+}
+
+Status XmlDb::PersistBatches(const std::vector<storage::StoreBatch>& batches) {
+  if (store_ == nullptr) return Status::OK();
   if (!store_needs_reload_) {
-    storage::StoreBatch batch;
-    for (const NodeId n : result.relabeled_nodes) {
-      batch.Rewrite(n, lab.SerializeLabel(n));
-    }
-    batch.Append(lab.SerializeLabel(result.new_node));
-    const Status status = store_->ApplyBatch(batch);
+    std::vector<const storage::StoreBatch*> group;
+    group.reserve(batches.size());
+    for (const storage::StoreBatch& batch : batches) group.push_back(&batch);
+    const Status status = store_->ApplyBatchGroup(group);
     if (status.code() != StatusCode::kOutOfRange) return status;
     // Some label outgrew its slot — fall through to a full reload with
-    // fresh slot sizing, a storage-level re-labeling.
+    // fresh slot sizing, a storage-level re-labeling. The reload serializes
+    // the labels as they stand *after* every insertion in the group, so it
+    // subsumes all of the incremental batches.
   }
+  const labeling::Labeling& lab = labeled_->labeling();
   std::vector<std::string> records;
   records.reserve(lab.num_nodes());
   for (NodeId n = 0; n < lab.num_nodes(); ++n) {
@@ -178,6 +188,34 @@ Status XmlDb::PersistUpdate(const labeling::InsertResult& result) {
   CDBS_RETURN_NOT_OK(store_->ApplyBatch(reload));
   store_needs_reload_ = false;
   return Status::OK();
+}
+
+void XmlDb::RollbackInsert(const AppliedInsert& applied) {
+  // The store did not take the update (atomically: on disk it is all-or-
+  // nothing, see LabelStore::ApplyBatch) — roll the in-memory mutation
+  // back by deleting the fresh node again, exactly like DeleteElement
+  // does. Node ids are never reused, so the id stays burnt and the
+  // node_of_id_ entry stays (detached, like any deleted node). Existing
+  // labels the insert rewrote in memory stay rewritten — they remain a
+  // valid labeling without the new node — so the whole store is re-synced
+  // on the next successful persist.
+  labeling::Labeling* lab = labeled_->labeling_mutable();
+  const labeling::DeleteResult rollback =
+      lab->DeleteSubtree(applied.result.new_node);
+  doc_.RemoveChild(applied.parent, applied.fresh);
+  labeled_->NoteRemovedNodes(rollback.removed);
+  store_needs_reload_ = true;
+}
+
+void XmlDb::NoteInsertCommitted(const labeling::InsertResult& result) {
+  insertions_->Increment();
+  global_insertions_->Increment();
+  relabeled_total_->Increment(result.relabeled);
+  global_relabeled_->Increment(result.relabeled);
+  if (result.overflow) {
+    overflow_events_->Increment();
+    global_overflows_->Increment();
+  }
 }
 
 Result<uint64_t> XmlDb::DeleteElement(NodeId target) {

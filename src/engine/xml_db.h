@@ -112,12 +112,47 @@ class XmlDb {
     return labeled_->labeling();
   }
 
+  /// The labeled document + tag index (for snapshotting via Fork()).
+  const query::LabeledDocument& labeled() const { return *labeled_; }
+
+  /// The persistent label store; null when the database is in-memory only.
+  /// Exposed for store-level inspection (I/O and WAL metrics) in tests and
+  /// benches.
+  const storage::LabelStore* store() const { return store_.get(); }
+
  private:
+  // The concurrent front-end drives the two-phase update hooks below to
+  // batch many insertions under one group-committed store write.
+  friend class ConcurrentXmlDb;
+
+  /// Everything needed to undo one in-memory insertion.
+  struct AppliedInsert {
+    labeling::InsertResult result;
+    xml::Node* parent = nullptr;
+    xml::Node* fresh = nullptr;
+  };
+
   XmlDb(xml::Document doc, std::unique_ptr<labeling::LabelingScheme> scheme);
 
   Status InitStore(const XmlDbOptions& options);
   Result<NodeId> Insert(NodeId target, const std::string& tag, bool before);
-  Status PersistUpdate(const labeling::InsertResult& result);
+
+  // --- two-phase insertion, the building blocks of Insert ---
+  // Phase 1: mutate tree + labels + index in memory, remembering how to
+  // undo it.
+  Result<NodeId> ApplyInsertInMemory(NodeId target, const std::string& tag,
+                                     bool before, AppliedInsert* applied);
+  // Serializes one insertion's store ops (relabel rewrites + the append).
+  void BuildPersistOps(const labeling::InsertResult& result,
+                       storage::StoreBatch* out) const;
+  // Phase 2: group-commits the batches (one WAL fsync for all of them),
+  // falling back to a full Reload when a label outgrew its slot or a prior
+  // failure left the store out of sync. No-op without a store.
+  Status PersistBatches(const std::vector<storage::StoreBatch>& batches);
+  // Undoes phase 1 after a failed phase 2 (reverse order across a group).
+  void RollbackInsert(const AppliedInsert& applied);
+  // Bumps the update counters once an insertion is fully committed.
+  void NoteInsertCommitted(const labeling::InsertResult& result);
 
   xml::Document doc_;
   std::unique_ptr<labeling::LabelingScheme> scheme_;

@@ -310,6 +310,10 @@ class ContainmentLabeling : public Labeling {
 
   const TreeSkeleton& skeleton() const override { return skeleton_; }
 
+  std::unique_ptr<Labeling> Clone() const override {
+    return std::make_unique<ContainmentLabeling<Codec>>(*this);
+  }
+
   /// Test hooks.
   const Value& start_value(NodeId n) const { return start_[n]; }
   const Value& end_value(NodeId n) const { return end_[n]; }

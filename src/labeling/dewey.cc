@@ -136,6 +136,10 @@ class DeweyLabeling : public Labeling {
 
   const TreeSkeleton& skeleton() const override { return skeleton_; }
 
+  std::unique_ptr<Labeling> Clone() const override {
+    return std::make_unique<DeweyLabeling>(*this);
+  }
+
   /// Test hook: the raw component path.
   const std::vector<uint64_t>& label(NodeId n) const { return labels_[n]; }
 

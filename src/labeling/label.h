@@ -172,6 +172,12 @@ class Labeling {
   /// Serialized label bytes for the label store (Figure 7's I/O).
   virtual std::string SerializeLabel(NodeId n) const = 0;
 
+  /// Deep, independent copy of this labeling (labels, skeleton, codec
+  /// state). The copy shares nothing with the original, so one side may
+  /// keep inserting while the other is read concurrently — the snapshot
+  /// primitive behind the concurrent serving layer (docs/CONCURRENCY.md).
+  virtual std::unique_ptr<Labeling> Clone() const = 0;
+
   /// Structural skeleton (shared bookkeeping; not used by predicates).
   virtual const TreeSkeleton& skeleton() const = 0;
 };

@@ -248,6 +248,10 @@ class OrdPathLabeling : public Labeling {
 
   const TreeSkeleton& skeleton() const override { return skeleton_; }
 
+  std::unique_ptr<Labeling> Clone() const override {
+    return std::make_unique<OrdPathLabeling>(*this);
+  }
+
   /// Test hooks.
   const std::vector<int64_t>& label(NodeId n) const { return labels_[n]; }
   OrdPathSelf SelfOf(NodeId n) const {

@@ -146,6 +146,10 @@ class DynamicPrefixLabeling : public Labeling {
 
   const TreeSkeleton& skeleton() const override { return skeleton_; }
 
+  std::unique_ptr<Labeling> Clone() const override {
+    return std::make_unique<DynamicPrefixLabeling>(*this);
+  }
+
   /// Test hook: full label as self components.
   const std::vector<Self>& label(NodeId n) const { return labels_[n]; }
 
@@ -312,6 +316,10 @@ class QedPrefixLabeling : public Labeling {
   std::string SerializeLabel(NodeId n) const override { return labels_[n]; }
 
   const TreeSkeleton& skeleton() const override { return skeleton_; }
+
+  std::unique_ptr<Labeling> Clone() const override {
+    return std::make_unique<QedPrefixLabeling>(*this);
+  }
 
  private:
   InsertResult Insert(NodeId id, const core::QedCode& left,

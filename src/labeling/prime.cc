@@ -141,6 +141,10 @@ class PrimeLabeling : public Labeling {
 
   const TreeSkeleton& skeleton() const override { return skeleton_; }
 
+  std::unique_ptr<Labeling> Clone() const override {
+    return std::make_unique<PrimeLabeling>(*this);
+  }
+
   /// Test hooks.
   uint64_t self_prime(NodeId n) const { return self_[n]; }
   const BigInt& label(NodeId n) const { return label_[n]; }

@@ -104,8 +104,8 @@ std::string ToTextTable(const MetricRegistry& registry) {
       case MetricType::kHistogram:
         Appendf(&out,
                 "%-40s count=%-10" PRIu64 " mean=%-12.1f p50=%-10" PRIu64
-                " p90=%-10" PRIu64 " p99=%-10" PRIu64 " max=%" PRIu64 "\n",
-                m.name.c_str(), m.count, m.mean, m.p50, m.p90, m.p99, m.max);
+                " p95=%-10" PRIu64 " p99=%-10" PRIu64 " max=%" PRIu64 "\n",
+                m.name.c_str(), m.count, m.mean, m.p50, m.p95, m.p99, m.max);
         break;
     }
   }
@@ -139,8 +139,9 @@ std::string ToJson(const MetricRegistry& registry, std::string_view label) {
                 m.count, m.sum, m.min, m.max);
         out += ", \"mean\": " + JsonNumber(m.mean);
         Appendf(&out,
-                ", \"p50\": %" PRIu64 ", \"p90\": %" PRIu64 ", \"p99\": %" PRIu64,
-                m.p50, m.p90, m.p99);
+                ", \"p50\": %" PRIu64 ", \"p90\": %" PRIu64 ", \"p95\": %" PRIu64
+                ", \"p99\": %" PRIu64,
+                m.p50, m.p90, m.p95, m.p99);
         out += ", \"buckets\": [";
         for (size_t i = 0; i < m.buckets.size(); ++i) {
           if (i > 0) out += ", ";

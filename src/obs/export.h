@@ -25,7 +25,7 @@ std::string ToTextTable(const MetricRegistry& registry);
 
 /// JSON document: `{"label": ..., "metrics": [...]}`. Counters carry
 /// `value`; gauges `value` (double); histograms `count/sum/min/max/mean/
-/// p50/p90/p99` plus a `buckets` array of `{"le": N, "count": M}`.
+/// p50/p90/p95/p99` plus a `buckets` array of `{"le": N, "count": M}`.
 std::string ToJson(const MetricRegistry& registry, std::string_view label = "");
 
 /// Prometheus text exposition (HELP/TYPE headers, cumulative buckets).

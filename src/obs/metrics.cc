@@ -165,6 +165,7 @@ std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
         snap.mean = h.mean();
         snap.p50 = h.Quantile(0.50);
         snap.p90 = h.Quantile(0.90);
+        snap.p95 = h.Quantile(0.95);
         snap.p99 = h.Quantile(0.99);
         for (int b = 0; b < Histogram::kNumBuckets; ++b) {
           const uint64_t c = h.bucket(b);

@@ -27,6 +27,13 @@
 /// sample; registration (`GetCounter` etc.) takes a mutex and should be done
 /// once and cached, e.g. in a constructor or a function-local static.
 ///
+/// Thread safety: every read/write of metric state goes through std::atomic
+/// (counters, gauges, histogram buckets and extremes), so increments and
+/// exports may race freely without UB. A `Snapshot()` taken concurrently
+/// with updates is a per-field-consistent view: each field is a valid
+/// observed value, but `count`/`sum`/quantiles may straddle an in-flight
+/// `Record` (off-by-one skew, never corruption).
+///
 /// There is one process-wide `MetricRegistry::Default()` that the library's
 /// built-in instrumentation reports to, and components that need isolated
 /// counts (`engine::XmlDb`, `storage::LabelStore`) additionally own a
@@ -121,6 +128,7 @@ struct MetricSnapshot {
   double mean = 0;
   uint64_t p50 = 0;
   uint64_t p90 = 0;
+  uint64_t p95 = 0;
   uint64_t p99 = 0;
   /// Non-empty buckets as (inclusive upper bound, count), ascending.
   std::vector<std::pair<uint64_t, uint64_t>> buckets;

@@ -21,6 +21,15 @@ LabeledDocument::LabeledDocument(const xml::Document& doc,
   }
 }
 
+std::unique_ptr<LabeledDocument> LabeledDocument::Fork() const {
+  std::unique_ptr<LabeledDocument> copy(new LabeledDocument());
+  copy->labeling_ = labeling_->Clone();
+  copy->tags_ = tags_;
+  copy->all_elements_ = all_elements_;
+  copy->by_tag_ = by_tag_;
+  return copy;
+}
+
 const std::vector<NodeId>& LabeledDocument::WithTag(
     const std::string& name) const {
   if (name == "*") return all_elements_;

@@ -27,6 +27,11 @@ class LabeledDocument {
   LabeledDocument(const xml::Document& doc,
                   const labeling::LabelingScheme& scheme);
 
+  /// Deep, independent copy: cloned labeling plus copied tag lists. The
+  /// fork can be read from any thread while the original keeps mutating —
+  /// the unit the concurrent engine publishes as a read snapshot.
+  std::unique_ptr<LabeledDocument> Fork() const;
+
   const labeling::Labeling& labeling() const { return *labeling_; }
 
   /// Ids of elements with tag `name`, in document order; empty list for
@@ -55,6 +60,8 @@ class LabeledDocument {
   void NoteRemovedNodes(const std::vector<NodeId>& ids);
 
  private:
+  LabeledDocument() = default;  // for Fork
+
   std::unique_ptr<labeling::Labeling> labeling_;
   std::vector<std::string> tags_;
   std::vector<NodeId> all_elements_;

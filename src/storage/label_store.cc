@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <set>
 #include <utility>
 
 #include "storage/io_retry.h"
@@ -234,92 +235,133 @@ Status LabelStore::BulkLoad(const std::vector<std::string>& records,
 }
 
 Status LabelStore::ApplyBatch(const StoreBatch& batch) {
-  if (fd_ < 0) return Status::Internal("store not open");
-  if (crashed_) return Status::IoError("store crashed (injected)");
-  if (batch.empty()) return Status::OK();
+  return ApplyBatchGroup({&batch});
+}
 
-  // Stage 1 — build the after-image of every page the batch touches, in
-  // memory, validating everything. No I/O errors past this point can tear
-  // the store: the WAL record below carries these exact images.
-  uint64_t new_count = record_count_;
-  uint64_t new_slot = slot_size_;
-  std::map<uint64_t, std::vector<char>> dirty;  // page index -> full page
-
+Status LabelStore::StageBatch(const StoreBatch& batch, uint64_t* count,
+                              uint64_t* slot,
+                              std::map<uint64_t, std::vector<char>>* dirty,
+                              std::set<uint64_t>* touched) {
   if (batch.reload_) {
     size_t max_record = 1;
     for (const std::string& r : batch.reload_records_) {
       max_record = std::max(max_record, r.size());
     }
-    new_slot = max_record + kSlotHeader + batch.reload_headroom_;
+    const uint64_t new_slot = max_record + kSlotHeader + batch.reload_headroom_;
     if (new_slot > kPageDataSize) {
       return Status::InvalidArgument("record larger than a page");
     }
-    new_count = batch.reload_records_.size();
+    // A reload supersedes everything staged so far: every surviving page
+    // image comes from the reload, so nothing is read from disk after it.
+    dirty->clear();
+    touched->clear();
+    *slot = new_slot;
+    *count = batch.reload_records_.size();
     const size_t per_page = kPageDataSize / new_slot;
-    for (uint64_t i = 0; i < new_count; ++i) {
+    for (uint64_t i = 0; i < *count; ++i) {
       const uint64_t page_index = 1 + i / per_page;
-      auto [it, inserted] =
-          dirty.try_emplace(page_index, kPageSize, '\0');
+      auto [it, inserted] = dirty->try_emplace(page_index, kPageSize, '\0');
       EncodeSlot(it->second.data() + (i % per_page) * new_slot, new_slot,
                  batch.reload_records_[i]);
+      touched->insert(page_index);
     }
-  } else {
-    if (slot_size_ == 0) return Status::Internal("batch before bulk load");
-    const size_t per_page = SlotsPerPage();
-    for (const StoreBatch::Op& op : batch.ops_) {
-      if (op.record.size() + kSlotHeader > slot_size_) {
-        return Status::OutOfRange("record does not fit a slot");
-      }
-      uint64_t index = 0;
-      if (op.kind == StoreBatch::OpKind::kRewrite) {
-        if (op.index >= record_count_) return Status::OutOfRange("record index");
-        index = op.index;
-      } else {
-        index = new_count++;
-      }
-      const uint64_t page_index = 1 + index / per_page;
-      auto it = dirty.find(page_index);
-      if (it == dirty.end()) {
-        std::vector<char> page;
-        if (index % per_page == 0 &&
-            op.kind == StoreBatch::OpKind::kAppend) {
-          page.assign(kPageSize, 0);  // fresh page
-        } else {
-          CDBS_RETURN_NOT_OK(ReadPage(page_index, &page));
-        }
-        it = dirty.emplace(page_index, std::move(page)).first;
-      }
-      EncodeSlot(it->second.data() + (index % per_page) * slot_size_,
-                 slot_size_, op.record);
-    }
+    return Status::OK();
   }
-  const uint64_t total_pages = PagesFor(new_count, new_slot);
 
-  // Stage 2 — make the batch durable in the WAL before touching a page:
+  if (*slot == 0) return Status::Internal("batch before bulk load");
+  const size_t per_page = kPageDataSize / *slot;
+  for (const StoreBatch::Op& op : batch.ops_) {
+    if (op.record.size() + kSlotHeader > *slot) {
+      return Status::OutOfRange("record does not fit a slot");
+    }
+    uint64_t index = 0;
+    if (op.kind == StoreBatch::OpKind::kRewrite) {
+      if (op.index >= *count) return Status::OutOfRange("record index");
+      index = op.index;
+    } else {
+      index = (*count)++;
+    }
+    const uint64_t page_index = 1 + index / per_page;
+    auto it = dirty->find(page_index);
+    if (it == dirty->end()) {
+      std::vector<char> page;
+      if (index % per_page == 0 && op.kind == StoreBatch::OpKind::kAppend) {
+        page.assign(kPageSize, 0);  // fresh page
+      } else {
+        CDBS_RETURN_NOT_OK(ReadPage(page_index, &page));
+      }
+      it = dirty->emplace(page_index, std::move(page)).first;
+    }
+    EncodeSlot(it->second.data() + (index % per_page) * *slot, *slot,
+               op.record);
+    touched->insert(page_index);
+  }
+  return Status::OK();
+}
+
+std::string LabelStore::EncodeWalPayload(
+    uint64_t new_count, uint64_t new_slot, uint64_t total_pages,
+    const std::map<uint64_t, std::vector<char>>& dirty,
+    const std::set<uint64_t>& touched) {
+  // Record layout (see docs/DURABILITY.md):
   //   [u64 new_count][u64 new_slot][u64 total_pages][u32 npages]
   //   npages x ([u64 page_index][kPageDataSize image bytes])
-  std::string payload(8 * 3 + 4 + dirty.size() * (8 + kPageDataSize), '\0');
+  std::string payload(8 * 3 + 4 + touched.size() * (8 + kPageDataSize), '\0');
   char* out = payload.data();
   PutU64(out, new_count);
   PutU64(out + 8, new_slot);
   PutU64(out + 16, total_pages);
-  PutU32(out + 24, static_cast<uint32_t>(dirty.size()));
+  PutU32(out + 24, static_cast<uint32_t>(touched.size()));
   out += 28;
-  for (const auto& [page_index, page] : dirty) {
+  for (const uint64_t page_index : touched) {
     PutU64(out, page_index);
-    std::memcpy(out + 8, page.data(), kPageDataSize);
+    std::memcpy(out + 8, dirty.at(page_index).data(), kPageDataSize);
     out += 8 + kPageDataSize;
   }
-  CDBS_RETURN_NOT_OK(wal_->Append(payload));
+  return payload;
+}
+
+Status LabelStore::ApplyBatchGroup(
+    const std::vector<const StoreBatch*>& batches) {
+  if (fd_ < 0) return Status::Internal("store not open");
+  if (crashed_) return Status::IoError("store crashed (injected)");
+
+  // Stage 1 — build the after-image of every page the group touches, in
+  // memory, validating everything. The staged state evolves batch by batch
+  // (later batches see earlier ones' pages), and each batch gets its own
+  // WAL record: replaying any durable prefix of them lands on a state some
+  // prefix of the group produced. No I/O errors past this point can tear
+  // the store: the WAL records below carry these exact images.
+  uint64_t new_count = record_count_;
+  uint64_t new_slot = slot_size_;
+  std::map<uint64_t, std::vector<char>> dirty;  // page index -> full page
+  std::vector<std::string> payloads;
+  payloads.reserve(batches.size());
+  for (const StoreBatch* batch : batches) {
+    if (batch == nullptr || batch->empty()) continue;
+    std::set<uint64_t> touched;
+    CDBS_RETURN_NOT_OK(
+        StageBatch(*batch, &new_count, &new_slot, &dirty, &touched));
+    payloads.push_back(EncodeWalPayload(
+        new_count, new_slot, PagesFor(new_count, new_slot), dirty, touched));
+  }
+  if (payloads.empty()) return Status::OK();
+
+  // Stage 2 — group commit: make every batch durable in the WAL with ONE
+  // append + ONE fsync before touching any page. This is where batching
+  // concurrent updates amortizes the durability cost.
+  std::vector<std::string_view> views(payloads.begin(), payloads.end());
+  CDBS_RETURN_NOT_OK(wal_->AppendBatch(views));
   CDBS_RETURN_NOT_OK(wal_->Sync());
 
   // Stage 3 — apply. A crash from here on is repaired by redo at reopen.
+  const uint64_t total_pages = PagesFor(new_count, new_slot);
   CDBS_RETURN_NOT_OK(
       ApplyPageImages(new_count, new_slot, total_pages, dirty));
   CDBS_RETURN_NOT_OK(SyncFile());
 
-  // Stage 4 — checkpoint: pages and header are durable, drop the record.
-  // (A crash before this lands merely replays the batch, idempotently.)
+  // Stage 4 — checkpoint: pages and header are durable, drop the records.
+  // (A crash before this lands merely replays the group, idempotently.)
   return wal_->Reset();
 }
 

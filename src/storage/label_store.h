@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -117,6 +118,16 @@ class LabelStore {
   /// not fit its slot — the caller re-issues as a Reload batch.
   Status ApplyBatch(const StoreBatch& batch);
 
+  /// Group commit: applies a whole sequence of batches with ONE WAL append
+  /// + fsync for the group (then one page-write pass + file sync). Later
+  /// batches see earlier ones' effects — appends chain, rewrites may hit
+  /// records appended earlier in the group. Each batch still gets its own
+  /// WAL record, so a crash mid-commit recovers to a state some *prefix*
+  /// of the group produced; once the single fsync returns, the whole group
+  /// is durable. Returns OutOfRange (before any I/O) when any record does
+  /// not fit its slot — the caller re-issues the group as one Reload.
+  Status ApplyBatchGroup(const std::vector<const StoreBatch*>& batches);
+
   /// Number of records.
   size_t size() const { return record_count_; }
 
@@ -171,6 +182,19 @@ class LabelStore {
   Status ApplyPageImages(uint64_t new_record_count, uint64_t new_slot_size,
                          uint64_t total_pages,
                          std::map<uint64_t, std::vector<char>>& pages);
+
+  /// Stage 1 of ApplyBatchGroup: folds one batch into the evolving staged
+  /// state (`count`/`slot`/`dirty`), recording the page indices this batch
+  /// touched. Reads un-staged pages from disk; performs no writes.
+  Status StageBatch(const StoreBatch& batch, uint64_t* count, uint64_t* slot,
+                    std::map<uint64_t, std::vector<char>>* dirty,
+                    std::set<uint64_t>* touched);
+
+  /// Encodes one batch's WAL record from the staged page images.
+  static std::string EncodeWalPayload(
+      uint64_t new_count, uint64_t new_slot, uint64_t total_pages,
+      const std::map<uint64_t, std::vector<char>>& dirty,
+      const std::set<uint64_t>& touched);
 
   /// Decodes one recovered WAL payload and re-applies it (idempotent).
   Status ReplayWalRecord(const std::string& payload);

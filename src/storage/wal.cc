@@ -87,29 +87,41 @@ Status Wal::WriteAt(uint64_t offset, const char* data, size_t n) {
 }
 
 Status Wal::Append(std::string_view payload) {
+  return AppendBatch({payload});
+}
+
+Status Wal::AppendBatch(const std::vector<std::string_view>& payloads) {
   if (fd_ < 0) return Status::Internal("WAL not open");
   if (crashed_) return Status::IoError("WAL crashed (injected)");
-  std::string record(kRecordHeader + payload.size(), '\0');
-  const uint32_t len = static_cast<uint32_t>(payload.size());
-  PutU32(record.data() + 4, len);
-  std::memcpy(record.data() + kRecordHeader, payload.data(), payload.size());
-  const uint32_t crc =
-      util::Crc32c(record.data() + 4, 4 + payload.size());
-  PutU32(record.data(), crc);
+  if (payloads.empty()) return Status::OK();
+  size_t total = 0;
+  for (const std::string_view payload : payloads) {
+    total += kRecordHeader + payload.size();
+  }
+  std::string buf(total, '\0');
+  char* out = buf.data();
+  for (const std::string_view payload : payloads) {
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    PutU32(out + 4, len);
+    std::memcpy(out + kRecordHeader, payload.data(), payload.size());
+    PutU32(out, util::Crc32c(out + 4, 4 + payload.size()));
+    out += kRecordHeader + payload.size();
+  }
 
   if (CDBS_FAILPOINT("wal.append.short_write")) {
-    // Simulated crash mid-append: half the record reaches the file, then
-    // this WAL handle is dead. Recovery must truncate the torn tail.
-    ::pwrite(fd_, record.data(), record.size() / 2,
+    // Simulated crash mid-append: half the buffer reaches the file, then
+    // this WAL handle is dead. Recovery must replay whichever leading
+    // records survived whole and truncate the torn tail.
+    ::pwrite(fd_, buf.data(), buf.size() / 2,
              static_cast<off_t>(end_offset_));
     crashed_ = true;
     return Status::IoError("injected crash: WAL short write");
   }
-  CDBS_RETURN_NOT_OK(WriteAt(end_offset_, record.data(), record.size()));
-  end_offset_ += record.size();
-  appends_->Increment();
-  global_appends_->Increment();
-  bytes_written_->Increment(record.size());
+  CDBS_RETURN_NOT_OK(WriteAt(end_offset_, buf.data(), buf.size()));
+  end_offset_ += buf.size();
+  appends_->Increment(payloads.size());
+  global_appends_->Increment(payloads.size());
+  bytes_written_->Increment(buf.size());
   return Status::OK();
 }
 

@@ -39,6 +39,14 @@ class Wal {
   /// Appends one record at the current tail. Does not sync.
   Status Append(std::string_view payload);
 
+  /// Appends one record per payload at the current tail as a single
+  /// contiguous write, without syncing. This is the group-commit split:
+  /// batch many logical records with AppendBatch, then pay for ONE `Sync`.
+  /// A crash before the sync leaves an all-or-prefix tail — `Recover`
+  /// replays whichever leading records are intact and truncates the rest
+  /// at a record boundary.
+  Status AppendBatch(const std::vector<std::string_view>& payloads);
+
   /// Flushes the log to stable storage.
   Status Sync();
 

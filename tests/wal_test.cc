@@ -1,7 +1,9 @@
 #include "storage/wal.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -41,6 +43,12 @@ class WalTest : public ::testing::Test {
     ASSERT_NE(f, nullptr);
     std::fwrite(bytes.data(), 1, bytes.size(), f);
     std::fclose(f);
+  }
+
+  void TruncateTo(uint64_t size) {
+    std::error_code ec;
+    std::filesystem::resize_file(path_, size, ec);
+    ASSERT_FALSE(ec);
   }
 
   void FlipByteAt(long offset) {
@@ -183,6 +191,77 @@ TEST_F(WalTest, InjectedShortWritePoisonsHandleAndRecoversClean) {
   ASSERT_EQ(payloads.size(), 1u);
   EXPECT_EQ(payloads[0], "durable");
   EXPECT_EQ(reopened.size_bytes(), intact_size);
+}
+
+TEST_F(WalTest, AppendBatchRoundTripsEveryRecord) {
+  {
+    Wal wal(&registry_);
+    ASSERT_TRUE(wal.Open(path_).ok());
+    ASSERT_TRUE(
+        wal.AppendBatch({"alpha", "", std::string(5000, 'y'), "omega"}).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  // The batch is one physical write but four logical records.
+  EXPECT_EQ(registry_.GetCounter("wal.appends")->value(), 4u);
+  Wal reopened(&registry_);
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(reopened.Recover(&payloads).ok());
+  ASSERT_EQ(payloads.size(), 4u);
+  EXPECT_EQ(payloads[0], "alpha");
+  EXPECT_EQ(payloads[1], "");
+  EXPECT_EQ(payloads[2], std::string(5000, 'y'));
+  EXPECT_EQ(payloads[3], "omega");
+}
+
+TEST_F(WalTest, PartiallySyncedBatchRecoversIntactPrefix) {
+  // The group-commit regression: a batch whose tail never reached disk
+  // must recover to an intact *prefix* of its records, with the torn tail
+  // physically truncated at a record boundary.
+  {
+    Wal wal(&registry_);
+    ASSERT_TRUE(wal.Open(path_).ok());
+    ASSERT_TRUE(wal.AppendBatch({"batch-one", "batch-two"}).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  // Record layout: 8-byte header + payload. Cut the file mid-way through
+  // the second record's payload, as a crash between write-out and fsync
+  // would.
+  const uint64_t first_record_size = 8 + std::string("batch-one").size();
+  TruncateTo(first_record_size + 8 + 3);
+
+  Wal reopened(&registry_);
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(reopened.Recover(&payloads).ok());
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "batch-one");
+  EXPECT_EQ(FileSize(), first_record_size);
+  EXPECT_EQ(reopened.size_bytes(), first_record_size);
+}
+
+TEST_F(WalTest, InjectedShortWriteTearsBatchAtRecordBoundary) {
+  Wal wal(&registry_);
+  ASSERT_TRUE(wal.Open(path_).ok());
+  ASSERT_TRUE(wal.Append("durable").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  const uint64_t intact_size = wal.size_bytes();
+
+  // The failpoint lands only half the batch buffer: the small first record
+  // survives whole, the big second one is torn.
+  ASSERT_TRUE(
+      util::Failpoints::Activate("wal.append.short_write", "oneshot").ok());
+  EXPECT_EQ(wal.AppendBatch({"tiny", std::string(1000, 'z')}).code(),
+            StatusCode::kIoError);
+
+  Wal reopened(&registry_);
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(reopened.Recover(&payloads).ok());
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], "durable");
+  EXPECT_EQ(payloads[1], "tiny");
+  EXPECT_EQ(reopened.size_bytes(), intact_size + 8 + 4);
 }
 
 TEST_F(WalTest, InjectedSyncCrashPoisonsHandle) {
