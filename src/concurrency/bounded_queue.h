@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/deadline.h"
 
 /// \file
 /// A bounded multi-producer queue, the admission-control half of the write
@@ -32,17 +33,41 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Outcome of a (possibly deadline-bounded) blocking push.
+  enum class PushOutcome {
+    kAccepted,  ///< enqueued
+    kClosed,    ///< queue closed (shutdown) — item untouched
+    kTimedOut,  ///< deadline expired while blocked on a full queue
+  };
+
   /// Enqueues `item`, blocking while the queue is full (backpressure).
   /// Returns false — leaving `item` untouched — when the queue is closed.
+  /// Shutdown safety: a producer blocked here on a full queue is woken by
+  /// `Close()` and observes the closure (returns false) rather than
+  /// blocking forever; `Close()` takes the queue mutex before flagging, so
+  /// there is no window where a blocked pusher can miss the wakeup.
   bool Push(T&& item) {
+    return PushUntil(std::move(item), util::Deadline::Infinite()) ==
+           PushOutcome::kAccepted;
+  }
+
+  /// Deadline-bounded blocking push: like `Push`, but gives up once
+  /// `deadline` expires. The item is untouched unless kAccepted.
+  PushOutcome PushUntil(T&& item, util::Deadline deadline) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
+    const auto ready = [this] {
+      return closed_ || items_.size() < capacity_;
+    };
+    if (deadline.infinite()) {
+      not_full_.wait(lock, ready);
+    } else if (!not_full_.wait_until(lock, deadline.time_point(), ready)) {
+      return PushOutcome::kTimedOut;
+    }
+    if (closed_) return PushOutcome::kClosed;
     items_.push_back(std::move(item));
     lock.unlock();
     not_empty_.notify_one();
-    return true;
+    return PushOutcome::kAccepted;
   }
 
   /// Non-blocking enqueue (admission control). Returns false — leaving
@@ -84,6 +109,10 @@ class BoundedQueue {
     not_full_.notify_all();
     not_empty_.notify_all();
   }
+
+  /// Alias for `Close()`, matching the rest of the serving layer's
+  /// shutdown vocabulary (ThreadPool::Shutdown, ConcurrentXmlDb::Shutdown).
+  void Shutdown() { Close(); }
 
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);

@@ -6,6 +6,7 @@
 #include "query/evaluator.h"
 #include "query/xpath.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace cdbs::engine {
 
@@ -58,6 +59,9 @@ ConcurrentXmlDb::ConcurrentXmlDb(std::unique_ptr<XmlDb> db,
                     "Write requests processed by the writer");
   rejected_ = counter("engine.concurrent.rejected",
                       "Writes bounced by admission control");
+  deadline_exceeded_ =
+      counter("engine.concurrent.deadline_exceeded",
+              "Requests that expired before executing (write or read)");
   snapshots_published_ = counter("engine.concurrent.snapshots",
                                  "Snapshots published (one per group commit)");
   queue_depth_ = gauge("engine.concurrent.queue.depth",
@@ -109,12 +113,29 @@ std::string ConcurrentXmlDb::TagOf(NodeId node) const {
 }
 
 std::future<Result<std::vector<NodeId>>> ConcurrentXmlDb::SubmitQuery(
-    std::string xpath) {
+    std::string xpath, util::Deadline deadline) {
   auto promise =
       std::make_shared<std::promise<Result<std::vector<NodeId>>>>();
   std::future<Result<std::vector<NodeId>>> fut = promise->get_future();
+  if (deadline.expired()) {
+    deadline_exceeded_.Increment();
+    promise->set_value(
+        Status::DeadlineExceeded("query deadline expired at submission"));
+    return fut;
+  }
   const bool accepted = readers_->Submit(
-      [this, promise, xpath = std::move(xpath)] {
+      [this, promise, deadline, xpath = std::move(xpath)] {
+        // Chaos/test hook: arm with a delay= spec to slow the reader pool
+        // and make queued queries age out deterministically.
+        static_cast<void>(CDBS_FAILPOINT("engine.concurrent.read.delay"));
+        // Re-check on the worker: the request may have aged out while
+        // queued behind slower reads — shed it without evaluating.
+        if (deadline.expired()) {
+          deadline_exceeded_.Increment();
+          promise->set_value(Status::DeadlineExceeded(
+              "query deadline expired while queued"));
+          return;
+        }
         promise->set_value(Query(xpath));
       });
   if (!accepted) {
@@ -127,58 +148,108 @@ std::future<Result<std::vector<NodeId>>> ConcurrentXmlDb::SubmitQuery(
 // --------------------------------------------------------------------------
 // Write path: submission.
 
+bool ConcurrentXmlDb::EnqueueWrite(WriteRequest req, bool blocking,
+                                   bool* accepted) {
+  const bool is_delete = req.kind == WriteRequest::Kind::kDelete;
+  Status rejection;
+  if (req.deadline.expired()) {
+    deadline_exceeded_.Increment();
+    rejection =
+        Status::DeadlineExceeded("write deadline expired at submission");
+  } else if (blocking) {
+    const util::Deadline deadline = req.deadline;
+    switch (write_queue_.PushUntil(std::move(req), deadline)) {
+      case concurrency::BoundedQueue<WriteRequest>::PushOutcome::kAccepted:
+        break;
+      case concurrency::BoundedQueue<WriteRequest>::PushOutcome::kClosed:
+        rejection = Status::IoError("database shut down");
+        break;
+      case concurrency::BoundedQueue<WriteRequest>::PushOutcome::kTimedOut:
+        deadline_exceeded_.Increment();
+        rejection = Status::DeadlineExceeded(
+            "write deadline expired while blocked on a full queue");
+        break;
+    }
+  } else if (!write_queue_.TryPush(std::move(req))) {
+    rejected_.Increment();
+    rejection = shut_down_.load()
+                    ? Status::IoError("database shut down")
+                    : Status::RetryAfter("write queue full; retry after " +
+                                         std::to_string(
+                                             RetryAfterHintMillis()) +
+                                         " ms");
+  }
+  const bool admitted = rejection.ok();
+  if (accepted != nullptr) *accepted = admitted;
+  if (!admitted) {
+    // `req` is untouched on a failed push; fail its promise in place.
+    if (is_delete) {
+      req.delete_promise.set_value(rejection);
+    } else {
+      req.insert_promise.set_value(rejection);
+    }
+    return false;
+  }
+  queue_depth_.Set(static_cast<double>(write_queue_.size()));
+  return true;
+}
+
 std::future<Result<NodeId>> ConcurrentXmlDb::SubmitInsert(
     WriteRequest::Kind kind, NodeId target, std::string tag, bool blocking,
-    bool* accepted) {
+    bool* accepted, util::Deadline deadline) {
   WriteRequest req;
   req.kind = kind;
   req.target = target;
   req.tag = std::move(tag);
+  req.deadline = deadline;
   std::future<Result<NodeId>> fut = req.insert_promise.get_future();
-  const bool admitted = blocking ? write_queue_.Push(std::move(req))
-                                 : write_queue_.TryPush(std::move(req));
-  if (accepted != nullptr) *accepted = admitted;
-  if (!admitted) {
-    // `req` is untouched on a failed push; fail its promise in place.
-    rejected_.Increment();
-    req.insert_promise.set_value(
-        Status::IoError(shut_down_.load() ? "database shut down"
-                                          : "write queue full"));
-    return fut;
-  }
-  queue_depth_.Set(static_cast<double>(write_queue_.size()));
+  EnqueueWrite(std::move(req), blocking, accepted);
   return fut;
 }
 
 std::future<Result<NodeId>> ConcurrentXmlDb::SubmitInsertBefore(
-    NodeId target, std::string tag) {
+    NodeId target, std::string tag, util::Deadline deadline) {
   return SubmitInsert(WriteRequest::Kind::kInsertBefore, target,
-                      std::move(tag), /*blocking=*/true, nullptr);
+                      std::move(tag), /*blocking=*/true, nullptr, deadline);
 }
 
 std::future<Result<NodeId>> ConcurrentXmlDb::SubmitInsertAfter(
-    NodeId target, std::string tag) {
+    NodeId target, std::string tag, util::Deadline deadline) {
   return SubmitInsert(WriteRequest::Kind::kInsertAfter, target,
-                      std::move(tag), /*blocking=*/true, nullptr);
+                      std::move(tag), /*blocking=*/true, nullptr, deadline);
 }
 
 std::future<Result<NodeId>> ConcurrentXmlDb::TrySubmitInsertAfter(
-    NodeId target, std::string tag, bool* accepted) {
+    NodeId target, std::string tag, bool* accepted, util::Deadline deadline) {
   return SubmitInsert(WriteRequest::Kind::kInsertAfter, target,
-                      std::move(tag), /*blocking=*/false, accepted);
+                      std::move(tag), /*blocking=*/false, accepted, deadline);
 }
 
-std::future<Result<uint64_t>> ConcurrentXmlDb::SubmitDelete(NodeId target) {
+std::future<Result<NodeId>> ConcurrentXmlDb::TrySubmitInsertBefore(
+    NodeId target, std::string tag, bool* accepted, util::Deadline deadline) {
+  return SubmitInsert(WriteRequest::Kind::kInsertBefore, target,
+                      std::move(tag), /*blocking=*/false, accepted, deadline);
+}
+
+std::future<Result<uint64_t>> ConcurrentXmlDb::SubmitDelete(
+    NodeId target, util::Deadline deadline) {
   WriteRequest req;
   req.kind = WriteRequest::Kind::kDelete;
   req.target = target;
+  req.deadline = deadline;
   std::future<Result<uint64_t>> fut = req.delete_promise.get_future();
-  if (!write_queue_.Push(std::move(req))) {
-    rejected_.Increment();
-    req.delete_promise.set_value(Status::IoError("database shut down"));
-    return fut;
-  }
-  queue_depth_.Set(static_cast<double>(write_queue_.size()));
+  EnqueueWrite(std::move(req), /*blocking=*/true, nullptr);
+  return fut;
+}
+
+std::future<Result<uint64_t>> ConcurrentXmlDb::TrySubmitDelete(
+    NodeId target, bool* accepted, util::Deadline deadline) {
+  WriteRequest req;
+  req.kind = WriteRequest::Kind::kDelete;
+  req.target = target;
+  req.deadline = deadline;
+  std::future<Result<uint64_t>> fut = req.delete_promise.get_future();
+  EnqueueWrite(std::move(req), /*blocking=*/false, accepted);
   return fut;
 }
 
@@ -216,6 +287,9 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
     size_t request_index;
     XmlDb::AppliedInsert applied;
   };
+  // Chaos/test hook: arm with a delay= spec to slow the writer, filling
+  // the submission queue (deterministic overload and deadline-expiry).
+  static_cast<void>(CDBS_FAILPOINT("engine.concurrent.write.delay"));
   const size_t n = group->size();
   std::vector<PendingInsert> pending;
   std::vector<storage::StoreBatch> batches;
@@ -229,6 +303,19 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
   for (size_t i = 0; i < n; ++i) {
     WriteRequest& req = (*group)[i];
     write_wait_ns_.Record(static_cast<uint64_t>(req.queued.ElapsedNanos()));
+    if (req.deadline.expired()) {
+      // Expired while queued: shed before it costs writer time. The
+      // request never touches the tree, labels, or WAL.
+      deadline_exceeded_.Increment();
+      Status expired = Status::DeadlineExceeded(
+          "write deadline expired while queued behind the writer");
+      if (req.kind == WriteRequest::Kind::kDelete) {
+        delete_results[i].emplace(std::move(expired));
+      } else {
+        insert_results[i].emplace(std::move(expired));
+      }
+      continue;
+    }
     if (req.kind == WriteRequest::Kind::kDelete) {
       Result<uint64_t> removed = db_->DeleteElement(req.target);
       if (removed.ok() && *removed > 0) mutated = true;
@@ -289,6 +376,22 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
       req.insert_promise.set_value(std::move(*insert_results[i]));
     }
   }
+}
+
+uint64_t ConcurrentXmlDb::RetryAfterHintMillis() const {
+  // Estimate the queue's drain time: depth x mean durable-commit latency,
+  // amortized over the group size (a full group commits under one fsync).
+  const double depth = static_cast<double>(write_queue_.size()) + 1.0;
+  double mean_commit_ns = write_ns_.local->mean();
+  if (mean_commit_ns <= 0) mean_commit_ns = 1e6;  // cold start: assume 1 ms
+  const double group =
+      static_cast<double>(options_.group_commit_limit > 0
+                              ? options_.group_commit_limit
+                              : 1);
+  const double hint_ms = depth * mean_commit_ns / group / 1e6;
+  if (hint_ms < 1.0) return 1;
+  if (hint_ms > 2000.0) return 2000;
+  return static_cast<uint64_t>(hint_ms);
 }
 
 void ConcurrentXmlDb::PublishSnapshot() {

@@ -16,6 +16,7 @@
 #include "engine/xml_db.h"
 #include "obs/metrics.h"
 #include "query/tag_index.h"
+#include "util/deadline.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -91,29 +92,48 @@ class ConcurrentXmlDb {
   /// reclaimed after this returns).
   std::string TagOf(NodeId node) const;
 
-  /// Runs `xpath` on the read worker pool.
-  std::future<Result<std::vector<NodeId>>> SubmitQuery(std::string xpath);
+  /// Runs `xpath` on the read worker pool. A request whose `deadline`
+  /// expires while still queued resolves with kDeadlineExceeded without
+  /// evaluating (expired work is the cheapest work to shed).
+  std::future<Result<std::vector<NodeId>>> SubmitQuery(
+      std::string xpath, util::Deadline deadline = {});
 
   // --- write path: serialized, group-committed ---
 
   /// Enqueues an insertion; blocks while the submission queue is full. The
   /// future resolves with the new node's id once the insertion is durable
   /// (group-committed) and visible to new snapshots.
+  ///
+  /// Deadline semantics (all Submit*/TrySubmit* writes): a request whose
+  /// deadline has already passed — or passes while blocked on a full
+  /// queue, or while waiting in the queue — fails with kDeadlineExceeded
+  /// *before* touching the database or its WAL.
   std::future<Result<NodeId>> SubmitInsertBefore(NodeId target,
-                                                 std::string tag);
+                                                 std::string tag,
+                                                 util::Deadline deadline = {});
   std::future<Result<NodeId>> SubmitInsertAfter(NodeId target,
-                                                std::string tag);
+                                                std::string tag,
+                                                util::Deadline deadline = {});
 
   /// Non-blocking admission-controlled variant: fails the future
-  /// immediately with an Unavailable-style IoError when the queue is full.
-  /// `accepted`, when non-null, reports whether the request was admitted.
-  std::future<Result<NodeId>> TrySubmitInsertAfter(NodeId target,
-                                                   std::string tag,
-                                                   bool* accepted = nullptr);
+  /// immediately with kRetryAfter when the queue is full. `accepted`, when
+  /// non-null, reports whether the request was admitted.
+  std::future<Result<NodeId>> TrySubmitInsertAfter(
+      NodeId target, std::string tag, bool* accepted = nullptr,
+      util::Deadline deadline = {});
+  std::future<Result<NodeId>> TrySubmitInsertBefore(
+      NodeId target, std::string tag, bool* accepted = nullptr,
+      util::Deadline deadline = {});
 
   /// Enqueues a subtree deletion; resolves with the number of nodes
   /// removed.
-  std::future<Result<uint64_t>> SubmitDelete(NodeId target);
+  std::future<Result<uint64_t>> SubmitDelete(NodeId target,
+                                             util::Deadline deadline = {});
+
+  /// Non-blocking admission-controlled deletion.
+  std::future<Result<uint64_t>> TrySubmitDelete(NodeId target,
+                                                bool* accepted = nullptr,
+                                                util::Deadline deadline = {});
 
   /// Convenience synchronous wrappers (submit + wait).
   Result<NodeId> InsertElementBefore(NodeId target, const std::string& tag);
@@ -131,6 +151,17 @@ class ConcurrentXmlDb {
 
   /// Snapshot versions currently alive (current + pinned-retired).
   size_t live_snapshots() const { return snapshots_.live_versions(); }
+
+  /// Write submission queue occupancy / capacity (advisory, racy).
+  size_t write_queue_depth() const { return write_queue_.size(); }
+  size_t write_queue_capacity() const { return write_queue_.capacity(); }
+
+  /// Server-computed backoff hint for a shed write, in milliseconds:
+  /// roughly how long the current queue takes to drain, estimated from the
+  /// queue depth and the mean commit latency observed so far. Clamped to
+  /// [1, 2000]; the network front-end returns it with kRetryAfter
+  /// responses so clients back off proportionally to actual load.
+  uint64_t RetryAfterHintMillis() const;
 
   /// Point-in-time stats assembled from the latest snapshot plus the
   /// underlying database's counters (all atomics — safe any time).
@@ -151,6 +182,7 @@ class ConcurrentXmlDb {
     Kind kind = Kind::kInsertAfter;
     NodeId target = 0;
     std::string tag;
+    util::Deadline deadline;  // infinite unless the caller set one
     std::promise<Result<NodeId>> insert_promise;
     std::promise<Result<uint64_t>> delete_promise;
     util::Stopwatch queued;  // started at submission, for latency metrics
@@ -161,7 +193,11 @@ class ConcurrentXmlDb {
 
   std::future<Result<NodeId>> SubmitInsert(WriteRequest::Kind kind,
                                            NodeId target, std::string tag,
-                                           bool blocking, bool* accepted);
+                                           bool blocking, bool* accepted,
+                                           util::Deadline deadline);
+  /// Enqueues `req` (blocking or admission-controlled), resolving its
+  /// promise in place on rejection. Returns whether it was admitted.
+  bool EnqueueWrite(WriteRequest req, bool blocking, bool* accepted);
   void WriterLoop();
   void ProcessGroup(std::vector<WriteRequest>* group);
   void PublishSnapshot();
@@ -208,6 +244,7 @@ class ConcurrentXmlDb {
   mutable MirroredCounter reads_;
   MirroredCounter writes_;
   MirroredCounter rejected_;          // admission-control bounces
+  MirroredCounter deadline_exceeded_;  // requests expired before running
   MirroredCounter snapshots_published_;
   MirroredGauge queue_depth_;
   MirroredGauge snapshots_live_;

@@ -1,0 +1,248 @@
+#include "net/client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "net/socket_io.h"
+
+namespace cdbs::net {
+
+namespace {
+
+constexpr uint32_t kNoBudget = 0;
+
+/// The request's wire deadline: the caller's remaining budget, clamped to
+/// u32 milliseconds; 0 (no deadline) when infinite.
+uint32_t WireDeadlineMs(util::Deadline deadline) {
+  if (deadline.infinite()) return kNoBudget;
+  const int64_t left = deadline.remaining_millis();
+  if (left <= 0) return 1;  // expired: let the server say so authoritatively
+  return static_cast<uint32_t>(
+      std::min<int64_t>(left, UINT32_MAX));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CdbsClient>> CdbsClient::Connect(
+    const ClientOptions& options) {
+  std::unique_ptr<CdbsClient> client(new CdbsClient(options));
+  CDBS_RETURN_NOT_OK(client->EnsureConnected());
+  return client;
+}
+
+CdbsClient::CdbsClient(const ClientOptions& options)
+    : options_(options),
+      rng_(options.jitter_seed != 0
+               ? options.jitter_seed
+               : static_cast<uint64_t>(
+                     reinterpret_cast<uintptr_t>(this)) ^
+                     0x9E3779B97F4A7C15ull),
+      retries_counter_(obs::MetricRegistry::Default().GetCounter(
+          "serve.retries",
+          "Client-side retries (reconnects, backoff, retry-after)")) {}
+
+CdbsClient::~CdbsClient() { CloseConnection(); }
+
+Status CdbsClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  Result<int> fd =
+      ConnectTcp(options_.host, options_.port, options_.connect_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  return Status::OK();
+}
+
+void CdbsClient::CloseConnection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void CdbsClient::Backoff(int attempt, uint32_t retry_after_ms,
+                         util::Deadline deadline) {
+  ++local_retries_;
+  retries_counter_->Increment();
+  // Bounded exponential: base * 2^attempt, jittered to [1/2, 1] of itself
+  // so a fleet of shed clients does not come back in lockstep.
+  int64_t backoff = options_.base_backoff_ms;
+  for (int i = 0; i < attempt && backoff < options_.max_backoff_ms; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min<int64_t>(backoff, options_.max_backoff_ms);
+  std::uniform_int_distribution<int64_t> jitter(backoff / 2,
+                                                std::max<int64_t>(backoff, 1));
+  int64_t sleep_ms = jitter(rng_);
+  // The server's hint is a floor: it knows its queue better than we do.
+  sleep_ms = std::max<int64_t>(sleep_ms, retry_after_ms);
+  if (!deadline.infinite()) {
+    sleep_ms = std::min<int64_t>(sleep_ms, deadline.remaining_millis());
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+}
+
+Result<Response> CdbsClient::Call(Request req, util::Deadline deadline) {
+  const bool idempotent = IsIdempotent(req.op);
+  Status last = Status::IoError("no attempt made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    // Backoff sleeps are only worth paying when another attempt follows;
+    // on the final attempt every failure returns immediately.
+    const bool final_attempt = attempt + 1 == options_.max_attempts;
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("client deadline expired after " +
+                                      std::to_string(attempt) + " attempts");
+    }
+    const Status connected = EnsureConnected();
+    if (!connected.ok()) {
+      // Server restarting, at its connection cap, or unreachable: back off
+      // and retry (no request was sent, so this is safe for writes too).
+      last = connected;
+      if (!final_attempt) Backoff(attempt, /*retry_after_ms=*/0, deadline);
+      continue;
+    }
+    req.request_id = next_request_id_++;
+    req.deadline_ms = WireDeadlineMs(deadline);
+    const std::string frame = EncodeFrame(EncodeRequest(req));
+    const Status sent = WriteFrame(fd_, frame, options_.io_timeout_ms);
+    if (!sent.ok()) {
+      // The request may have partially reached the server. Reconnect; only
+      // reads are safe to resend.
+      CloseConnection();
+      last = sent;
+      if (idempotent) {
+        if (!final_attempt) Backoff(attempt, /*retry_after_ms=*/0, deadline);
+        continue;
+      }
+      return Status::IoError("write outcome unknown (send failed: " +
+                             sent.message() + ")");
+    }
+    std::string payload;
+    const Status read = ReadFrame(fd_, &payload, options_.io_timeout_ms);
+    if (!read.ok()) {
+      // EOF, timeout, or a CRC-failed (torn) frame: the stream is dead.
+      // The server may or may not have executed the request.
+      CloseConnection();
+      last = read;
+      if (idempotent) {
+        if (!final_attempt) Backoff(attempt, /*retry_after_ms=*/0, deadline);
+        continue;
+      }
+      return Status::IoError("write outcome unknown (" + read.message() +
+                             ")");
+    }
+    Response resp;
+    const Status decoded = DecodeResponse(payload, &resp);
+    if (!decoded.ok()) {
+      CloseConnection();
+      last = decoded;
+      if (idempotent) {
+        if (!final_attempt) Backoff(attempt, /*retry_after_ms=*/0, deadline);
+        continue;
+      }
+      return Status::IoError("write outcome unknown (undecodable response)");
+    }
+    if (resp.request_id != req.request_id) {
+      // A stale response left on the stream (should not happen — one
+      // request in flight per connection). Resynchronize by reconnecting.
+      CloseConnection();
+      last = Status::Internal("response id mismatch");
+      if (idempotent) {
+        if (!final_attempt) Backoff(attempt, /*retry_after_ms=*/0, deadline);
+        continue;
+      }
+      return last;
+    }
+    if (resp.code == StatusCode::kRetryAfter) {
+      // Load shed *before* execution — resending is safe for every op,
+      // writes included. Honor the server's backoff hint.
+      last = Status::RetryAfter(resp.message);
+      if (!final_attempt) Backoff(attempt, resp.retry_after_ms, deadline);
+      continue;
+    }
+    return resp;
+  }
+  return last;
+}
+
+Status CdbsClient::Ping(util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kPing;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  return resp->code == StatusCode::kOk ? Status::OK()
+                                       : Status(resp->code, resp->message);
+}
+
+Result<std::vector<uint64_t>> CdbsClient::Query(const std::string& xpath,
+                                                util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kQuery;
+  req.xpath = xpath;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  return std::move(resp->node_ids);
+}
+
+Result<uint64_t> CdbsClient::InsertBefore(uint64_t target,
+                                          const std::string& tag,
+                                          util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kInsertBefore;
+  req.target = target;
+  req.tag = tag;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  return resp->id_or_count;
+}
+
+Result<uint64_t> CdbsClient::InsertAfter(uint64_t target,
+                                         const std::string& tag,
+                                         util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kInsertAfter;
+  req.target = target;
+  req.tag = tag;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  return resp->id_or_count;
+}
+
+Result<uint64_t> CdbsClient::Delete(uint64_t target, util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kDelete;
+  req.target = target;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  return resp->id_or_count;
+}
+
+Result<std::string> CdbsClient::StatsJson(util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kStats;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  return std::move(resp->stats_json);
+}
+
+}  // namespace cdbs::net

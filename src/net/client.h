@@ -1,0 +1,99 @@
+#ifndef CDBS_NET_CLIENT_H_
+#define CDBS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+/// \file
+/// `CdbsClient`: the client half of the wire protocol, built to survive an
+/// overloaded or faulty server (docs/NETWORKING.md):
+///
+///   * bounded exponential backoff with jitter between attempts, honoring
+///     the server's retry-after hint as a floor when one is present;
+///   * reconnect on any broken stream (EOF, timeout, CRC-failed frame);
+///   * **idempotent resend only for reads**: a shed write (kRetryAfter)
+///     definitively did not execute and is resent, but a write whose
+///     connection tore after the request was sent may or may not have
+///     committed — it fails with kIoError instead of risking a duplicate;
+///   * per-call deadlines travel to the server as a relative budget and
+///     bound the whole retry loop locally.
+///
+/// Not thread-safe: one CdbsClient per client thread (it is one TCP
+/// connection plus retry state).
+
+namespace cdbs::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 5000;
+  /// Total attempts per call (first try + retries).
+  int max_attempts = 5;
+  /// Exponential backoff bounds: attempt k sleeps ~base*2^k, jittered,
+  /// clamped to max.
+  int base_backoff_ms = 5;
+  int max_backoff_ms = 500;
+  /// Jitter seed; 0 derives one from the address of the client (varied,
+  /// not reproducible — pass a value for deterministic tests).
+  uint64_t jitter_seed = 0;
+};
+
+class CdbsClient {
+ public:
+  /// Creates a client and eagerly connects (verifying the server is
+  /// reachable; later broken streams reconnect lazily).
+  static Result<std::unique_ptr<CdbsClient>> Connect(
+      const ClientOptions& options);
+
+  ~CdbsClient();
+
+  CdbsClient(const CdbsClient&) = delete;
+  CdbsClient& operator=(const CdbsClient&) = delete;
+
+  Status Ping(util::Deadline deadline = {});
+  Result<std::vector<uint64_t>> Query(const std::string& xpath,
+                                      util::Deadline deadline = {});
+  Result<uint64_t> InsertBefore(uint64_t target, const std::string& tag,
+                                util::Deadline deadline = {});
+  Result<uint64_t> InsertAfter(uint64_t target, const std::string& tag,
+                               util::Deadline deadline = {});
+  /// Returns the number of nodes removed.
+  Result<uint64_t> Delete(uint64_t target, util::Deadline deadline = {});
+  /// The server's metric registry as JSON.
+  Result<std::string> StatsJson(util::Deadline deadline = {});
+
+  /// Retries performed by this client since creation (also exported as the
+  /// process-wide `serve.retries` counter).
+  uint64_t retries() const { return local_retries_; }
+
+ private:
+  explicit CdbsClient(const ClientOptions& options);
+
+  /// One request through the full retry loop.
+  Result<Response> Call(Request req, util::Deadline deadline);
+  Status EnsureConnected();
+  void CloseConnection();
+  /// Sleeps before attempt `attempt+1`, honoring `retry_after_ms` as a
+  /// floor and never past `deadline`.
+  void Backoff(int attempt, uint32_t retry_after_ms, util::Deadline deadline);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  uint64_t local_retries_ = 0;
+  std::mt19937_64 rng_;
+  obs::Counter* retries_counter_;
+};
+
+}  // namespace cdbs::net
+
+#endif  // CDBS_NET_CLIENT_H_

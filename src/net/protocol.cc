@@ -1,0 +1,287 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace cdbs::net {
+
+namespace {
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendString(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// A bounds-checked little-endian reader over one payload.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  Status ReadU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return Truncated();
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status ReadU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return Truncated();
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return Truncated();
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* v) {
+    uint32_t len = 0;
+    CDBS_RETURN_NOT_OK(ReadU32(&len));
+    if (pos_ + len > data_.size()) return Truncated();
+    v->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  static Status Truncated() {
+    return Status::Corruption("protocol payload truncated");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status ValidateOpcode(uint8_t raw, Opcode* out) {
+  if (raw < static_cast<uint8_t>(Opcode::kPing) ||
+      raw > static_cast<uint8_t>(Opcode::kStats)) {
+    return Status::Corruption("bad opcode " + std::to_string(raw));
+  }
+  *out = static_cast<Opcode>(raw);
+  return Status::OK();
+}
+
+Status ValidateStatusCode(uint8_t raw, StatusCode* out) {
+  if (raw > static_cast<uint8_t>(StatusCode::kRetryAfter)) {
+    return Status::Corruption("bad status code " + std::to_string(raw));
+  }
+  *out = static_cast<StatusCode>(raw);
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsIdempotent(Opcode op) {
+  switch (op) {
+    case Opcode::kPing:
+    case Opcode::kQuery:
+    case Opcode::kStats:
+      return true;
+    case Opcode::kInsertBefore:
+    case Opcode::kInsertAfter:
+    case Opcode::kDelete:
+      return false;
+  }
+  return false;
+}
+
+std::string EncodeRequest(const Request& req) {
+  std::string out;
+  AppendU8(&out, static_cast<uint8_t>(req.op));
+  AppendU64(&out, req.request_id);
+  AppendU32(&out, req.deadline_ms);
+  switch (req.op) {
+    case Opcode::kPing:
+    case Opcode::kStats:
+      break;
+    case Opcode::kQuery:
+      AppendString(&out, req.xpath);
+      break;
+    case Opcode::kInsertBefore:
+    case Opcode::kInsertAfter:
+      AppendU64(&out, req.target);
+      AppendString(&out, req.tag);
+      break;
+    case Opcode::kDelete:
+      AppendU64(&out, req.target);
+      break;
+  }
+  return out;
+}
+
+Status DecodeRequest(std::string_view payload, Request* out) {
+  Cursor cur(payload);
+  uint8_t op_raw = 0;
+  CDBS_RETURN_NOT_OK(cur.ReadU8(&op_raw));
+  CDBS_RETURN_NOT_OK(ValidateOpcode(op_raw, &out->op));
+  CDBS_RETURN_NOT_OK(cur.ReadU64(&out->request_id));
+  CDBS_RETURN_NOT_OK(cur.ReadU32(&out->deadline_ms));
+  switch (out->op) {
+    case Opcode::kPing:
+    case Opcode::kStats:
+      break;
+    case Opcode::kQuery:
+      CDBS_RETURN_NOT_OK(cur.ReadString(&out->xpath));
+      break;
+    case Opcode::kInsertBefore:
+    case Opcode::kInsertAfter:
+      CDBS_RETURN_NOT_OK(cur.ReadU64(&out->target));
+      CDBS_RETURN_NOT_OK(cur.ReadString(&out->tag));
+      break;
+    case Opcode::kDelete:
+      CDBS_RETURN_NOT_OK(cur.ReadU64(&out->target));
+      break;
+  }
+  if (!cur.exhausted()) {
+    return Status::Corruption("trailing bytes after request");
+  }
+  return Status::OK();
+}
+
+std::string EncodeResponse(const Response& resp) {
+  std::string out;
+  AppendU64(&out, resp.request_id);
+  AppendU8(&out, static_cast<uint8_t>(resp.op));
+  AppendU8(&out, static_cast<uint8_t>(resp.code));
+  AppendU32(&out, resp.retry_after_ms);
+  AppendString(&out, resp.message);
+  if (resp.code == StatusCode::kOk) {
+    switch (resp.op) {
+      case Opcode::kPing:
+        break;
+      case Opcode::kQuery:
+        AppendU32(&out, static_cast<uint32_t>(resp.node_ids.size()));
+        for (uint64_t id : resp.node_ids) AppendU64(&out, id);
+        break;
+      case Opcode::kInsertBefore:
+      case Opcode::kInsertAfter:
+      case Opcode::kDelete:
+        AppendU64(&out, resp.id_or_count);
+        break;
+      case Opcode::kStats:
+        AppendString(&out, resp.stats_json);
+        break;
+    }
+  }
+  return out;
+}
+
+Status DecodeResponse(std::string_view payload, Response* out) {
+  Cursor cur(payload);
+  CDBS_RETURN_NOT_OK(cur.ReadU64(&out->request_id));
+  uint8_t op_raw = 0;
+  CDBS_RETURN_NOT_OK(cur.ReadU8(&op_raw));
+  CDBS_RETURN_NOT_OK(ValidateOpcode(op_raw, &out->op));
+  uint8_t code_raw = 0;
+  CDBS_RETURN_NOT_OK(cur.ReadU8(&code_raw));
+  CDBS_RETURN_NOT_OK(ValidateStatusCode(code_raw, &out->code));
+  CDBS_RETURN_NOT_OK(cur.ReadU32(&out->retry_after_ms));
+  CDBS_RETURN_NOT_OK(cur.ReadString(&out->message));
+  if (out->code == StatusCode::kOk) {
+    switch (out->op) {
+      case Opcode::kPing:
+        break;
+      case Opcode::kQuery: {
+        uint32_t n = 0;
+        CDBS_RETURN_NOT_OK(cur.ReadU32(&n));
+        if (static_cast<size_t>(n) * 8 > payload.size()) {
+          return Status::Corruption("query result count exceeds payload");
+        }
+        out->node_ids.resize(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          CDBS_RETURN_NOT_OK(cur.ReadU64(&out->node_ids[i]));
+        }
+        break;
+      }
+      case Opcode::kInsertBefore:
+      case Opcode::kInsertAfter:
+      case Opcode::kDelete:
+        CDBS_RETURN_NOT_OK(cur.ReadU64(&out->id_or_count));
+        break;
+      case Opcode::kStats:
+        CDBS_RETURN_NOT_OK(cur.ReadString(&out->stats_json));
+        break;
+    }
+  }
+  if (!cur.exhausted()) {
+    return Status::Corruption("trailing bytes after response");
+  }
+  return Status::OK();
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  std::string len_bytes;
+  AppendU32(&len_bytes, static_cast<uint32_t>(payload.size()));
+  uint32_t crc = util::Crc32c(len_bytes.data(), len_bytes.size());
+  crc = util::Crc32c(payload.data(), payload.size(), crc);
+  AppendU32(&out, crc);
+  out += len_bytes;
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+namespace {
+uint32_t LoadU32(const char* p) {
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return out;
+}
+}  // namespace
+
+Status ParseFrameHeader(const char* header, uint32_t* payload_len) {
+  const uint32_t len = LoadU32(header + 4);
+  if (len > kMaxFramePayloadBytes) {
+    return Status::Corruption("frame length " + std::to_string(len) +
+                              " exceeds cap");
+  }
+  *payload_len = len;
+  return Status::OK();
+}
+
+Status VerifyFrame(const char* header, std::string_view payload) {
+  const uint32_t expected = LoadU32(header);
+  uint32_t crc = util::Crc32c(header + 4, 4);
+  crc = util::Crc32c(payload.data(), payload.size(), crc);
+  if (crc != expected) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace cdbs::net

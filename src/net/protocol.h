@@ -1,0 +1,96 @@
+#ifndef CDBS_NET_PROTOCOL_H_
+#define CDBS_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// The CDBS wire protocol: a length-prefixed, CRC-protected binary
+/// request/response framing over TCP (see docs/NETWORKING.md for the byte
+/// layout and the retry semantics built on top of it).
+///
+/// Frame: `[u32 crc32c][u32 len][len payload bytes]`, little-endian, where
+/// the CRC covers the length field plus the payload — the same torn-write
+/// discipline as the WAL (src/storage/wal.h): a frame whose length or body
+/// was corrupted in flight fails its checksum instead of desynchronizing
+/// the stream. A receiver that sees a bad CRC must treat the connection as
+/// broken (there is no way to resynchronize mid-stream).
+///
+/// Payloads are flat little-endian structs with u32-length-prefixed
+/// strings; `EncodeRequest`/`DecodeRequest` and the response pair below are
+/// the only (de)serializers — both ends share them, so a corrupt or
+/// truncated payload decodes to a Status, never UB.
+
+namespace cdbs::net {
+
+/// Hard cap on one frame's payload. A decoded length beyond this is
+/// corruption (or a hostile peer), not a big request.
+constexpr uint32_t kMaxFramePayloadBytes = 1u << 20;
+
+/// Bytes before the payload: u32 CRC + u32 length.
+constexpr size_t kFrameHeaderBytes = 8;
+
+/// Request operations.
+enum class Opcode : uint8_t {
+  kPing = 1,
+  kQuery = 2,
+  kInsertBefore = 3,
+  kInsertAfter = 4,
+  kDelete = 5,
+  kStats = 6,
+};
+
+/// True for operations that are safe to resend after a broken stream (they
+/// do not mutate the database).
+bool IsIdempotent(Opcode op);
+
+/// A decoded request.
+struct Request {
+  Opcode op = Opcode::kPing;
+  uint64_t request_id = 0;
+  /// Relative deadline budget in milliseconds; 0 means none. Relative (not
+  /// absolute) so client and server clocks never need to agree.
+  uint32_t deadline_ms = 0;
+  std::string xpath;   // kQuery
+  uint64_t target = 0; // kInsertBefore/kInsertAfter/kDelete
+  std::string tag;     // kInsertBefore/kInsertAfter
+};
+
+/// A decoded response. `code` mirrors cdbs::StatusCode on the wire;
+/// `retry_after_ms` is meaningful only with StatusCode::kRetryAfter.
+struct Response {
+  uint64_t request_id = 0;
+  Opcode op = Opcode::kPing;
+  StatusCode code = StatusCode::kOk;
+  uint32_t retry_after_ms = 0;
+  std::string message;              // non-OK: human-readable detail
+  std::vector<uint64_t> node_ids;   // kQuery result
+  uint64_t id_or_count = 0;         // insert: new node id; delete: removed
+  std::string stats_json;           // kStats result
+};
+
+/// Payload (de)serialization. Decoders validate opcode/status ranges and
+/// every length against the payload size.
+std::string EncodeRequest(const Request& req);
+Status DecodeRequest(std::string_view payload, Request* out);
+std::string EncodeResponse(const Response& resp);
+Status DecodeResponse(std::string_view payload, Response* out);
+
+/// Wraps `payload` in a frame (header + payload), ready to write.
+std::string EncodeFrame(std::string_view payload);
+
+/// Parses a frame header. Returns the payload length to read next, or
+/// Corruption when the length exceeds kMaxFramePayloadBytes. `header` must
+/// hold kFrameHeaderBytes bytes.
+Status ParseFrameHeader(const char* header, uint32_t* payload_len);
+
+/// Verifies the payload against the header's CRC. Corruption on mismatch.
+Status VerifyFrame(const char* header, std::string_view payload);
+
+}  // namespace cdbs::net
+
+#endif  // CDBS_NET_PROTOCOL_H_

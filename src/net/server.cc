@@ -1,0 +1,288 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "net/socket_io.h"
+#include "obs/export.h"
+#include "util/deadline.h"
+#include "util/failpoint.h"
+#include "util/stopwatch.h"
+
+namespace cdbs::net {
+
+namespace {
+
+/// Poll interval for loops that must notice the stop flag.
+constexpr int kStopPollMs = 50;
+
+util::Deadline DeadlineFromRequest(const Request& req) {
+  return req.deadline_ms == 0
+             ? util::Deadline::Infinite()
+             : util::Deadline::AfterMillis(req.deadline_ms);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Server>> Server::Start(engine::ConcurrentXmlDb* db,
+                                              const ServerOptions& options) {
+  std::unique_ptr<Server> server(new Server(db, options));
+  CDBS_RETURN_NOT_OK(server->Listen());
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+Server::Server(engine::ConcurrentXmlDb* db, const ServerOptions& options)
+    : db_(db), options_(options) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  requests_ = reg.GetCounter("serve.requests", "Requests served (any outcome)");
+  shed_ = reg.GetCounter("serve.requests_shed",
+                         "Requests shed with kRetryAfter (queue full)");
+  deadline_exceeded_ =
+      reg.GetCounter("serve.deadline_exceeded",
+                     "Requests that expired before or during execution");
+  connections_total_ =
+      reg.GetCounter("net.connections_total", "Connections ever accepted");
+  connections_dropped_ = reg.GetCounter(
+      "net.connections_dropped",
+      "Connections dropped (cap, timeout, fault, or torn stream)");
+  connections_active_ =
+      reg.GetGauge("net.connections_active", "Connections currently served");
+  request_ns_ = reg.GetHistogram("serve.request.ns",
+                                 "Server-side wall time per request");
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Listen() {
+  Result<int> fd =
+      ListenTcp(options_.host, options_.port, /*backlog=*/128, &port_);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = *fd;
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, kStopPollMs);
+    if (rc <= 0) continue;  // timeout, EINTR, or transient poll error
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_total_->Increment();
+    if (CDBS_FAILPOINT("net.accept.io_error")) {
+      // Chaos: the accept "failed" — the client sees an immediate close.
+      ::close(fd);
+      connections_dropped_->Increment();
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ReapFinishedLocked();
+    if (conns_.size() >= options_.max_connections) {
+      // At the cap: shed the connection instead of queueing unboundedly.
+      ::close(fd);
+      connections_dropped_->Increment();
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_active_->Set(
+        static_cast<double>(active_connections_.load()));
+    conn->thread = std::thread([this, raw] { ServeConnection(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::ServeConnection(Connection* conn) {
+  bool dropped = false;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::string payload;
+    bool clean_eof = false;
+    const Status read = ReadFrame(conn->fd, &payload,
+                                  options_.read_timeout_ms, &clean_eof);
+    if (!read.ok()) {
+      // Clean between-frames EOF is a normal hangup; everything else
+      // (idle timeout, torn frame, socket error) counts as a drop.
+      dropped = !clean_eof;
+      break;
+    }
+    // Chaos: per-request latency injection (arm with a delay= spec).
+    static_cast<void>(CDBS_FAILPOINT("net.conn.delay"));
+    if (CDBS_FAILPOINT("net.conn.drop")) {
+      dropped = true;
+      break;
+    }
+    Request req;
+    Response resp;
+    const Status decoded = DecodeRequest(payload, &req);
+    if (!decoded.ok()) {
+      // Undecodable payload behind a valid CRC: a client bug, not line
+      // noise. Answer with the error (request id unknown → 0) and drop.
+      resp.code = decoded.code();
+      resp.message = decoded.message();
+      std::string frame = EncodeFrame(EncodeResponse(resp));
+      static_cast<void>(
+          WriteFrame(conn->fd, frame, options_.write_timeout_ms));
+      dropped = true;
+      break;
+    }
+    util::Stopwatch timer;
+    resp = Execute(req);
+    requests_->Increment();
+    request_ns_->Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+    if (resp.code == StatusCode::kRetryAfter) shed_->Increment();
+    if (resp.code == StatusCode::kDeadlineExceeded) {
+      deadline_exceeded_->Increment();
+    }
+    std::string frame = EncodeFrame(EncodeResponse(resp));
+    if (CDBS_FAILPOINT("net.frame.corrupt") && !frame.empty()) {
+      // Chaos: flip one payload byte. The CRC no longer matches, so the
+      // client must detect the tear instead of trusting the bytes.
+      frame[frame.size() / 2] = static_cast<char>(frame[frame.size() / 2] ^
+                                                  0x40);
+    }
+    if (!WriteFrame(conn->fd, frame, options_.write_timeout_ms).ok()) {
+      dropped = true;
+      break;
+    }
+  }
+  // Sever the stream but leave the fd open: the owner closes it after
+  // joining this thread (ReapFinishedLocked / Shutdown), so a concurrent
+  // Shutdown can never ::shutdown a recycled descriptor.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  if (dropped) connections_dropped_->Increment();
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  connections_active_->Set(static_cast<double>(active_connections_.load()));
+  conn->done.store(true, std::memory_order_release);
+}
+
+Response Server::Execute(const Request& req) {
+  Response resp;
+  resp.request_id = req.request_id;
+  resp.op = req.op;
+  const util::Deadline deadline = DeadlineFromRequest(req);
+
+  auto fill_error = [&](const Status& st) {
+    resp.code = st.code();
+    resp.message = st.message();
+    if (st.code() == StatusCode::kRetryAfter) {
+      resp.retry_after_ms =
+          static_cast<uint32_t>(db_->RetryAfterHintMillis());
+    }
+  };
+
+  switch (req.op) {
+    case Opcode::kPing:
+      break;
+    case Opcode::kStats:
+      // The process-wide registry: serve.* / net.* live here, alongside the
+      // engine's global mirrors — one place to see the whole serving stack.
+      resp.stats_json =
+          obs::ToJson(obs::MetricRegistry::Default(), "serve.stats");
+      break;
+    case Opcode::kQuery: {
+      Result<std::vector<engine::NodeId>> r =
+          db_->SubmitQuery(req.xpath, deadline).get();
+      if (!r.ok()) {
+        fill_error(r.status());
+        break;
+      }
+      resp.node_ids.assign(r->begin(), r->end());
+      break;
+    }
+    case Opcode::kInsertBefore:
+    case Opcode::kInsertAfter: {
+      // Admission-controlled: a full queue sheds with retry-after instead
+      // of blocking this connection's thread behind the writer.
+      Result<engine::NodeId> r =
+          req.op == Opcode::kInsertAfter
+              ? db_->TrySubmitInsertAfter(req.target, req.tag, nullptr,
+                                          deadline)
+                    .get()
+              : db_->TrySubmitInsertBefore(req.target, req.tag, nullptr,
+                                           deadline)
+                    .get();
+      if (!r.ok()) {
+        fill_error(r.status());
+        break;
+      }
+      resp.id_or_count = *r;
+      break;
+    }
+    case Opcode::kDelete: {
+      Result<uint64_t> r =
+          db_->TrySubmitDelete(req.target, nullptr, deadline).get();
+      if (!r.ok()) {
+        fill_error(r.status());
+        break;
+      }
+      resp.id_or_count = *r;
+      break;
+    }
+  }
+  return resp;
+}
+
+void Server::ReapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      if ((*it)->fd >= 0) ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    // 1. Stop accepting.
+    stopping_.store(true, std::memory_order_relaxed);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // 2. Drain: every connection notices `stopping_` after its in-flight
+    // request (bounded by the frame timeouts); give them drain_timeout_ms.
+    const util::Deadline drain =
+        util::Deadline::AfterMillis(options_.drain_timeout_ms);
+    for (;;) {
+      bool all_done = true;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        for (const auto& c : conns_) {
+          if (!c->done.load(std::memory_order_acquire)) all_done = false;
+        }
+      }
+      if (all_done || drain.expired()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // 3. Force-close stragglers (a blocked read/write fails immediately
+    // once the socket is shut down), then join everything.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& c : conns_) {
+      if (!c->done.load(std::memory_order_acquire) && c->fd >= 0) {
+        ::shutdown(c->fd, SHUT_RDWR);
+      }
+    }
+    for (auto& c : conns_) {
+      if (c->thread.joinable()) c->thread.join();
+      if (c->fd >= 0) ::close(c->fd);
+    }
+    conns_.clear();
+  });
+}
+
+}  // namespace cdbs::net

@@ -1,0 +1,127 @@
+#ifndef CDBS_NET_SERVER_H_
+#define CDBS_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "engine/concurrent_db.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+/// \file
+/// The network front-end: a dependency-free TCP server exposing
+/// `engine::ConcurrentXmlDb` over the framed protocol in net/protocol.h.
+/// One thread per connection (bounded by `max_connections`), per-frame
+/// read/write timeouts so a slow or stalled client can never pin a thread
+/// forever, and graceful drain on shutdown: stop accepting, let every
+/// connection finish its in-flight request, then close.
+///
+/// Overload semantics (the whole point — see docs/NETWORKING.md):
+///   * writes go through the admission-controlled TrySubmit* path; a full
+///     queue becomes a kRetryAfter response carrying a backoff hint derived
+///     from the live queue depth, not an unbounded wait;
+///   * request deadlines (`Request::deadline_ms`) ride into the engine, so
+///     work that expires while queued is shed as kDeadlineExceeded instead
+///     of executing;
+///   * at the connection cap, new connections are accepted and immediately
+///     closed (counted in `net.connections_dropped`) — clients observe a
+///     broken stream and back off.
+///
+/// Failpoints (chaos testing): `net.accept.io_error` drops a just-accepted
+/// connection, `net.conn.delay` injects per-request latency (arm with a
+/// `delay=` spec), `net.conn.drop` severs a connection mid-stream, and
+/// `net.frame.corrupt` flips a byte in a response frame (clients must
+/// detect it via CRC).
+
+namespace cdbs::net {
+
+struct ServerOptions {
+  /// IPv4 address to bind.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; see Server::port() for the actual one.
+  uint16_t port = 0;
+  /// Hard cap on simultaneously served connections.
+  size_t max_connections = 64;
+  /// Per-frame socket timeouts. A connection idle longer than
+  /// `read_timeout_ms` between requests is closed (slow-client shedding).
+  int read_timeout_ms = 5000;
+  int write_timeout_ms = 5000;
+  /// How long Shutdown waits for in-flight requests before force-closing.
+  int drain_timeout_ms = 2000;
+};
+
+/// A running server. Start it, talk to `port()`, Shutdown (or destroy) to
+/// drain and stop.
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Start(engine::ConcurrentXmlDb* db,
+                                               const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Graceful drain: stop accepting, finish in-flight requests (bounded by
+  /// drain_timeout_ms), close everything, join all threads. Idempotent.
+  void Shutdown();
+
+  /// The bound port (useful with ServerOptions::port == 0).
+  uint16_t port() const { return port_; }
+
+  /// Connections currently being served (advisory).
+  size_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests served since start, by outcome (advisory, for tests/bench).
+  uint64_t requests_served() const { return requests_->value(); }
+  uint64_t requests_shed() const { return shed_->value(); }
+  uint64_t deadline_exceeded() const { return deadline_exceeded_->value(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  Server(engine::ConcurrentXmlDb* db, const ServerOptions& options);
+
+  Status Listen();
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  /// Executes one decoded request against the database.
+  Response Execute(const Request& req);
+  void ReapFinishedLocked();
+
+  engine::ConcurrentXmlDb* db_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::once_flag shutdown_once_;
+
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Connection>> conns_;
+  std::atomic<size_t> active_connections_{0};
+
+  // serve.* / net.* metrics, in the process-wide registry.
+  obs::Counter* requests_;
+  obs::Counter* shed_;                // kRetryAfter responses
+  obs::Counter* deadline_exceeded_;   // kDeadlineExceeded responses
+  obs::Counter* connections_total_;
+  obs::Counter* connections_dropped_;
+  obs::Gauge* connections_active_;
+  obs::Histogram* request_ns_;
+};
+
+}  // namespace cdbs::net
+
+#endif  // CDBS_NET_SERVER_H_

@@ -1,0 +1,48 @@
+#ifndef CDBS_NET_SOCKET_IO_H_
+#define CDBS_NET_SOCKET_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+/// \file
+/// Thin POSIX socket helpers shared by the server and the client: TCP
+/// connect/listen and timeout-bounded whole-frame I/O (poll before every
+/// read/write chunk, so a stalled peer costs at most the timeout, never a
+/// hung thread). No new dependencies — sockets and poll only.
+
+namespace cdbs::net {
+
+/// Creates, binds and listens on `host:port` (SO_REUSEADDR). With port 0
+/// the kernel picks one; `*bound_port` reports the actual port either way.
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      int backlog, uint16_t* bound_port);
+
+/// Connects to `host:port`, bounded by `timeout_ms`. Returns the fd.
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms);
+
+/// Reads exactly `n` bytes. kIoError on EOF or socket error,
+/// kDeadlineExceeded when `timeout_ms` elapses first. `clean_eof`, when
+/// non-null, is set when the peer closed before the first byte — a clean
+/// between-frames disconnect rather than a torn one.
+Status ReadFull(int fd, char* buf, size_t n, int timeout_ms,
+                bool* clean_eof = nullptr);
+
+/// Writes exactly `n` bytes, same timeout discipline.
+Status WriteFull(int fd, const char* buf, size_t n, int timeout_ms);
+
+/// Reads one protocol frame (header + payload) and verifies its CRC.
+/// kCorruption on checksum/length failure — the stream is then
+/// unrecoverable and the connection must be dropped.
+Status ReadFrame(int fd, std::string* payload, int timeout_ms,
+                 bool* clean_eof = nullptr);
+
+/// Writes one already-encoded frame.
+Status WriteFrame(int fd, std::string_view frame, int timeout_ms);
+
+}  // namespace cdbs::net
+
+#endif  // CDBS_NET_SOCKET_IO_H_

@@ -1,0 +1,61 @@
+#ifndef CDBS_UTIL_DEADLINE_H_
+#define CDBS_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file
+/// Request deadlines for the serving layers. A `Deadline` is an absolute
+/// point on the steady clock; it travels with a request from the network
+/// front-end (where it arrives as a relative millisecond budget) through
+/// the write queue and reader pool, so that work whose caller has already
+/// given up is dropped instead of executed — the cheapest request under
+/// overload is the one you never run.
+///
+/// The default-constructed deadline is infinite: every pre-deadline call
+/// site keeps its old semantics.
+
+namespace cdbs::util {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  /// Infinite: never expires.
+  constexpr Deadline() : at_(TimePoint::max()) {}
+
+  static constexpr Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now. A non-positive budget is already
+  /// expired.
+  static Deadline AfterMillis(int64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  static Deadline At(TimePoint tp) { return Deadline(tp); }
+
+  bool infinite() const { return at_ == TimePoint::max(); }
+
+  bool expired() const { return !infinite() && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry, clamped to >= 0. Meaningless (huge) for an
+  /// infinite deadline — check `infinite()` first when it matters.
+  int64_t remaining_millis() const {
+    if (infinite()) return INT64_MAX;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - Clock::now());
+    return left.count() > 0 ? left.count() : 0;
+  }
+
+  TimePoint time_point() const { return at_; }
+
+ private:
+  explicit constexpr Deadline(TimePoint at) : at_(at) {}
+
+  TimePoint at_;
+};
+
+}  // namespace cdbs::util
+
+#endif  // CDBS_UTIL_DEADLINE_H_

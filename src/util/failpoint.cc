@@ -1,11 +1,13 @@
 #include "util/failpoint.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
 #include <random>
+#include <thread>
 
 #include "obs/metrics.h"
 
@@ -13,12 +15,13 @@ namespace cdbs::util {
 
 namespace {
 
-enum class Mode { kAlways, kOneShot, kAfterN, kProb };
+enum class Mode { kAlways, kOneShot, kAfterN, kProb, kDelay };
 
 struct SiteConfig {
   Mode mode = Mode::kAlways;
   uint64_t remaining_passes = 0;  // kAfterN: evaluations left before firing
-  double probability = 0;         // kProb
+  double probability = 0;         // kProb; kDelay firing probability
+  uint64_t delay_ms = 0;          // kDelay
 };
 
 struct State {
@@ -66,6 +69,37 @@ Status ParseSpec(std::string_view spec, SiteConfig* out) {
     }
     out->mode = Mode::kProb;
     out->probability = v;
+    return Status::OK();
+  }
+  if (spec.rfind("delay=", 0) == 0) {
+    // delay=M[:prob=P] — latency injection, optionally probabilistic.
+    std::string_view rest = spec.substr(6);
+    double probability = 1.0;
+    const size_t colon = rest.find(':');
+    if (colon != std::string_view::npos) {
+      const std::string_view opt = rest.substr(colon + 1);
+      rest = rest.substr(0, colon);
+      if (opt.rfind("prob=", 0) != 0) {
+        return Status::InvalidArgument("bad failpoint delay option: " +
+                                       std::string(opt));
+      }
+      const std::string p(opt.substr(5));
+      char* pend = nullptr;
+      probability = std::strtod(p.c_str(), &pend);
+      if (p.empty() || pend == nullptr || *pend != '\0' || probability < 0 ||
+          probability > 1) {
+        return Status::InvalidArgument("bad failpoint probability: " + p);
+      }
+    }
+    const std::string m(rest);
+    char* end = nullptr;
+    const unsigned long long ms = std::strtoull(m.c_str(), &end, 10);
+    if (m.empty() || end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad failpoint delay: " + m);
+    }
+    out->mode = Mode::kDelay;
+    out->delay_ms = ms;
+    out->probability = probability;
     return Status::OK();
   }
   return Status::InvalidArgument("unknown failpoint spec: " +
@@ -173,6 +207,7 @@ bool Failpoints::ShouldFail(std::string_view site) {
   State& state = GetState();
   if (state.active_count.load(std::memory_order_relaxed) == 0) return false;
   bool fire = false;
+  uint64_t delay_ms = 0;  // nonzero: latency injection, not a failure
   {
     std::lock_guard<std::mutex> lock(state.mu);
     auto it = state.sites.find(site);
@@ -197,7 +232,22 @@ bool Failpoints::ShouldFail(std::string_view site) {
         fire = dist(state.rng) < config.probability;
         break;
       }
+      case Mode::kDelay: {
+        std::uniform_real_distribution<double> dist(0.0, 1.0);
+        if (config.probability >= 1.0 ||
+            dist(state.rng) < config.probability) {
+          delay_ms = config.delay_ms;
+        }
+        break;
+      }
     }
+  }
+  if (delay_ms > 0) {
+    // Sleep outside the lock so a delay site never serializes other sites.
+    TotalCounter()->Increment();
+    SiteCounter(site)->Increment();
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    return false;
   }
   if (fire) {
     TotalCounter()->Increment();

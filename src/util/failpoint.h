@@ -17,13 +17,19 @@
 ///
 /// Trigger specs:
 ///
-///   | spec       | behavior                                             |
-///   |------------|------------------------------------------------------|
-///   | `off`      | deactivates the site                                 |
-///   | `always`   | fires on every evaluation                            |
-///   | `oneshot`  | fires on the next evaluation, then deactivates       |
-///   | `after=N`  | lets N evaluations pass, fires once, then deactivates|
-///   | `prob=P`   | fires independently with probability P in [0, 1]     |
+///   | spec              | behavior                                             |
+///   |-------------------|------------------------------------------------------|
+///   | `off`             | deactivates the site                                 |
+///   | `always`          | fires on every evaluation                            |
+///   | `oneshot`         | fires on the next evaluation, then deactivates       |
+///   | `after=N`         | lets N evaluations pass, fires once, then deactivates|
+///   | `prob=P`          | fires independently with probability P in [0, 1]     |
+///   | `delay=M[:prob=P]`| sleeps M milliseconds (with probability P, default 1)|
+///
+/// A `delay` firing injects latency, not failure: `ShouldFail` sleeps and
+/// then returns false, so call sites need no special handling — arming any
+/// site with a delay spec slows that path down without erroring it. Delay
+/// firings still count as injections in the metrics below.
 ///
 /// `CDBS_FAILPOINTS` holds a `;`- or `,`-separated list of `site=spec`
 /// entries, e.g. `CDBS_FAILPOINTS="storage.write_page.io_error=prob=0.01"`.
@@ -53,7 +59,8 @@ class Failpoints {
   static Status ActivateFromList(std::string_view list);
 
   /// True when `site` fires now. Consumes oneshot/after-N arming and
-  /// advances prob sequencing; inactive sites cost one atomic load.
+  /// advances prob sequencing; inactive sites cost one atomic load. A site
+  /// armed with a `delay` spec sleeps here and returns false.
   static bool ShouldFail(std::string_view site);
 
   /// Sites currently armed, sorted.

@@ -26,6 +26,8 @@ enum class StatusCode {
   kIoError,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,  ///< the request's deadline passed before completion
+  kRetryAfter,        ///< load shed; retry after a server-suggested backoff
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -69,6 +71,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status RetryAfter(std::string msg) {
+    return Status(StatusCode::kRetryAfter, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -13,6 +13,8 @@
 #include "concurrency/thread_pool.h"
 #include "engine/concurrent_db.h"
 #include "obs/metrics.h"
+#include "util/deadline.h"
+#include "util/failpoint.h"
 #include "util/status.h"
 
 namespace cdbs {
@@ -84,6 +86,57 @@ TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   q.Close();
   producer.join();
+}
+
+TEST(BoundedQueueTest, ShutdownWakesProducersBlockedOnFullQueue) {
+  // Regression for the overload/shutdown interaction: producers blocked in
+  // Push on a FULL queue must wake on Shutdown and observe the closure —
+  // never block forever. Joined through futures with a hard timeout so a
+  // regression fails the test instead of hanging it.
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));  // full
+  std::vector<std::future<bool>> pushers;
+  for (int i = 0; i < 4; ++i) {
+    pushers.push_back(std::async(std::launch::async,
+                                 [&q, i] { return q.Push(100 + i); }));
+  }
+  // Give every pusher time to actually block on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (auto& f : pushers) {
+    ASSERT_EQ(f.wait_for(std::chrono::milliseconds(0)),
+              std::future_status::timeout);  // still backpressured
+  }
+  q.Shutdown();
+  for (auto& f : pushers) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready)
+        << "producer still blocked after Shutdown";
+    EXPECT_FALSE(f.get());  // woke and observed the closure
+  }
+  // The two pre-shutdown items still drain; then the consumer exits.
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 10), 2u);
+  EXPECT_EQ(q.PopBatch(&out, 10), 0u);
+}
+
+TEST(BoundedQueueTest, PushUntilTimesOutOnFullQueue) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.PushUntil(2, cdbs::util::Deadline::AfterMillis(30)),
+            BoundedQueue<int>::PushOutcome::kTimedOut);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 25);
+  // The queue itself is untouched; space frees and accepts again.
+  std::vector<int> out;
+  q.PopBatch(&out, 1);
+  EXPECT_EQ(q.PushUntil(2, cdbs::util::Deadline::AfterMillis(1000)),
+            BoundedQueue<int>::PushOutcome::kAccepted);
+  q.Close();
+  EXPECT_EQ(q.PushUntil(3, cdbs::util::Deadline::AfterMillis(10)),
+            BoundedQueue<int>::PushOutcome::kClosed);
 }
 
 // --------------------------------------------------------------------------
@@ -295,6 +348,160 @@ TEST(ConcurrentXmlDbTest, GroupCommitAmortizesStoreFsyncs) {
   }
   std::remove(path.c_str());
   std::remove((path + ".wal").c_str());
+}
+
+// --------------------------------------------------------------------------
+// Deadline propagation
+
+namespace {
+uint64_t CounterValue(const obs::MetricRegistry& registry,
+                      const std::string& name) {
+  for (const obs::MetricSnapshot& m : registry.Snapshot()) {
+    if (m.name == name) return m.counter_value;
+  }
+  return 0;
+}
+}  // namespace
+
+TEST(ConcurrentXmlDbTest, ExpiredWriteNeverReachesWal) {
+  const std::string path = ::testing::TempDir() + "/deadline_write.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  ConcurrentXmlDbOptions options;
+  options.db.storage_path = path;
+  auto db = ConcurrentXmlDb::OpenFromXml(kSmallDoc, options);
+  ASSERT_TRUE(db.ok());
+  const NodeId b = (*db)->Query("//b").value()[0];
+
+  // Already expired at submission: rejected before it is even enqueued.
+  Result<NodeId> dead =
+      (*db)->SubmitInsertAfter(b, "n", util::Deadline::AfterMillis(-10)).get();
+  EXPECT_EQ(dead.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(CounterValue((*db)->underlying().store()->metrics(),
+                         "wal.appends"),
+            0u)
+      << "an expired write must never produce a WAL record";
+
+  // A live write still goes through — proving the WAL counter works.
+  ASSERT_TRUE((*db)->SubmitInsertAfter(b, "n").get().ok());
+  EXPECT_EQ(CounterValue((*db)->underlying().store()->metrics(),
+                         "wal.appends"),
+            1u);
+  (*db)->Shutdown();
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST(ConcurrentXmlDbTest, WriteExpiredWhileQueuedIsShedBeforeTheWal) {
+  const std::string path = ::testing::TempDir() + "/deadline_queued.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  ConcurrentXmlDbOptions options;
+  options.db.storage_path = path;
+  auto db = ConcurrentXmlDb::OpenFromXml(kSmallDoc, options);
+  ASSERT_TRUE(db.ok());
+  const NodeId b = (*db)->Query("//b").value()[0];
+
+  // Slow the writer so a short-deadline request ages out while queued (or
+  // while its group waits on the injected delay — both are "before the
+  // writer spends time on it").
+  ASSERT_TRUE(
+      util::Failpoints::Activate("engine.concurrent.write.delay", "delay=150")
+          .ok());
+  std::future<Result<NodeId>> live = (*db)->SubmitInsertAfter(b, "n");
+  std::future<Result<NodeId>> doomed =
+      (*db)->SubmitInsertAfter(b, "n", util::Deadline::AfterMillis(25));
+  Result<NodeId> live_result = live.get();
+  Result<NodeId> doomed_result = doomed.get();
+  util::Failpoints::Deactivate("engine.concurrent.write.delay");
+
+  ASSERT_TRUE(live_result.ok());
+  EXPECT_EQ(doomed_result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(CounterValue((*db)->metrics(),
+                         "engine.concurrent.deadline_exceeded"),
+            1u);
+
+  // Only the live write reached the WAL; a later fresh write appends again.
+  EXPECT_EQ(CounterValue((*db)->underlying().store()->metrics(),
+                         "wal.appends"),
+            1u);
+  ASSERT_TRUE((*db)->SubmitInsertAfter(b, "n").get().ok());
+  EXPECT_EQ(CounterValue((*db)->underlying().store()->metrics(),
+                         "wal.appends"),
+            2u);
+  (*db)->Shutdown();
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST(ConcurrentXmlDbTest, QueryExpiredWhileQueuedIsShedWithoutRunning) {
+  auto db = ConcurrentXmlDb::OpenFromXml(kSmallDoc, {});
+  ASSERT_TRUE(db.ok());
+
+  // Already expired at submission: never reaches the reader pool.
+  Result<std::vector<NodeId>> dead =
+      (*db)->SubmitQuery("//b", util::Deadline::AfterMillis(-10)).get();
+  EXPECT_EQ(dead.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Expired while queued: the worker sees the delay-injected latency, then
+  // sheds the query without evaluating it — the reads counter stays put.
+  const uint64_t reads_before =
+      CounterValue((*db)->metrics(), "engine.concurrent.reads");
+  ASSERT_TRUE(
+      util::Failpoints::Activate("engine.concurrent.read.delay", "delay=100")
+          .ok());
+  Result<std::vector<NodeId>> doomed =
+      (*db)->SubmitQuery("//b", util::Deadline::AfterMillis(20)).get();
+  util::Failpoints::Deactivate("engine.concurrent.read.delay");
+  EXPECT_EQ(doomed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(CounterValue((*db)->metrics(), "engine.concurrent.reads"),
+            reads_before)
+      << "a shed query must not have been evaluated";
+  EXPECT_GE(CounterValue((*db)->metrics(),
+                         "engine.concurrent.deadline_exceeded"),
+            2u);
+
+  // A live query still runs fine afterwards.
+  Result<std::vector<NodeId>> live =
+      (*db)->SubmitQuery("//b", util::Deadline::AfterMillis(5000)).get();
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live->size(), 3u);
+}
+
+TEST(ConcurrentXmlDbTest, AdmissionControlReturnsRetryAfterWithHint) {
+  // A tiny queue plus a slowed writer forces TrySubmit to shed. The
+  // rejection carries kRetryAfter (not a generic error) and the hint is a
+  // positive bounded backoff.
+  ConcurrentXmlDbOptions options;
+  options.write_queue_capacity = 2;
+  auto db = ConcurrentXmlDb::OpenFromXml(kSmallDoc, options);
+  ASSERT_TRUE(db.ok());
+  const NodeId b = (*db)->Query("//b").value()[0];
+  ASSERT_TRUE(
+      util::Failpoints::Activate("engine.concurrent.write.delay", "delay=100")
+          .ok());
+  std::vector<std::future<Result<NodeId>>> futures;
+  bool saw_retry_after = false;
+  for (int i = 0; i < 32; ++i) {
+    bool accepted = false;
+    std::future<Result<NodeId>> f =
+        (*db)->TrySubmitInsertAfter(b, "n", &accepted);
+    if (!accepted) {
+      Result<NodeId> shed = f.get();
+      ASSERT_EQ(shed.status().code(), StatusCode::kRetryAfter);
+      saw_retry_after = true;
+    } else {
+      futures.push_back(std::move(f));
+    }
+  }
+  const uint64_t hint = (*db)->RetryAfterHintMillis();
+  EXPECT_GE(hint, 1u);
+  EXPECT_LE(hint, 2000u);
+  util::Failpoints::Deactivate("engine.concurrent.write.delay");
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_TRUE(saw_retry_after) << "32 bursts into a 2-deep queue behind a "
+                                  "100ms-delayed writer must shed";
+  EXPECT_GE(CounterValue((*db)->metrics(), "engine.concurrent.rejected"), 1u);
 }
 
 TEST(ConcurrentXmlDbTest, StatsAndMetricsReflectActivity) {

@@ -1,6 +1,7 @@
 #include "util/failpoint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -130,6 +131,61 @@ TEST_F(FailpointTest, ActiveSitesListsArmedSitesSorted) {
   EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
   EXPECT_EQ(std::count(sites.begin(), sites.end(), "test.site_a"), 1);
   EXPECT_EQ(std::count(sites.begin(), sites.end(), "test.site_b"), 1);
+}
+
+TEST_F(FailpointTest, DelaySpecParsing) {
+  EXPECT_TRUE(Failpoints::Activate("test.delay_ok", "delay=5").ok());
+  EXPECT_TRUE(Failpoints::Activate("test.delay_ok", "delay=5:prob=0.5").ok());
+  EXPECT_TRUE(Failpoints::Activate("test.delay_ok", "delay=0:prob=1").ok());
+  EXPECT_FALSE(Failpoints::Activate("test.delay_bad", "delay=").ok());
+  EXPECT_FALSE(Failpoints::Activate("test.delay_bad", "delay=abc").ok());
+  EXPECT_FALSE(Failpoints::Activate("test.delay_bad", "delay=5:prob=").ok());
+  EXPECT_FALSE(Failpoints::Activate("test.delay_bad", "delay=5:prob=2").ok());
+  EXPECT_FALSE(
+      Failpoints::Activate("test.delay_bad", "delay=5:frob=0.5").ok());
+  EXPECT_FALSE(Failpoints::Activate("test.delay_bad", "delay=5ms").ok());
+  const auto sites = Failpoints::ActiveSites();
+  EXPECT_EQ(std::count(sites.begin(), sites.end(), "test.delay_bad"), 0);
+}
+
+TEST_F(FailpointTest, DelaySpecSleepsButDoesNotFail) {
+  ASSERT_TRUE(Failpoints::Activate("test.delay_fire", "delay=20").ok());
+  const uint64_t before = Failpoints::InjectionCount("test.delay_fire");
+  const auto start = std::chrono::steady_clock::now();
+  // A delay site injects latency, never failure: ShouldFail returns false.
+  EXPECT_FALSE(Failpoints::ShouldFail("test.delay_fire"));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 20);
+  // The firing still counts as an injection.
+  EXPECT_EQ(Failpoints::InjectionCount("test.delay_fire"), before + 1);
+  // The site stays armed (unlike oneshot): it fires again.
+  EXPECT_FALSE(Failpoints::ShouldFail("test.delay_fire"));
+  EXPECT_EQ(Failpoints::InjectionCount("test.delay_fire"), before + 2);
+}
+
+TEST_F(FailpointTest, DelayWithZeroProbabilityNeverSleeps) {
+  ASSERT_TRUE(
+      Failpoints::Activate("test.delay_never", "delay=1000:prob=0").ok());
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(Failpoints::ShouldFail("test.delay_never"));
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 1000);
+  EXPECT_EQ(Failpoints::InjectionCount("test.delay_never"), 0u);
+}
+
+TEST_F(FailpointTest, DelaySpecViaActivateFromList) {
+  // The CDBS_FAILPOINTS grammar: `:` belongs to the spec, `;`/`,` separate
+  // entries — a delay entry with options parses inside a list.
+  ASSERT_TRUE(Failpoints::ActivateFromList(
+                  "test.list_delay=delay=1:prob=0.5;test.list_other=always")
+                  .ok());
+  const auto sites = Failpoints::ActiveSites();
+  EXPECT_EQ(std::count(sites.begin(), sites.end(), "test.list_delay"), 1);
+  EXPECT_EQ(std::count(sites.begin(), sites.end(), "test.list_other"), 1);
 }
 
 TEST_F(FailpointTest, TotalInjectionsAggregatesAcrossSites) {

@@ -277,6 +277,50 @@ TEST(PrometheusExportTest, ExpositionFormat) {
             std::string::npos);
 }
 
+TEST(ServingMetricsExportTest, ServeAndNetNamesExportInBothFormats) {
+  // The serving-layer metric names (src/net/server.cc, client.cc,
+  // engine/concurrent_db.cc) as they appear on the wire of each exporter:
+  // JSON keeps the dotted names; Prometheus sanitizes dots to underscores
+  // and prefixes cdbs_.
+  MetricRegistry reg;
+  reg.GetCounter("serve.requests", "Requests served")->Increment(10);
+  reg.GetCounter("serve.requests_shed", "Shed with kRetryAfter")
+      ->Increment(2);
+  reg.GetCounter("serve.deadline_exceeded", "Expired requests")->Increment(1);
+  reg.GetCounter("serve.retries", "Client-side retries")->Increment(3);
+  reg.GetCounter("net.connections_total")->Increment(5);
+  reg.GetCounter("net.connections_dropped")->Increment(1);
+  reg.GetGauge("net.connections_active")->Set(4);
+  reg.GetHistogram("serve.request.ns")->Record(1000);
+
+  const std::string json = ToJson(reg, "serving");
+  ExpectBalancedJson(json);
+  for (const char* name :
+       {"serve.requests", "serve.requests_shed", "serve.deadline_exceeded",
+        "serve.retries", "net.connections_total", "net.connections_dropped",
+        "net.connections_active", "serve.request.ns"}) {
+    EXPECT_NE(json.find(std::string("\"name\": \"") + name + "\""),
+              std::string::npos)
+        << name << " missing from JSON export";
+  }
+  EXPECT_NE(json.find("\"value\": 2"), std::string::npos);  // requests_shed
+
+  const std::string text = ToPrometheus(reg);
+  EXPECT_NE(text.find("# TYPE cdbs_serve_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("cdbs_serve_requests_shed 2"), std::string::npos);
+  EXPECT_NE(text.find("cdbs_serve_deadline_exceeded 1"), std::string::npos);
+  EXPECT_NE(text.find("cdbs_serve_retries 3"), std::string::npos);
+  EXPECT_NE(text.find("cdbs_net_connections_total 5"), std::string::npos);
+  EXPECT_NE(text.find("cdbs_net_connections_dropped 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cdbs_net_connections_active gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("cdbs_net_connections_active 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cdbs_serve_request_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("cdbs_serve_request_ns_count 1"), std::string::npos);
+}
+
 TEST(TextExportTest, ListsEveryMetric) {
   const std::string table = ToTextTable(ExporterFixtureRegistry());
   EXPECT_NE(table.find("engine.inserts"), std::string::npos);

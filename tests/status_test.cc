@@ -31,6 +31,16 @@ TEST(StatusTest, AllFactoriesSetTheirCode) {
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::RetryAfter("x").code(), StatusCode::kRetryAfter);
+}
+
+TEST(StatusTest, OverloadCodesStringify) {
+  EXPECT_EQ(Status::DeadlineExceeded("too slow").ToString(),
+            "DeadlineExceeded: too slow");
+  EXPECT_EQ(Status::RetryAfter("queue full").ToString(),
+            "RetryAfter: queue full");
 }
 
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
