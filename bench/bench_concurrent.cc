@@ -239,6 +239,86 @@ int main() {
     std::remove((path + ".wal").c_str());
   }
 
+  // ------------------------------------------------------------------
+  // Snapshot publish cost: COW publication must be O(touched), so the
+  // bytes path-copied per single-insert group commit must stay flat as the
+  // document grows (an O(N) deep-copy publish would scale linearly). This
+  // doubles as the CI perf-smoke regression guard: the bench fails if the
+  // largest document copies more than 3x the smallest per publish.
+  cdbs::bench::Heading("Snapshot publish cost vs document size (COW)");
+  std::printf("  %-10s %10s %16s %14s %14s\n", "nodes", "publishes",
+              "bytes/publish", "p50(us)", "p99(us)");
+  {
+    constexpr int kCommits = 64;
+    const uint64_t sizes[] = {1500, 6636, 26000};
+    double bytes_small = 0;
+    double bytes_big = 0;
+    for (const uint64_t nodes : sizes) {
+      ConcurrentXmlDbOptions options;
+      options.read_workers = 1;
+      auto opened =
+          ConcurrentXmlDb::Open(cdbs::xml::GeneratePlay(13, nodes), options);
+      if (!opened.ok()) return 1;
+      ConcurrentXmlDb& db = **opened;
+      const std::vector<NodeId> lines = db.Query("//line").value();
+      // Synchronous inserts: each lands in its own group commit, so each
+      // publish carries exactly one touched insert.
+      for (int i = 0; i < kCommits; ++i) {
+        const auto inserted = db.InsertElementAfter(
+            lines[static_cast<size_t>(i) * 131 % lines.size()], "line");
+        if (!inserted.ok()) return 1;
+      }
+      uint64_t bytes = 0;
+      uint64_t publishes = 0;
+      uint64_t p50 = 0;
+      uint64_t p99 = 0;
+      for (const cdbs::obs::MetricSnapshot& m : db.metrics().Snapshot()) {
+        if (m.name == "engine.concurrent.snapshot.bytes_copied") {
+          bytes = m.counter_value;
+        } else if (m.name == "engine.concurrent.snapshots") {
+          publishes = m.counter_value;
+        } else if (m.name == "engine.concurrent.snapshot.publish.ns") {
+          p50 = m.p50;
+          p99 = m.p99;
+        }
+      }
+      db.Shutdown();
+      if (publishes == 0) return 1;
+      const double per_publish = static_cast<double>(bytes) / publishes;
+      std::printf("  %-10" PRIu64 " %10" PRIu64 " %16.0f %14.1f %14.1f\n",
+                  nodes, publishes, per_publish, p50 / 1e3, p99 / 1e3);
+      const std::string prefix =
+          "bench.concurrent.publish.n" + std::to_string(nodes) + ".";
+      reg.GetGauge(prefix + "bytes_per_publish",
+                   "COW bytes copied per single-insert publish")
+          ->Set(per_publish);
+      reg.GetGauge(prefix + "publish_p99_us",
+                   "Snapshot publish (Fork+Publish) p99, microseconds")
+          ->Set(p99 / 1e3);
+      if (nodes == sizes[0]) bytes_small = per_publish;
+      if (nodes == sizes[2]) bytes_big = per_publish;
+    }
+    const double flatness = bytes_small > 0 ? bytes_big / bytes_small : 0.0;
+    const double linear_estimate =
+        bytes_small * (static_cast<double>(sizes[2]) / sizes[0]);
+    std::printf(
+        "  -> size grew %.1fx, bytes/publish grew %.2fx "
+        "(%.0fx below linear scaling)\n",
+        static_cast<double>(sizes[2]) / sizes[0], flatness,
+        bytes_big > 0 ? linear_estimate / bytes_big : 0.0);
+    reg.GetGauge("bench.concurrent.publish.flatness",
+                 "bytes/publish at largest size over smallest (1.0 = flat)")
+        ->Set(flatness);
+    // Regression guard: a publish that scales with N is a bug.
+    if (flatness > 3.0) {
+      std::fprintf(stderr,
+                   "FAIL: per-publish copied bytes grew %.2fx across a %.1fx "
+                   "document size increase — publish is no longer O(touched)\n",
+                   flatness, static_cast<double>(sizes[2]) / sizes[0]);
+      return 1;
+    }
+  }
+
   cdbs::bench::DumpMetrics("concurrent");
   return 0;
 }

@@ -246,6 +246,18 @@ class ConcurrentXmlDb {
   MirroredCounter rejected_;          // admission-control bounces
   MirroredCounter deadline_exceeded_;  // requests expired before running
   MirroredCounter snapshots_published_;
+  MirroredHistogram publish_ns_;  // Fork + Publish wall time per snapshot
+  // COW publish cost, from the writer thread's CowStats deltas: bytes and
+  // chunks path-copied since the previous publish (the group's touched
+  // set), and chunks shared by the Fork. These are the counters that prove
+  // a publish is O(touched), not O(N) (docs/CONCURRENCY.md).
+  MirroredCounter cow_bytes_copied_;
+  MirroredCounter cow_chunks_copied_;
+  MirroredCounter cow_chunks_shared_;
+  // Writer-thread CowStats baselines at the previous publish.
+  uint64_t last_cow_bytes_ = 0;
+  uint64_t last_cow_chunk_copies_ = 0;
+  uint64_t last_cow_chunks_shared_ = 0;
   MirroredGauge queue_depth_;
   MirroredGauge snapshots_live_;
 };

@@ -13,6 +13,7 @@
 #include "core/qed.h"
 #include "labeling/label.h"
 #include "util/check.h"
+#include "util/cow_vector.h"
 
 /// \file
 /// Containment (interval) labeling — Zhang et al.'s "start,end,level" scheme
@@ -278,20 +279,24 @@ class ContainmentLabeling : public Labeling {
   InsertResult InsertSiblingBefore(NodeId target) override {
     // The new interval goes between the value preceding start(target) —
     // the previous sibling's end, or the parent's start — and
-    // start(target).
+    // start(target). Values are passed by value: InsertWithGap appends to
+    // the COW vectors, which may path-copy the chunk a reference would
+    // point into.
     const NodeId prev = skeleton_.prev_sibling(target);
-    const Value& left = prev != kNoNode ? end_[prev]
-                                        : start_[skeleton_.parent(target)];
-    const Value right = start_[target];  // copy: vectors may reallocate
-    return InsertWithGap(skeleton_.AddSiblingBefore(target), left, right);
+    Value left = prev != kNoNode ? end_[prev]
+                                 : start_[skeleton_.parent(target)];
+    Value right = start_[target];
+    return InsertWithGap(skeleton_.AddSiblingBefore(target), std::move(left),
+                         std::move(right));
   }
 
   InsertResult InsertSiblingAfter(NodeId target) override {
     const NodeId next = skeleton_.next_sibling(target);
-    const Value left = end_[target];
-    const Value& right = next != kNoNode ? start_[next]
-                                         : end_[skeleton_.parent(target)];
-    return InsertWithGap(skeleton_.AddSiblingAfter(target), left, right);
+    Value left = end_[target];
+    Value right = next != kNoNode ? start_[next]
+                                  : end_[skeleton_.parent(target)];
+    return InsertWithGap(skeleton_.AddSiblingAfter(target), std::move(left),
+                         std::move(right));
   }
 
   std::string SerializeLabel(NodeId n) const override {
@@ -314,6 +319,15 @@ class ContainmentLabeling : public Labeling {
     return std::make_unique<ContainmentLabeling<Codec>>(*this);
   }
 
+  std::unique_ptr<Labeling> ForkShared() const override {
+    // The copy constructor is COW across all per-node state (CowVector
+    // labels/levels + COW TreeSkeleton), so a fork shares every chunk:
+    // O(chunks), not O(nodes). This is the fast path the concurrent
+    // engine's publish takes for the whole containment family (V/F-Binary,
+    // Float, V/F-CDBS, QED, Hybrid).
+    return std::make_unique<ContainmentLabeling<Codec>>(*this);
+  }
+
   /// Test hooks.
   const Value& start_value(NodeId n) const { return start_[n]; }
   const Value& end_value(NodeId n) const { return end_[n]; }
@@ -327,27 +341,30 @@ class ContainmentLabeling : public Labeling {
     ComputeEulerRanks(skeleton_, &start_rank, &end_rank);
     std::vector<Value> values;
     codec_.Init(2 * skeleton_.live_count(), &values);
-    start_.resize(skeleton_.size());
-    end_.resize(skeleton_.size());
-    level_.resize(skeleton_.size());
+    start_.Resize(skeleton_.size());
+    end_.Resize(skeleton_.size());
+    level_.Resize(skeleton_.size());
     for (size_t i = 0; i < skeleton_.size(); ++i) {
       if (skeleton_.is_removed(static_cast<NodeId>(i))) continue;
-      start_[i] = values[start_rank[i] - 1];
-      end_[i] = values[end_rank[i] - 1];
-      level_[i] = skeleton_.level(static_cast<NodeId>(i));
+      // Each rank indexes `values` exactly once, so moving out is safe.
+      start_.Set(i, std::move(values[start_rank[i] - 1]));
+      end_.Set(i, std::move(values[end_rank[i] - 1]));
+      level_.Set(i, skeleton_.level(static_cast<NodeId>(i)));
     }
   }
 
-  InsertResult InsertWithGap(NodeId id, const Value& left, const Value& right) {
+  // Takes the gap endpoints by value: appending below may path-copy the
+  // chunks the caller's labels live in, so references must not survive.
+  InsertResult InsertWithGap(NodeId id, Value left, Value right) {
     InsertResult result;
     result.new_node = id;
     Value v1{};
     Value v2{};
     uint64_t neighbor_bits = 0;
     if (codec_.TryInsertTwoBetween(left, right, &v1, &v2, &neighbor_bits)) {
-      start_.push_back(std::move(v1));
-      end_.push_back(std::move(v2));
-      level_.push_back(skeleton_.level(id));
+      start_.PushBack(std::move(v1));
+      end_.PushBack(std::move(v2));
+      level_.PushBack(skeleton_.level(id));
       codec_.NoteUniverse(2 * skeleton_.size());
       result.neighbor_bits_modified = neighbor_bits;
       return result;
@@ -363,18 +380,18 @@ class ContainmentLabeling : public Labeling {
         if (skeleton_.is_removed(static_cast<NodeId>(i))) continue;
         bool touched = false;
         if (codec_.Compare(start_[i], pivot) >= 0) {
-          start_[i] += 2;
+          start_.Mutable(i) += 2;
           touched = true;
         }
         if (codec_.Compare(end_[i], pivot) >= 0) {
-          end_[i] += 2;
+          end_.Mutable(i) += 2;
           touched = true;
         }
         if (touched) result.relabeled_nodes.push_back(static_cast<NodeId>(i));
       }
-      start_.push_back(pivot);
-      end_.push_back(pivot + 1);
-      level_.push_back(skeleton_.level(id));
+      start_.PushBack(pivot);
+      end_.PushBack(pivot + 1);
+      level_.PushBack(skeleton_.level(id));
       codec_.NoteUniverse(2 * skeleton_.size());
       result.relabeled = result.relabeled_nodes.size();
     } else {
@@ -393,9 +410,9 @@ class ContainmentLabeling : public Labeling {
   std::string name_;
   Codec codec_;
   TreeSkeleton skeleton_;
-  std::vector<Value> start_;
-  std::vector<Value> end_;
-  std::vector<int> level_;
+  util::CowVector<Value> start_;
+  util::CowVector<Value> end_;
+  util::CowVector<int> level_;
 };
 
 /// ---- Factories ----------------------------------------------------------

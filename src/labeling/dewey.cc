@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/cow_vector.h"
 #include "util/ordered_varint.h"
 
 namespace cdbs::labeling {
@@ -22,20 +23,23 @@ class DeweyLabeling : public Labeling {
       : name_(std::move(name)), sizing_(sizing) {
     skeleton_ = TreeSkeleton::FromDocument(doc, nullptr);
     const NodeId count = static_cast<NodeId>(skeleton_.size());
-    labels_.resize(count);
+    labels_.Resize(count);
     // Ranks computed incrementally: ids are document-ordered, so a node's
     // previous sibling always has a smaller id.
     std::vector<uint64_t> rank(count, 1);
     for (NodeId n = 0; n < count; ++n) {
       const NodeId parent = skeleton_.parent(n);
       if (parent == kNoNode) {
-        labels_[n] = {1};
+        labels_.Set(n, {1});
         continue;
       }
       const NodeId prev = skeleton_.prev_sibling(n);
       if (prev != kNoNode) rank[n] = rank[prev] + 1;
-      labels_[n] = labels_[parent];
-      labels_[n].push_back(rank[n]);
+      // Copy the parent's label locally before Set: Set may path-copy the
+      // chunk the parent's label lives in.
+      std::vector<uint64_t> label = labels_[parent];
+      label.push_back(rank[n]);
+      labels_.Set(n, std::move(label));
     }
   }
 
@@ -44,8 +48,8 @@ class DeweyLabeling : public Labeling {
 
   uint64_t TotalLabelBits() const override {
     uint64_t total = 0;
-    for (const auto& label : labels_) {
-      for (const uint64_t component : label) {
+    for (size_t n = 0; n < labels_.size(); ++n) {
+      for (const uint64_t component : labels_[n]) {
         total += sizing_ == DeweySizing::kUtf8
                      ? 8 * util::OrderedVarintLength(component)
                      : GammaBits(component);
@@ -96,7 +100,7 @@ class DeweyLabeling : public Labeling {
     const NodeId id = skeleton_.AddSiblingBefore(target);
     std::vector<uint64_t> label = labels_[skeleton_.parent(id)];
     label.push_back(new_ordinal);
-    labels_.push_back(std::move(label));
+    labels_.PushBack(std::move(label));
     result.new_node = id;
     result.relabeled = result.relabeled_nodes.size();
     return result;
@@ -113,7 +117,7 @@ class DeweyLabeling : public Labeling {
     const NodeId id = skeleton_.AddSiblingAfter(target);
     std::vector<uint64_t> label = labels_[skeleton_.parent(id)];
     label.push_back(new_ordinal);
-    labels_.push_back(std::move(label));
+    labels_.PushBack(std::move(label));
     result.new_node = id;
     result.relabeled = result.relabeled_nodes.size();
     return result;
@@ -140,6 +144,12 @@ class DeweyLabeling : public Labeling {
     return std::make_unique<DeweyLabeling>(*this);
   }
 
+  std::unique_ptr<Labeling> ForkShared() const override {
+    // Copy construction is COW (CowVector labels + COW TreeSkeleton): a
+    // fork shares every chunk, O(chunks) instead of O(nodes).
+    return std::make_unique<DeweyLabeling>(*this);
+  }
+
   /// Test hook: the raw component path.
   const std::vector<uint64_t>& label(NodeId n) const { return labels_[n]; }
 
@@ -152,7 +162,7 @@ class DeweyLabeling : public Labeling {
     while (!stack.empty()) {
       const NodeId cur = stack.back();
       stack.pop_back();
-      ++labels_[cur][depth_index];
+      ++labels_.Mutable(cur)[depth_index];
       touched->push_back(cur);
       for (NodeId c = skeleton_.first_child(cur); c != kNoNode;
            c = skeleton_.next_sibling(c)) {
@@ -164,7 +174,7 @@ class DeweyLabeling : public Labeling {
   std::string name_;
   DeweySizing sizing_;
   TreeSkeleton skeleton_;
-  std::vector<std::vector<uint64_t>> labels_;
+  util::CowVector<std::vector<uint64_t>> labels_;
 };
 
 class DeweyScheme : public LabelingScheme {

@@ -38,22 +38,22 @@ TreeSkeleton TreeSkeleton::FromDocument(
 NodeId TreeSkeleton::AddNode(NodeId parent_id) {
   ++live_count_;
   const NodeId id = static_cast<NodeId>(parent_.size());
-  removed_.push_back(false);
-  parent_.push_back(parent_id);
-  level_.push_back(parent_id == kNoNode ? 1 : level_[parent_id] + 1);
-  prev_sibling_.push_back(kNoNode);
-  next_sibling_.push_back(kNoNode);
-  first_child_.push_back(kNoNode);
-  last_child_.push_back(kNoNode);
+  removed_.PushBack(0);
+  parent_.PushBack(parent_id);
+  level_.PushBack(parent_id == kNoNode ? 1 : level_[parent_id] + 1);
+  prev_sibling_.PushBack(kNoNode);
+  next_sibling_.PushBack(kNoNode);
+  first_child_.PushBack(kNoNode);
+  last_child_.PushBack(kNoNode);
   if (parent_id != kNoNode) {
     const NodeId prev = last_child_[parent_id];
-    prev_sibling_[id] = prev;
+    prev_sibling_.Set(id, prev);
     if (prev != kNoNode) {
-      next_sibling_[prev] = id;
+      next_sibling_.Set(prev, id);
     } else {
-      first_child_[parent_id] = id;
+      first_child_.Set(parent_id, id);
     }
-    last_child_[parent_id] = id;
+    last_child_.Set(parent_id, id);
   }
   return id;
 }
@@ -75,23 +75,23 @@ uint64_t TreeSkeleton::SubtreeSize(NodeId n) const {
 NodeId TreeSkeleton::AddSiblingBefore(NodeId target) {
   ++live_count_;
   CDBS_CHECK(target < parent_.size());
-  CDBS_CHECK(!removed_[target]);
+  CDBS_CHECK(removed_[target] == 0);
   const NodeId parent_id = parent_[target];
   CDBS_CHECK(parent_id != kNoNode);  // cannot insert beside the root
   const NodeId id = static_cast<NodeId>(parent_.size());
-  removed_.push_back(false);
-  parent_.push_back(parent_id);
-  level_.push_back(level_[parent_id] + 1);
-  first_child_.push_back(kNoNode);
-  last_child_.push_back(kNoNode);
+  removed_.PushBack(0);
+  parent_.PushBack(parent_id);
+  level_.PushBack(level_[parent_id] + 1);
+  first_child_.PushBack(kNoNode);
+  last_child_.PushBack(kNoNode);
   const NodeId prev = prev_sibling_[target];
-  prev_sibling_.push_back(prev);
-  next_sibling_.push_back(target);
-  prev_sibling_[target] = id;
+  prev_sibling_.PushBack(prev);
+  next_sibling_.PushBack(target);
+  prev_sibling_.Set(target, id);
   if (prev != kNoNode) {
-    next_sibling_[prev] = id;
+    next_sibling_.Set(prev, id);
   } else {
-    first_child_[parent_id] = id;
+    first_child_.Set(parent_id, id);
   }
   return id;
 }
@@ -99,30 +99,30 @@ NodeId TreeSkeleton::AddSiblingBefore(NodeId target) {
 NodeId TreeSkeleton::AddSiblingAfter(NodeId target) {
   ++live_count_;
   CDBS_CHECK(target < parent_.size());
-  CDBS_CHECK(!removed_[target]);
+  CDBS_CHECK(removed_[target] == 0);
   const NodeId parent_id = parent_[target];
   CDBS_CHECK(parent_id != kNoNode);
   const NodeId id = static_cast<NodeId>(parent_.size());
-  removed_.push_back(false);
-  parent_.push_back(parent_id);
-  level_.push_back(level_[parent_id] + 1);
-  first_child_.push_back(kNoNode);
-  last_child_.push_back(kNoNode);
+  removed_.PushBack(0);
+  parent_.PushBack(parent_id);
+  level_.PushBack(level_[parent_id] + 1);
+  first_child_.PushBack(kNoNode);
+  last_child_.PushBack(kNoNode);
   const NodeId next = next_sibling_[target];
-  prev_sibling_.push_back(target);
-  next_sibling_.push_back(next);
-  next_sibling_[target] = id;
+  prev_sibling_.PushBack(target);
+  next_sibling_.PushBack(next);
+  next_sibling_.Set(target, id);
   if (next != kNoNode) {
-    prev_sibling_[next] = id;
+    prev_sibling_.Set(next, id);
   } else {
-    last_child_[parent_id] = id;
+    last_child_.Set(parent_id, id);
   }
   return id;
 }
 
 std::vector<NodeId> TreeSkeleton::RemoveSubtree(NodeId target) {
   CDBS_CHECK(target < parent_.size());
-  CDBS_CHECK(!removed_[target]);
+  CDBS_CHECK(removed_[target] == 0);
   const NodeId parent_id = parent_[target];
   CDBS_CHECK(parent_id != kNoNode);  // cannot remove the root
   // Collect the subtree in document order before unlinking.
@@ -140,17 +140,17 @@ std::vector<NodeId> TreeSkeleton::RemoveSubtree(NodeId target) {
   const NodeId prev = prev_sibling_[target];
   const NodeId next = next_sibling_[target];
   if (prev != kNoNode) {
-    next_sibling_[prev] = next;
+    next_sibling_.Set(prev, next);
   } else {
-    first_child_[parent_id] = next;
+    first_child_.Set(parent_id, next);
   }
   if (next != kNoNode) {
-    prev_sibling_[next] = prev;
+    prev_sibling_.Set(next, prev);
   } else {
-    last_child_[parent_id] = prev;
+    last_child_.Set(parent_id, prev);
   }
-  parent_[target] = kNoNode;
-  for (const NodeId n : removed) removed_[n] = true;
+  parent_.Set(target, kNoNode);
+  for (const NodeId n : removed) removed_.Set(n, 1);
   live_count_ -= removed.size();
   return removed;
 }

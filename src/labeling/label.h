@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "util/cow_vector.h"
 #include "xml/tree.h"
 
 /// \file
@@ -110,19 +111,22 @@ class TreeSkeleton {
   size_t live_count() const { return live_count_; }
 
   /// True iff `n` was removed by RemoveSubtree.
-  bool is_removed(NodeId n) const { return removed_[n]; }
+  bool is_removed(NodeId n) const { return removed_[n] != 0; }
 
  private:
   NodeId AddNode(NodeId parent_id);
 
+  // All per-node state is chunked copy-on-write (util/cow_vector.h): copying
+  // a TreeSkeleton shares every chunk, and link updates path-copy only the
+  // touched chunks. This is what makes Labeling::ForkShared O(touched).
   size_t live_count_ = 0;
-  std::vector<bool> removed_;
-  std::vector<NodeId> parent_;
-  std::vector<int> level_;
-  std::vector<NodeId> prev_sibling_;
-  std::vector<NodeId> next_sibling_;
-  std::vector<NodeId> first_child_;
-  std::vector<NodeId> last_child_;
+  util::CowVector<uint8_t> removed_;
+  util::CowVector<NodeId> parent_;
+  util::CowVector<int> level_;
+  util::CowVector<NodeId> prev_sibling_;
+  util::CowVector<NodeId> next_sibling_;
+  util::CowVector<NodeId> first_child_;
+  util::CowVector<NodeId> last_child_;
 };
 
 /// A labeled document snapshot: relationship predicates over labels plus
@@ -172,11 +176,19 @@ class Labeling {
   /// Serialized label bytes for the label store (Figure 7's I/O).
   virtual std::string SerializeLabel(NodeId n) const = 0;
 
-  /// Deep, independent copy of this labeling (labels, skeleton, codec
-  /// state). The copy shares nothing with the original, so one side may
-  /// keep inserting while the other is read concurrently — the snapshot
-  /// primitive behind the concurrent serving layer (docs/CONCURRENCY.md).
+  /// Logically independent copy of this labeling (labels, skeleton, codec
+  /// state). One side may keep inserting while the other is read
+  /// concurrently. Implementations may share immutable state (e.g. COW
+  /// chunks) as long as that independence holds under the serving layer's
+  /// thread contract (see util/cow_vector.h).
   virtual std::unique_ptr<Labeling> Clone() const = 0;
+
+  /// Copy-on-write fork: the O(touched) snapshot primitive behind the
+  /// concurrent serving layer (docs/CONCURRENCY.md). Semantics are exactly
+  /// Clone()'s; schemes whose state is COW-backed (the containment family,
+  /// Dewey) override this to share chunks so a fork costs O(chunks), not
+  /// O(nodes). The default falls back to the deep Clone().
+  virtual std::unique_ptr<Labeling> ForkShared() const { return Clone(); }
 
   /// Structural skeleton (shared bookkeeping; not used by predicates).
   virtual const TreeSkeleton& skeleton() const = 0;

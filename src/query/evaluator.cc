@@ -35,17 +35,23 @@ obs::Counter& NodesEmittedCounter() {
 }
 
 // Index of the first node in the document-ordered `list` that comes after
-// `node` in document order — found with label comparisons.
-size_t FirstAfter(const Labeling& lab, const std::vector<NodeId>& list,
-                  NodeId node) {
+// `node` in document order — found with label comparisons (binary search
+// over the list's COW runs; allocation-free).
+size_t FirstAfter(const Labeling& lab, const TagList& list, NodeId node) {
   size_t comparisons = 0;
-  const auto it = std::upper_bound(
-      list.begin(), list.end(), node, [&lab, &comparisons](NodeId a, NodeId b) {
-        ++comparisons;
-        return lab.CompareOrder(a, b) < 0;
-      });
+  size_t lo = 0;
+  size_t hi = list.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    ++comparisons;
+    if (lab.CompareOrder(node, list[mid]) < 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
   LabelComparisonsCounter().Increment(comparisons);
-  return static_cast<size_t>(it - list.begin());
+  return lo;
 }
 
 // True when every existence predicate of `step` holds at `node`.
@@ -57,10 +63,11 @@ bool ExistsFrom(const LabeledDocument& doc, NodeId node,
   if (i == steps.size()) return true;
   const Labeling& lab = doc.labeling();
   const Step& step = steps[i];
-  const std::vector<NodeId>& cands = doc.WithTag(step.name);
-  for (size_t idx = FirstAfter(lab, cands, node);
-       idx < cands.size() && lab.IsAncestor(node, cands[idx]); ++idx) {
-    const NodeId cand = cands[idx];
+  const TagList& cands = doc.WithTag(step.name);
+  const TagList::Iterator last = cands.end();
+  for (TagList::Iterator it = cands.IteratorAt(FirstAfter(lab, cands, node));
+       it != last && lab.IsAncestor(node, *it); ++it) {
+    const NodeId cand = *it;
     if (step.axis == Axis::kChild && !lab.IsParent(node, cand)) continue;
     if (!PredicatesHold(doc, step, cand)) continue;
     if (ExistsFrom(doc, cand, steps, i + 1)) return true;
@@ -81,11 +88,12 @@ size_t SiblingRank(const LabeledDocument& doc, NodeId node) {
   const Labeling& lab = doc.labeling();
   const NodeId parent = FindParent(doc, node);
   if (parent == kNoNode) return 1;  // the root
-  const std::vector<NodeId>& cands = doc.WithTag(doc.tag(node));
+  const TagList& cands = doc.WithTag(doc.tag(node));
   size_t rank = 1;
-  for (size_t idx = FirstAfter(lab, cands, parent);
-       idx < cands.size() && lab.CompareOrder(cands[idx], node) < 0; ++idx) {
-    if (lab.IsParent(parent, cands[idx])) ++rank;
+  const TagList::Iterator last = cands.end();
+  for (TagList::Iterator it = cands.IteratorAt(FirstAfter(lab, cands, parent));
+       it != last && lab.CompareOrder(*it, node) < 0; ++it) {
+    if (lab.IsParent(parent, *it)) ++rank;
   }
   return rank;
 }
@@ -94,11 +102,13 @@ size_t SiblingRank(const LabeledDocument& doc, NodeId node) {
 void ExpandDown(const LabeledDocument& doc, NodeId context, const Step& step,
                 std::vector<NodeId>* out) {
   const Labeling& lab = doc.labeling();
-  const std::vector<NodeId>& cands = doc.WithTag(step.name);
+  const TagList& cands = doc.WithTag(step.name);
   size_t child_rank = 0;  // per-context rank for child-axis positionals
-  for (size_t idx = FirstAfter(lab, cands, context);
-       idx < cands.size() && lab.IsAncestor(context, cands[idx]); ++idx) {
-    const NodeId cand = cands[idx];
+  const TagList::Iterator last = cands.end();
+  for (TagList::Iterator it =
+           cands.IteratorAt(FirstAfter(lab, cands, context));
+       it != last && lab.IsAncestor(context, *it); ++it) {
+    const NodeId cand = *it;
     if (step.axis == Axis::kChild) {
       if (!lab.IsParent(context, cand)) continue;
       ++child_rank;
@@ -120,11 +130,11 @@ void ExpandPrecedingSibling(const LabeledDocument& doc, NodeId context,
   const Labeling& lab = doc.labeling();
   const NodeId parent = FindParent(doc, context);
   if (parent == kNoNode) return;
-  const std::vector<NodeId>& cands = doc.WithTag(step.name);
-  for (size_t idx = FirstAfter(lab, cands, parent);
-       idx < cands.size() && lab.CompareOrder(cands[idx], context) < 0;
-       ++idx) {
-    const NodeId cand = cands[idx];
+  const TagList& cands = doc.WithTag(step.name);
+  const TagList::Iterator last = cands.end();
+  for (TagList::Iterator it = cands.IteratorAt(FirstAfter(lab, cands, parent));
+       it != last && lab.CompareOrder(*it, context) < 0; ++it) {
+    const NodeId cand = *it;
     if (!lab.IsParent(parent, cand)) continue;
     if (!PredicatesHold(doc, step, cand)) continue;
     out->push_back(cand);
@@ -145,10 +155,11 @@ void ExpandAncestor(const LabeledDocument& doc, NodeId context,
   const Labeling& lab = doc.labeling();
   // Candidates with the right tag that start before the context node; keep
   // those whose label encloses it.
-  const std::vector<NodeId>& cands = doc.WithTag(step.name);
+  const TagList& cands = doc.WithTag(step.name);
   const size_t end = FirstAfter(lab, cands, context);
-  for (size_t idx = 0; idx < end; ++idx) {
-    const NodeId cand = cands[idx];
+  TagList::Iterator it = cands.begin();
+  for (size_t idx = 0; idx < end; ++idx, ++it) {
+    const NodeId cand = *it;
     if (cand == context || !lab.IsAncestor(cand, context)) continue;
     if (!PredicatesHold(doc, step, cand)) continue;
     out->push_back(cand);
@@ -158,13 +169,14 @@ void ExpandAncestor(const LabeledDocument& doc, NodeId context,
 void ExpandFollowing(const LabeledDocument& doc, NodeId context,
                      const Step& step, std::vector<NodeId>* out) {
   const Labeling& lab = doc.labeling();
-  const std::vector<NodeId>& cands = doc.WithTag(step.name);
-  size_t idx = FirstAfter(lab, cands, context);
+  const TagList& cands = doc.WithTag(step.name);
+  const TagList::Iterator last = cands.end();
+  TagList::Iterator it = cands.IteratorAt(FirstAfter(lab, cands, context));
   // Skip the context's own descendants (following excludes them).
-  while (idx < cands.size() && lab.IsAncestor(context, cands[idx])) ++idx;
-  for (; idx < cands.size(); ++idx) {
-    if (!PredicatesHold(doc, step, cands[idx])) continue;
-    out->push_back(cands[idx]);
+  while (it != last && lab.IsAncestor(context, *it)) ++it;
+  for (; it != last; ++it) {
+    if (!PredicatesHold(doc, step, *it)) continue;
+    out->push_back(*it);
   }
 }
 
@@ -177,9 +189,10 @@ bool NameMatches(const Step& step, const std::string& tag) {
 NodeId FindParent(const LabeledDocument& doc, NodeId node) {
   const Labeling& lab = doc.labeling();
   if (node == doc.root()) return kNoNode;
-  const std::vector<NodeId>& all = doc.all_elements();
+  const TagList& all = doc.all_elements();
   // Position of `node` itself, then scan backwards for the first element
   // that is its parent (ancestors precede the node in document order).
+  // Backward scan uses operator[] (O(log runs) per probe).
   size_t idx = FirstAfter(lab, all, node);
   // idx points after `node`; step back past it.
   while (idx > 0) {

@@ -21,12 +21,12 @@ obs::Counter& JoinEmittedCounter() {
   return *c;
 }
 
-}  // namespace
-
-std::vector<NodeId> StructuralJoinStep(const Labeling& labeling,
-                                       const std::vector<NodeId>& ancestors,
-                                       const std::vector<NodeId>& descendants,
-                                       Axis axis) {
+// Works over anything forward-iterable of NodeId in document order:
+// materialized vectors or the tag index's COW TagLists (read in place).
+template <typename AncestorList, typename DescendantList>
+std::vector<NodeId> JoinImpl(const Labeling& labeling,
+                             const AncestorList& ancestors,
+                             const DescendantList& descendants, Axis axis) {
   CDBS_CHECK(axis == Axis::kChild || axis == Axis::kDescendant);
   JoinStepsCounter().Increment();
   std::vector<NodeId> out;
@@ -36,12 +36,13 @@ std::vector<NodeId> StructuralJoinStep(const Labeling& labeling,
   // chain of ancestors currently "open" around the merge cursor; its top is
   // the nearest enclosing candidate ancestor.
   std::vector<NodeId> stack;
-  size_t ai = 0;
+  auto ait = ancestors.begin();
+  const auto aend = ancestors.end();
   for (const NodeId d : descendants) {
     // Open every ancestor that starts before d.
-    while (ai < ancestors.size() &&
-           labeling.CompareOrder(ancestors[ai], d) < 0) {
-      const NodeId a = ancestors[ai++];
+    while (ait != aend && labeling.CompareOrder(*ait, d) < 0) {
+      const NodeId a = *ait;
+      ++ait;
       while (!stack.empty() && !labeling.IsAncestor(stack.back(), a)) {
         stack.pop_back();
       }
@@ -60,6 +61,34 @@ std::vector<NodeId> StructuralJoinStep(const Labeling& labeling,
   }
   JoinEmittedCounter().Increment(out.size());
   return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> StructuralJoinStep(const Labeling& labeling,
+                                       const std::vector<NodeId>& ancestors,
+                                       const std::vector<NodeId>& descendants,
+                                       Axis axis) {
+  return JoinImpl(labeling, ancestors, descendants, axis);
+}
+
+std::vector<NodeId> StructuralJoinStep(const Labeling& labeling,
+                                       const TagList& ancestors,
+                                       const std::vector<NodeId>& descendants,
+                                       Axis axis) {
+  return JoinImpl(labeling, ancestors, descendants, axis);
+}
+
+std::vector<NodeId> StructuralJoinStep(const Labeling& labeling,
+                                       const std::vector<NodeId>& ancestors,
+                                       const TagList& descendants, Axis axis) {
+  return JoinImpl(labeling, ancestors, descendants, axis);
+}
+
+std::vector<NodeId> StructuralJoinStep(const Labeling& labeling,
+                                       const TagList& ancestors,
+                                       const TagList& descendants, Axis axis) {
+  return JoinImpl(labeling, ancestors, descendants, axis);
 }
 
 bool IsLinearPathQuery(const Query& query) {
@@ -82,7 +111,7 @@ std::vector<NodeId> EvaluateWithStructuralJoins(const Query& query,
   const Step& first = query.steps.front();
   std::vector<NodeId> current;
   if (first.axis == Axis::kDescendant) {
-    current = doc.WithTag(first.name);
+    current = doc.WithTag(first.name).ToVector();
   } else {
     // Child of the document node: the root, when its tag matches.
     const NodeId root = doc.root();

@@ -26,11 +26,22 @@ namespace cdbs::query {
 /// One structural join step: of `descendants` (document-ordered), keep
 /// those that have an ancestor (axis kDescendant) or parent (axis kChild)
 /// in `ancestors` (document-ordered). Output preserves document order and
-/// is duplicate-free.
+/// is duplicate-free. Overloads accept either materialized vectors or the
+/// tag index's COW `TagList`s (scanned in place, allocation-free).
 std::vector<NodeId> StructuralJoinStep(const labeling::Labeling& labeling,
                                        const std::vector<NodeId>& ancestors,
                                        const std::vector<NodeId>& descendants,
                                        Axis axis);
+std::vector<NodeId> StructuralJoinStep(const labeling::Labeling& labeling,
+                                       const TagList& ancestors,
+                                       const std::vector<NodeId>& descendants,
+                                       Axis axis);
+std::vector<NodeId> StructuralJoinStep(const labeling::Labeling& labeling,
+                                       const std::vector<NodeId>& ancestors,
+                                       const TagList& descendants, Axis axis);
+std::vector<NodeId> StructuralJoinStep(const labeling::Labeling& labeling,
+                                       const TagList& ancestors,
+                                       const TagList& descendants, Axis axis);
 
 /// True iff `query` is a linear path of child/descendant steps with plain
 /// name tests (no positional or existence predicates, no ordered axes) —

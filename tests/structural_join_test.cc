@@ -44,11 +44,11 @@ TEST(StructuralJoinStepTest, EmptyInputs) {
   auto parsed = xml::ParseXml("<a><b/></a>");
   ASSERT_TRUE(parsed.ok());
   auto doc = Label(*parsed, "V-CDBS-Containment");
-  EXPECT_TRUE(StructuralJoinStep(doc->labeling(), {}, doc->WithTag("b"),
-                                 Axis::kChild)
+  EXPECT_TRUE(StructuralJoinStep(doc->labeling(), std::vector<NodeId>{},
+                                 doc->WithTag("b"), Axis::kChild)
                   .empty());
-  EXPECT_TRUE(StructuralJoinStep(doc->labeling(), doc->WithTag("a"), {},
-                                 Axis::kChild)
+  EXPECT_TRUE(StructuralJoinStep(doc->labeling(), doc->WithTag("a"),
+                                 std::vector<NodeId>{}, Axis::kChild)
                   .empty());
 }
 
