@@ -142,6 +142,7 @@ PhaseResult RunMixedPhase(int readers, uint64_t duration_ms) {
 }  // namespace
 
 int main() {
+  cdbs::bench::ConfigureTracerFromEnv();
   const uint64_t duration_ms = cdbs::bench::EnvKnob("CDBS_BENCH_MS", 400);
   const uint64_t max_readers =
       cdbs::bench::EnvKnob("CDBS_CONCURRENT_MAX_READERS", 8);
@@ -319,6 +320,66 @@ int main() {
     }
   }
 
+  // ------------------------------------------------------------------
+  // Tracing overhead: the disabled path must be free. The guard is
+  // deterministic — with tracing off, not one span may be recorded across
+  // a full read phase (a throughput comparison would be noise-limited; a
+  // span count cannot be). The sampled run is printed for scale.
+  cdbs::bench::Heading("Tracing overhead (read path, off vs sampled)");
+  {
+    cdbs::obs::Tracer& tracer = cdbs::obs::Tracer::Instance();
+    ConcurrentXmlDbOptions options;
+    options.read_workers = 1;
+    auto opened = ConcurrentXmlDb::Open(cdbs::xml::GenerateHamlet(), options);
+    if (!opened.ok()) return 1;
+    ConcurrentXmlDb& db = **opened;
+    const uint64_t reads = cdbs::bench::EnvKnob("CDBS_TRACE_BENCH_READS", 500);
+    // Each read runs under a request envelope, exactly like a served
+    // request: when sampling is off the envelope is two relaxed loads.
+    const auto timed_reads = [&db, reads] {
+      cdbs::util::Stopwatch timer;
+      for (uint64_t i = 0; i < reads; ++i) {
+        cdbs::obs::RequestTrace trace(0);
+        static_cast<void>(db.Query("//speaker"));
+      }
+      return reads / timer.ElapsedSeconds();
+    };
+
+    tracer.Configure(cdbs::obs::TraceOptions{});  // off
+    const uint64_t spans_before = tracer.spans_recorded();
+    const double qps_off = timed_reads();
+    const uint64_t spans_while_off = tracer.spans_recorded() - spans_before;
+
+    cdbs::obs::TraceOptions sampled;
+    sampled.sample_every = 1;
+    sampled.retain = 8;
+    tracer.Configure(sampled);
+    const double qps_on = timed_reads();
+    db.Shutdown();
+    cdbs::bench::ConfigureTracerFromEnv();  // restore the env-selected state
+
+    std::printf(
+        "  %" PRIu64 " traced-envelope reads: %.0f reads/s off, "
+        "%.0f reads/s sampled (every request)\n"
+        "  spans recorded while disabled: %" PRIu64 " (must be 0)\n",
+        reads, qps_off, qps_on, spans_while_off);
+    reg.GetGauge("bench.concurrent.trace.qps_off",
+                 "Read throughput with tracing disabled")
+        ->Set(qps_off);
+    reg.GetGauge("bench.concurrent.trace.qps_sampled",
+                 "Read throughput with every request sampled")
+        ->Set(qps_on);
+    if (spans_while_off != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %" PRIu64 " spans recorded with tracing disabled — "
+                   "the off path is no longer free\n",
+                   spans_while_off);
+      return 1;
+    }
+  }
+
+  cdbs::bench::PrintStageBreakdown();
+  cdbs::bench::DumpTraces();
   cdbs::bench::DumpMetrics("concurrent");
   return 0;
 }

@@ -249,6 +249,7 @@ ChaosResult RunChaos(uint16_t port, NodeId hot,
 }  // namespace
 
 int main() {
+  cdbs::bench::ConfigureTracerFromEnv();
   const uint64_t duration_ms = cdbs::bench::EnvKnob("CDBS_BENCH_MS", 400);
 
   ConcurrentXmlDbOptions db_options;
@@ -358,6 +359,11 @@ int main() {
 
   (*server)->Shutdown();
   (*db)->Shutdown();
+  // With CDBS_TRACE_SAMPLE set, every server-side request above ran under
+  // a trace envelope: print where the time went and export the retained
+  // traces (CDBS_TRACE_JSON) for chrome://tracing.
+  cdbs::bench::PrintStageBreakdown();
+  cdbs::bench::DumpTraces();
   cdbs::bench::DumpMetrics("net");
   if (chaos.wrong_reads != 0 || chaos.unexpected_failures != 0) return 1;
   return 0;

@@ -9,10 +9,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "labeling/label.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 /// \file
 /// Small shared helpers for the experiment harness binaries. Each bench
@@ -89,6 +91,70 @@ inline void RecordInsertResult(const labeling::InsertResult& result) {
   relabeled->Increment(result.relabeled);
   if (result.overflow) overflows->Increment();
   neighbor_bits->Record(result.neighbor_bits_modified);
+}
+
+/// Arms the request tracer from CDBS_TRACE_SAMPLE / CDBS_TRACE_SLOW_MS /
+/// CDBS_TRACE_RETAIN (strict parsing, warnings on garbage). Call once at
+/// bench start; a no-op when none of the knobs are set.
+inline void ConfigureTracerFromEnv() {
+  obs::Tracer::Instance().Configure(obs::Tracer::OptionsFromEnv());
+}
+
+/// Prints the per-stage latency breakdown accumulated by the tracer's
+/// `trace.stage.<name>.ns` histograms: one line per stage with count, mean
+/// and p99, plus each stage's share of the summed stage time. Silent when
+/// tracing never recorded a span (e.g. tracing off).
+inline void PrintStageBreakdown() {
+  struct Row {
+    std::string stage;
+    uint64_t count;
+    double mean_ns;
+    uint64_t p99_ns;
+  };
+  std::vector<Row> rows;
+  double total_ns = 0;
+  for (const obs::MetricSnapshot& m :
+       obs::MetricRegistry::Default().Snapshot()) {
+    constexpr const char* kPrefix = "trace.stage.";
+    if (m.type != obs::MetricType::kHistogram ||
+        m.name.rfind(kPrefix, 0) != 0 || m.count == 0) {
+      continue;
+    }
+    std::string stage =
+        m.name.substr(std::strlen(kPrefix));       // "wal.fsync.ns"
+    stage = stage.substr(0, stage.rfind(".ns"));   // "wal.fsync"
+    if (stage == "request") continue;  // the end-to-end span, not a stage
+    rows.push_back({stage, m.count, m.mean * m.count, m.p99});
+    total_ns += m.mean * m.count;
+  }
+  if (rows.empty()) return;
+  Heading("per-stage latency breakdown (traced requests)");
+  std::printf("%-16s %10s %12s %12s %7s\n", "stage", "spans", "mean_us",
+              "p99_us", "share");
+  for (const Row& row : rows) {
+    std::printf("%-16s %10" PRIu64 " %12.1f %12.1f %6.1f%%\n",
+                row.stage.c_str(), row.count,
+                row.mean_ns / row.count / 1e3, row.p99_ns / 1e3,
+                total_ns > 0 ? 100.0 * row.mean_ns / total_ns : 0.0);
+  }
+}
+
+/// Writes the tracer's retained traces as Chrome trace_event JSON when
+/// CDBS_TRACE_JSON is set (load the file in chrome://tracing or Perfetto).
+inline void DumpTraces() {
+  const char* env = std::getenv("CDBS_TRACE_JSON");
+  if (env == nullptr || env[0] == '\0') return;
+  const std::string json = obs::Tracer::Instance().ToChromeJson();
+  std::FILE* f = std::fopen(env, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to open %s for trace export\n", env);
+    return;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  std::fprintf(stderr, ok ? "trace export written to %s\n"
+                          : "short write exporting traces to %s\n",
+               env);
 }
 
 /// Writes the default registry as JSON when CDBS_BENCH_JSON is set: to that

@@ -3,6 +3,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/trace.h"
 #include "query/evaluator.h"
 #include "query/xpath.h"
 #include "util/check.h"
@@ -36,16 +37,13 @@ ConcurrentXmlDb::ConcurrentXmlDb(std::unique_ptr<XmlDb> db,
   obs::MetricRegistry& local = db_->registry_;
   obs::MetricRegistry& global = obs::MetricRegistry::Default();
   auto hist = [&](std::string_view name, std::string_view help) {
-    return MirroredHistogram{local.GetHistogram(name, help),
-                             global.GetHistogram(name, help)};
+    return obs::MirrorHistogram(local, global, name, help);
   };
   auto counter = [&](std::string_view name, std::string_view help) {
-    return MirroredCounter{local.GetCounter(name, help),
-                           global.GetCounter(name, help)};
+    return obs::MirrorCounter(local, global, name, help);
   };
   auto gauge = [&](std::string_view name, std::string_view help) {
-    return MirroredGauge{local.GetGauge(name, help),
-                         global.GetGauge(name, help)};
+    return obs::MirrorGauge(local, global, name, help);
   };
   read_ns_ = hist("engine.concurrent.read.ns",
                   "Wall time per snapshot-isolated read");
@@ -102,11 +100,19 @@ void ConcurrentXmlDb::Shutdown() {
 
 Result<std::vector<NodeId>> ConcurrentXmlDb::Query(
     const std::string& xpath) const {
+  // The TraceSpans are free unless the caller's thread carries a
+  // TraceScope and tracing is on (one relaxed load each).
   util::Stopwatch timer;
+  obs::TraceSpan pin_span(obs::SpanName::kSnapshotPin);
   const auto pin = snapshots_.Acquire();
+  pin_span.End();
+  obs::TraceSpan parse_span(obs::SpanName::kParse);
   Result<query::Query> parsed = query::ParseQuery(xpath);
+  parse_span.End();
   if (!parsed.ok()) return parsed.status();
+  obs::TraceSpan eval_span(obs::SpanName::kEval);
   Result<std::vector<NodeId>> out = query::EvaluateQuery(*parsed, pin.view());
+  eval_span.End();
   reads_.Increment();
   read_ns_.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
   return out;
@@ -134,8 +140,19 @@ std::future<Result<std::vector<NodeId>>> ConcurrentXmlDb::SubmitQuery(
         Status::DeadlineExceeded("query deadline expired at submission"));
     return fut;
   }
+  // Carry the submitter's trace attribution onto the worker thread.
+  const uint64_t trace_id = obs::TraceScope::current();
+  const uint64_t submit_ns =
+      trace_id != 0 ? obs::Tracer::NowNs() : 0;
   const bool accepted = readers_->Submit(
-      [this, promise, deadline, xpath = std::move(xpath)] {
+      [this, promise, deadline, trace_id, submit_ns,
+       xpath = std::move(xpath)] {
+        obs::TraceScope scope(trace_id);
+        if (trace_id != 0) {
+          obs::Tracer::Instance().RecordSpan(
+              trace_id, obs::SpanName::kQueueWait, submit_ns,
+              obs::Tracer::NowNs() - submit_ns, obs::SpanOutcome::kOk);
+        }
         // Chaos/test hook: arm with a delay= spec to slow the reader pool
         // and make queued queries age out deterministically.
         static_cast<void>(CDBS_FAILPOINT("engine.concurrent.read.delay"));
@@ -162,6 +179,11 @@ std::future<Result<std::vector<NodeId>>> ConcurrentXmlDb::SubmitQuery(
 bool ConcurrentXmlDb::EnqueueWrite(WriteRequest req, bool blocking,
                                    bool* accepted) {
   const bool is_delete = req.kind == WriteRequest::Kind::kDelete;
+  // Trace attribution rides in from the submitting thread's scope; the
+  // admission span covers this function (the queue push or its bounce).
+  req.trace_id = obs::TraceScope::current();
+  if (req.trace_id != 0) req.submit_ns = obs::Tracer::NowNs();
+  obs::TraceSpan admission(obs::SpanName::kAdmission);
   Status rejection;
   if (req.deadline.expired()) {
     deadline_exceeded_.Increment();
@@ -193,6 +215,11 @@ bool ConcurrentXmlDb::EnqueueWrite(WriteRequest req, bool blocking,
   const bool admitted = rejection.ok();
   if (accepted != nullptr) *accepted = admitted;
   if (!admitted) {
+    admission.set_outcome(rejection.code() == StatusCode::kRetryAfter
+                              ? obs::SpanOutcome::kShed
+                          : rejection.code() == StatusCode::kDeadlineExceeded
+                              ? obs::SpanOutcome::kDeadline
+                              : obs::SpanOutcome::kError);
     // `req` is untouched on a failed push; fail its promise in place.
     if (is_delete) {
       req.delete_promise.set_value(rejection);
@@ -298,10 +325,27 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
     size_t request_index;
     XmlDb::AppliedInsert applied;
   };
+  const size_t n = group->size();
+  // Group trace attribution: every span the writer records from here on
+  // (commit phases, WAL append/fsync, store apply, publish) fans out to
+  // each traced request in the group — the group's one fsync genuinely is
+  // part of each of their critical paths. queue_wait is per-request: it
+  // ends now, at dequeue.
+  std::vector<uint64_t> group_trace_ids;
+  for (const WriteRequest& req : *group) {
+    if (req.trace_id == 0) continue;
+    group_trace_ids.push_back(req.trace_id);
+    const uint64_t now = obs::Tracer::NowNs();
+    obs::Tracer::Instance().RecordSpan(
+        req.trace_id, obs::SpanName::kQueueWait, req.submit_ns,
+        now > req.submit_ns ? now - req.submit_ns : 0,
+        obs::SpanOutcome::kOk);
+  }
+  obs::TraceScope group_scope(group_trace_ids.data(),
+                              group_trace_ids.size());
   // Chaos/test hook: arm with a delay= spec to slow the writer, filling
   // the submission queue (deterministic overload and deadline-expiry).
   static_cast<void>(CDBS_FAILPOINT("engine.concurrent.write.delay"));
-  const size_t n = group->size();
   std::vector<PendingInsert> pending;
   std::vector<storage::StoreBatch> batches;
   std::vector<std::optional<Result<NodeId>>> insert_results(n);
@@ -311,6 +355,7 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
   // Phase 1: apply every request to the writer's in-memory state, building
   // one store batch per successful insertion. Later requests see earlier
   // ones' effects — submission order is commit order.
+  obs::TraceSpan phase1_span(obs::SpanName::kCommitPhase1);
   for (size_t i = 0; i < n; ++i) {
     WriteRequest& req = (*group)[i];
     write_wait_ns_.Record(static_cast<uint64_t>(req.queued.ElapsedNanos()));
@@ -348,6 +393,8 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
     }
     insert_results[i].emplace(std::move(id));
   }
+
+  phase1_span.End();
 
   // Phase 2: one group commit — a single WAL append + fsync covers every
   // insertion in the group.
@@ -393,7 +440,7 @@ uint64_t ConcurrentXmlDb::RetryAfterHintMillis() const {
   // Estimate the queue's drain time: depth x mean durable-commit latency,
   // amortized over the group size (a full group commits under one fsync).
   const double depth = static_cast<double>(write_queue_.size()) + 1.0;
-  double mean_commit_ns = write_ns_.local->mean();
+  double mean_commit_ns = write_ns_.local()->mean();
   if (mean_commit_ns <= 0) mean_commit_ns = 1e6;  // cold start: assume 1 ms
   const double group =
       static_cast<double>(options_.group_commit_limit > 0
@@ -412,7 +459,9 @@ void ConcurrentXmlDb::PublishSnapshot() {
   // therefore exactly this publish's cost — the counters that demonstrate a
   // publish is O(touched), not O(N).
   util::Stopwatch timer;
+  obs::TraceSpan publish_span(obs::SpanName::kPublish);
   snapshots_.Publish(db_->labeled().Fork());
+  publish_span.End();
   publish_ns_.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
   const util::CowStats& stats = util::CowStats::Local();
   cow_bytes_copied_.Increment(stats.bytes_copied - last_cow_bytes_);

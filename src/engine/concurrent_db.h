@@ -186,6 +186,11 @@ class ConcurrentXmlDb {
     std::promise<Result<NodeId>> insert_promise;
     std::promise<Result<uint64_t>> delete_promise;
     util::Stopwatch queued;  // started at submission, for latency metrics
+    /// Trace attribution (obs/trace.h): captured from the submitting
+    /// thread's TraceScope so the writer can fan group spans (wal.fsync,
+    /// publish, ...) back to every request they covered. 0 = untraced.
+    uint64_t trace_id = 0;
+    uint64_t submit_ns = 0;  ///< Tracer::NowNs() at submission (traced only)
   };
 
   ConcurrentXmlDb(std::unique_ptr<XmlDb> db,
@@ -212,31 +217,10 @@ class ConcurrentXmlDb {
   std::once_flag shutdown_once_;
 
   // engine.concurrent.* metrics, registered in the db's private registry
-  // and mirrored into MetricRegistry::Default().
-  struct MirroredHistogram {
-    obs::Histogram* local;
-    obs::Histogram* global;
-    void Record(uint64_t v) {
-      local->Record(v);
-      global->Record(v);
-    }
-  };
-  struct MirroredCounter {
-    obs::Counter* local;
-    obs::Counter* global;
-    void Increment(uint64_t n = 1) {
-      local->Increment(n);
-      global->Increment(n);
-    }
-  };
-  struct MirroredGauge {
-    obs::Gauge* local;
-    obs::Gauge* global;
-    void Set(double v) {
-      local->Set(v);
-      global->Set(v);
-    }
-  };
+  // and mirrored into MetricRegistry::Default() (obs::Mirrored).
+  using MirroredHistogram = obs::Mirrored<obs::Histogram>;
+  using MirroredCounter = obs::Mirrored<obs::Counter>;
+  using MirroredGauge = obs::Mirrored<obs::Gauge>;
   mutable MirroredHistogram read_ns_;
   MirroredHistogram write_wait_ns_;   // submission -> dequeue
   MirroredHistogram write_ns_;        // submission -> durable commit

@@ -89,6 +89,13 @@ void CdbsClient::Backoff(int attempt, uint32_t retry_after_ms,
 
 Result<Response> CdbsClient::Call(Request req, util::Deadline deadline) {
   const bool idempotent = IsIdempotent(req.op);
+  // One trace id per logical call, minted up front and reused verbatim by
+  // every retry below (`req` is by-value; the loop only reassigns the
+  // request id). The server threads it through to the WAL, so a retained
+  // trace shows all attempts of this call under one id.
+  req.trace_id = rng_();
+  if (req.trace_id == 0) req.trace_id = 1;
+  last_trace_id_ = req.trace_id;
   Status last = Status::IoError("no attempt made");
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     // Backoff sleeps are only worth paying when another attempt follows;
@@ -232,6 +239,21 @@ Result<uint64_t> CdbsClient::Delete(uint64_t target, util::Deadline deadline) {
     return Status(resp->code, resp->message);
   }
   return resp->id_or_count;
+}
+
+Result<CdbsClient::Introspection> CdbsClient::Introspect(
+    util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kIntrospect;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  Introspection out;
+  out.stats_json = std::move(resp->stats_json);
+  out.traces_json = std::move(resp->traces_json);
+  return out;
 }
 
 Result<std::string> CdbsClient::StatsJson(util::Deadline deadline) {

@@ -71,9 +71,22 @@ class CdbsClient {
   /// The server's metric registry as JSON.
   Result<std::string> StatsJson(util::Deadline deadline = {});
 
+  /// Live server introspection (Opcode::kIntrospect): the metrics snapshot
+  /// plus the retained request traces as Chrome trace_event JSON.
+  struct Introspection {
+    std::string stats_json;
+    std::string traces_json;
+  };
+  Result<Introspection> Introspect(util::Deadline deadline = {});
+
   /// Retries performed by this client since creation (also exported as the
   /// process-wide `serve.retries` counter).
   uint64_t retries() const { return local_retries_; }
+
+  /// The trace id minted for the most recent call. Every call gets a fresh
+  /// id; retries of one call reuse it, so the server-side trace shows all
+  /// attempts under one id (tested in tests/net_test.cc).
+  uint64_t last_trace_id() const { return last_trace_id_; }
 
  private:
   explicit CdbsClient(const ClientOptions& options);
@@ -89,6 +102,7 @@ class CdbsClient {
   ClientOptions options_;
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  uint64_t last_trace_id_ = 0;
   uint64_t local_retries_ = 0;
   std::mt19937_64 rng_;
   obs::Counter* retries_counter_;

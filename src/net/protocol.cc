@@ -86,7 +86,7 @@ class Cursor {
 
 Status ValidateOpcode(uint8_t raw, Opcode* out) {
   if (raw < static_cast<uint8_t>(Opcode::kPing) ||
-      raw > static_cast<uint8_t>(Opcode::kStats)) {
+      raw > static_cast<uint8_t>(Opcode::kIntrospect)) {
     return Status::Corruption("bad opcode " + std::to_string(raw));
   }
   *out = static_cast<Opcode>(raw);
@@ -108,6 +108,7 @@ bool IsIdempotent(Opcode op) {
     case Opcode::kPing:
     case Opcode::kQuery:
     case Opcode::kStats:
+    case Opcode::kIntrospect:
       return true;
     case Opcode::kInsertBefore:
     case Opcode::kInsertAfter:
@@ -125,6 +126,7 @@ std::string EncodeRequest(const Request& req) {
   switch (req.op) {
     case Opcode::kPing:
     case Opcode::kStats:
+    case Opcode::kIntrospect:
       break;
     case Opcode::kQuery:
       AppendString(&out, req.xpath);
@@ -138,6 +140,10 @@ std::string EncodeRequest(const Request& req) {
       AppendU64(&out, req.target);
       break;
   }
+  // Optional trailing field: present only when traced, so old decoders
+  // (which reject trailing bytes) still interoperate with untraced
+  // requests and old encoders produce frames new decoders accept.
+  if (req.trace_id != 0) AppendU64(&out, req.trace_id);
   return out;
 }
 
@@ -151,6 +157,7 @@ Status DecodeRequest(std::string_view payload, Request* out) {
   switch (out->op) {
     case Opcode::kPing:
     case Opcode::kStats:
+    case Opcode::kIntrospect:
       break;
     case Opcode::kQuery:
       CDBS_RETURN_NOT_OK(cur.ReadString(&out->xpath));
@@ -163,6 +170,10 @@ Status DecodeRequest(std::string_view payload, Request* out) {
     case Opcode::kDelete:
       CDBS_RETURN_NOT_OK(cur.ReadU64(&out->target));
       break;
+  }
+  out->trace_id = 0;
+  if (!cur.exhausted()) {
+    CDBS_RETURN_NOT_OK(cur.ReadU64(&out->trace_id));
   }
   if (!cur.exhausted()) {
     return Status::Corruption("trailing bytes after request");
@@ -192,6 +203,10 @@ std::string EncodeResponse(const Response& resp) {
         break;
       case Opcode::kStats:
         AppendString(&out, resp.stats_json);
+        break;
+      case Opcode::kIntrospect:
+        AppendString(&out, resp.stats_json);
+        AppendString(&out, resp.traces_json);
         break;
     }
   }
@@ -232,6 +247,10 @@ Status DecodeResponse(std::string_view payload, Response* out) {
         break;
       case Opcode::kStats:
         CDBS_RETURN_NOT_OK(cur.ReadString(&out->stats_json));
+        break;
+      case Opcode::kIntrospect:
+        CDBS_RETURN_NOT_OK(cur.ReadString(&out->stats_json));
+        CDBS_RETURN_NOT_OK(cur.ReadString(&out->traces_json));
         break;
     }
   }

@@ -42,6 +42,9 @@ enum class Opcode : uint8_t {
   kInsertAfter = 4,
   kDelete = 5,
   kStats = 6,
+  /// Live introspection: the server's metrics snapshot plus its retained
+  /// request traces (Chrome trace_event JSON), without restarting it.
+  kIntrospect = 7,
 };
 
 /// True for operations that are safe to resend after a broken stream (they
@@ -58,6 +61,12 @@ struct Request {
   std::string xpath;   // kQuery
   uint64_t target = 0; // kInsertBefore/kInsertAfter/kDelete
   std::string tag;     // kInsertBefore/kInsertAfter
+  /// End-to-end trace id (obs/trace.h); 0 = untraced. Encoded as an
+  /// *optional trailing* field — omitted when 0 — so new clients can talk
+  /// to old servers and vice versa: a decoder only reads it when bytes
+  /// remain after the opcode-specific fields. A retry of the same logical
+  /// call reuses the id (the retained trace shows every attempt).
+  uint64_t trace_id = 0;
 };
 
 /// A decoded response. `code` mirrors cdbs::StatusCode on the wire;
@@ -70,7 +79,8 @@ struct Response {
   std::string message;              // non-OK: human-readable detail
   std::vector<uint64_t> node_ids;   // kQuery result
   uint64_t id_or_count = 0;         // insert: new node id; delete: removed
-  std::string stats_json;           // kStats result
+  std::string stats_json;           // kStats / kIntrospect: metrics JSON
+  std::string traces_json;          // kIntrospect: Chrome trace_event JSON
 };
 
 /// Payload (de)serialization. Decoders validate opcode/status ranges and

@@ -10,6 +10,7 @@
 
 #include "net/socket_io.h"
 #include "obs/export.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
@@ -25,6 +26,19 @@ util::Deadline DeadlineFromRequest(const Request& req) {
   return req.deadline_ms == 0
              ? util::Deadline::Infinite()
              : util::Deadline::AfterMillis(req.deadline_ms);
+}
+
+obs::SpanOutcome OutcomeFromStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return obs::SpanOutcome::kOk;
+    case StatusCode::kRetryAfter:
+      return obs::SpanOutcome::kShed;
+    case StatusCode::kDeadlineExceeded:
+      return obs::SpanOutcome::kDeadline;
+    default:
+      return obs::SpanOutcome::kError;
+  }
 }
 
 }  // namespace
@@ -124,7 +138,10 @@ void Server::ServeConnection(Connection* conn) {
     }
     Request req;
     Response resp;
+    util::Stopwatch parse_timer;
     const Status decoded = DecodeRequest(payload, &req);
+    const uint64_t parse_ns =
+        static_cast<uint64_t>(parse_timer.ElapsedNanos());
     if (!decoded.ok()) {
       // Undecodable payload behind a valid CRC: a client bug, not line
       // noise. Answer with the error (request id unknown → 0) and drop.
@@ -137,7 +154,21 @@ void Server::ServeConnection(Connection* conn) {
       break;
     }
     util::Stopwatch timer;
-    resp = Execute(req);
+    {
+      // The request's trace envelope: installs this thread's TraceScope,
+      // ends the request (and retains its spans if sampled or slow) at
+      // scope exit. A request arriving without an id — a bare connection —
+      // gets a server-minted one.
+      obs::RequestTrace trace(req.trace_id);
+      if (trace.active()) {
+        obs::Tracer::Instance().RecordSpan(
+            trace.trace_id(), obs::SpanName::kParse,
+            obs::Tracer::NowNs() - parse_ns, parse_ns,
+            obs::SpanOutcome::kOk);
+      }
+      resp = Execute(req);
+      trace.set_outcome(OutcomeFromStatus(resp.code));
+    }
     requests_->Increment();
     request_ns_->Record(static_cast<uint64_t>(timer.ElapsedNanos()));
     if (resp.code == StatusCode::kRetryAfter) shed_->Increment();
@@ -189,6 +220,11 @@ Response Server::Execute(const Request& req) {
       // engine's global mirrors — one place to see the whole serving stack.
       resp.stats_json =
           obs::ToJson(obs::MetricRegistry::Default(), "serve.stats");
+      break;
+    case Opcode::kIntrospect:
+      resp.stats_json =
+          obs::ToJson(obs::MetricRegistry::Default(), "serve.introspect");
+      resp.traces_json = obs::Tracer::Instance().ToChromeJson();
       break;
     case Opcode::kQuery: {
       Result<std::vector<engine::NodeId>> r =

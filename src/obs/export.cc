@@ -76,6 +76,23 @@ std::string PromName(std::string_view name) {
   return out;
 }
 
+/// Prometheus HELP text escaping per the exposition format: backslash and
+/// newline are the only characters that must be escaped in help text.
+std::string PromHelpEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 const char* TypeName(MetricType type) {
   switch (type) {
     case MetricType::kCounter:
@@ -162,9 +179,12 @@ std::string ToPrometheus(const MetricRegistry& registry) {
   std::string out;
   for (const MetricSnapshot& m : registry.Snapshot()) {
     const std::string name = PromName(m.name);
-    if (!m.help.empty()) {
-      Appendf(&out, "# HELP %s %s\n", name.c_str(), m.help.c_str());
-    }
+    // HELP is emitted unconditionally (real Prometheus tooling expects the
+    // HELP/TYPE pair); metrics registered without help text fall back to
+    // their dotted source name.
+    const std::string help =
+        PromHelpEscape(m.help.empty() ? m.name : m.help);
+    Appendf(&out, "# HELP %s %s\n", name.c_str(), help.c_str());
     Appendf(&out, "# TYPE %s %s\n", name.c_str(), TypeName(m.type));
     switch (m.type) {
       case MetricType::kCounter:

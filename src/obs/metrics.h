@@ -173,6 +173,70 @@ class MetricRegistry {
   std::map<std::string, Entry, std::less<>> metrics_;
 };
 
+/// A metric mirrored across two registries — typically a component's
+/// private registry and the process-wide `MetricRegistry::Default()` — so
+/// one update lands in both. `M` is Counter, Gauge or Histogram; only the
+/// forwarders matching M's interface may be instantiated (templates are
+/// lazy), so `Mirrored<Counter>` has Increment, `Mirrored<Histogram>` has
+/// Record, `Mirrored<Gauge>` has Set/Add. Reusable by any layer that keeps
+/// per-component plus global views (engine::ConcurrentXmlDb today, the
+/// sharded-corpus work next).
+template <typename M>
+class Mirrored {
+ public:
+  Mirrored() = default;
+  Mirrored(M* local, M* global) : local_(local), global_(global) {}
+
+  /// Counter interface.
+  void Increment(uint64_t n = 1) {
+    local_->Increment(n);
+    global_->Increment(n);
+  }
+
+  /// Histogram interface.
+  void Record(uint64_t v) {
+    local_->Record(v);
+    global_->Record(v);
+  }
+
+  /// Gauge interface.
+  void Set(double v) {
+    local_->Set(v);
+    global_->Set(v);
+  }
+  void Add(double delta) {
+    local_->Add(delta);
+    global_->Add(delta);
+  }
+
+  M* local() const { return local_; }
+  M* global() const { return global_; }
+
+ private:
+  M* local_ = nullptr;
+  M* global_ = nullptr;
+};
+
+/// Registers `name` in both registries and returns the mirrored pair.
+inline Mirrored<Counter> MirrorCounter(MetricRegistry& local,
+                                       MetricRegistry& global,
+                                       std::string_view name,
+                                       std::string_view help = "") {
+  return {local.GetCounter(name, help), global.GetCounter(name, help)};
+}
+inline Mirrored<Gauge> MirrorGauge(MetricRegistry& local,
+                                   MetricRegistry& global,
+                                   std::string_view name,
+                                   std::string_view help = "") {
+  return {local.GetGauge(name, help), global.GetGauge(name, help)};
+}
+inline Mirrored<Histogram> MirrorHistogram(MetricRegistry& local,
+                                           MetricRegistry& global,
+                                           std::string_view name,
+                                           std::string_view help = "") {
+  return {local.GetHistogram(name, help), global.GetHistogram(name, help)};
+}
+
 /// Records elapsed wall-clock nanoseconds into a histogram when it goes out
 /// of scope (or at an explicit `StopAndRecord`). A null histogram disables
 /// the timer, so call sites need no branches.

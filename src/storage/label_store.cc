@@ -10,6 +10,7 @@
 #include <set>
 #include <utility>
 
+#include "obs/trace.h"
 #include "storage/io_retry.h"
 #include "util/check.h"
 #include "util/crc32c.h"
@@ -332,6 +333,7 @@ Status LabelStore::ApplyBatchGroup(
   // WAL record: replaying any durable prefix of them lands on a state some
   // prefix of the group produced. No I/O errors past this point can tear
   // the store: the WAL records below carry these exact images.
+  obs::TraceSpan stage_span(obs::SpanName::kCommitStage);
   uint64_t new_count = record_count_;
   uint64_t new_slot = slot_size_;
   std::map<uint64_t, std::vector<char>> dirty;  // page index -> full page
@@ -346,6 +348,7 @@ Status LabelStore::ApplyBatchGroup(
         new_count, new_slot, PagesFor(new_count, new_slot), dirty, touched));
   }
   if (payloads.empty()) return Status::OK();
+  stage_span.End();
 
   // Stage 2 — group commit: make every batch durable in the WAL with ONE
   // append + ONE fsync before touching any page. This is where batching
@@ -355,6 +358,7 @@ Status LabelStore::ApplyBatchGroup(
   CDBS_RETURN_NOT_OK(wal_->Sync());
 
   // Stage 3 — apply. A crash from here on is repaired by redo at reopen.
+  obs::TraceSpan apply_span(obs::SpanName::kStoreApply);
   const uint64_t total_pages = PagesFor(new_count, new_slot);
   CDBS_RETURN_NOT_OK(
       ApplyPageImages(new_count, new_slot, total_pages, dirty));

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "storage/io_retry.h"
 #include "util/crc32c.h"
 #include "util/failpoint.h"
@@ -94,6 +95,9 @@ Status Wal::AppendBatch(const std::vector<std::string_view>& payloads) {
   if (fd_ < 0) return Status::Internal("WAL not open");
   if (crashed_) return Status::IoError("WAL crashed (injected)");
   if (payloads.empty()) return Status::OK();
+  // Traced when the caller's thread carries a scope (the group-commit
+  // writer); free otherwise.
+  obs::TraceSpan span(obs::SpanName::kWalAppend);
   size_t total = 0;
   for (const std::string_view payload : payloads) {
     total += kRecordHeader + payload.size();
@@ -128,6 +132,7 @@ Status Wal::AppendBatch(const std::vector<std::string_view>& payloads) {
 Status Wal::Sync() {
   if (fd_ < 0) return Status::Internal("WAL not open");
   if (crashed_) return Status::IoError("WAL crashed (injected)");
+  obs::TraceSpan span(obs::SpanName::kWalFsync);
   if (CDBS_FAILPOINT("wal.sync.crash")) {
     crashed_ = true;
     return Status::IoError("injected crash: WAL sync");

@@ -14,6 +14,7 @@
 #include "net/protocol.h"
 #include "net/server.h"
 #include "net/socket_io.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/failpoint.h"
 #include "util/status.h"
@@ -29,8 +30,10 @@ using engine::NodeId;
 // Protocol: payload (de)serialization
 
 TEST(ProtocolTest, RequestRoundtripsEveryOpcode) {
-  for (Opcode op : {Opcode::kPing, Opcode::kQuery, Opcode::kInsertBefore,
-                    Opcode::kInsertAfter, Opcode::kDelete, Opcode::kStats}) {
+  for (Opcode op :
+       {Opcode::kPing, Opcode::kQuery, Opcode::kInsertBefore,
+        Opcode::kInsertAfter, Opcode::kDelete, Opcode::kStats,
+        Opcode::kIntrospect}) {
     Request req;
     req.op = op;
     req.request_id = 0x1122334455667788ull;
@@ -38,12 +41,14 @@ TEST(ProtocolTest, RequestRoundtripsEveryOpcode) {
     req.xpath = "//b[1]/c";
     req.target = 0xDEADBEEFull;
     req.tag = "element-tag";
+    req.trace_id = 0xA1B2C3D4E5F60718ull;
     Request out;
     ASSERT_TRUE(DecodeRequest(EncodeRequest(req), &out).ok())
         << "opcode " << static_cast<int>(op);
     EXPECT_EQ(out.op, req.op);
     EXPECT_EQ(out.request_id, req.request_id);
     EXPECT_EQ(out.deadline_ms, req.deadline_ms);
+    EXPECT_EQ(out.trace_id, req.trace_id);
     // Op-specific fields survive exactly where they matter.
     if (op == Opcode::kQuery) {
       EXPECT_EQ(out.xpath, req.xpath);
@@ -153,10 +158,45 @@ TEST(ProtocolTest, OversizedFrameLengthIsCorruptionNotAllocation) {
             StatusCode::kCorruption);
 }
 
+TEST(ProtocolTest, TraceIdIsAnOptionalTrailingField) {
+  // A request encoded without a trace id (trace_id == 0 omits the field)
+  // is byte-identical to the pre-tracing wire format; decoders from either
+  // side of the upgrade interoperate.
+  Request plain;
+  plain.op = Opcode::kQuery;
+  plain.xpath = "//b";
+  Request out;
+  out.trace_id = 0xFFFFFFFFFFFFFFFFull;  // must be overwritten, not kept
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(plain), &out).ok());
+  EXPECT_EQ(out.trace_id, 0u);
+
+  Request traced = plain;
+  traced.trace_id = 0x0123456789ABCDEFull;
+  const std::string with_id = EncodeRequest(traced);
+  EXPECT_EQ(with_id.size(), EncodeRequest(plain).size() + 8)
+      << "trace id must cost exactly one trailing u64";
+  ASSERT_TRUE(DecodeRequest(with_id, &out).ok());
+  EXPECT_EQ(out.trace_id, traced.trace_id);
+}
+
+TEST(ProtocolTest, IntrospectResponseRoundtripsBothJsonBodies) {
+  Response resp;
+  resp.request_id = 11;
+  resp.op = Opcode::kIntrospect;
+  resp.code = StatusCode::kOk;
+  resp.stats_json = "{\"metrics\":[]}";
+  resp.traces_json = "{\"traceEvents\":[]}";
+  Response out;
+  ASSERT_TRUE(DecodeResponse(EncodeResponse(resp), &out).ok());
+  EXPECT_EQ(out.stats_json, resp.stats_json);
+  EXPECT_EQ(out.traces_json, resp.traces_json);
+}
+
 TEST(ProtocolTest, IdempotencyClassification) {
   EXPECT_TRUE(IsIdempotent(Opcode::kPing));
   EXPECT_TRUE(IsIdempotent(Opcode::kQuery));
   EXPECT_TRUE(IsIdempotent(Opcode::kStats));
+  EXPECT_TRUE(IsIdempotent(Opcode::kIntrospect));
   EXPECT_FALSE(IsIdempotent(Opcode::kInsertBefore));
   EXPECT_FALSE(IsIdempotent(Opcode::kInsertAfter));
   EXPECT_FALSE(IsIdempotent(Opcode::kDelete));
@@ -460,6 +500,75 @@ TEST_F(NetTest, DroppedConnectionFailsReadsAfterRetriesNotHangs) {
   EXPECT_LT(elapsed.count(), 30) << "retry loop must stay bounded";
   util::Failpoints::Deactivate("net.conn.drop");
   EXPECT_TRUE((*client)->Ping().ok());
+}
+
+// --------------------------------------------------------------------------
+// Request tracing over the wire
+
+/// Scopes tracer configuration to a test: samples everything on entry,
+/// restores the all-off default (and drops retained traces) on exit so the
+/// rest of the suite runs untraced regardless of ordering.
+class ScopedSampledTracing {
+ public:
+  ScopedSampledTracing() {
+    obs::TraceOptions opts;
+    opts.sample_every = 1;
+    opts.retain = 16;
+    obs::Tracer::Instance().Clear();
+    obs::Tracer::Instance().Configure(opts);
+  }
+  ~ScopedSampledTracing() {
+    obs::Tracer::Instance().Configure(obs::TraceOptions{});
+    obs::Tracer::Instance().Clear();
+  }
+};
+
+TEST_F(NetTest, RetriedReadKeepsItsTraceIdAcrossAttempts) {
+  // One response frame is torn in flight. The client detects the CRC
+  // mismatch, reconnects, and resends the idempotent read under the SAME
+  // trace id (a retry is the same request, not a new one) — so the
+  // retained trace shows both attempts under one entry.
+  ScopedSampledTracing tracing;
+  auto client = CdbsClient::Connect(ClientFor());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Ping().ok());
+  ASSERT_TRUE(
+      util::Failpoints::Activate("net.frame.corrupt", "oneshot").ok());
+  Result<std::vector<uint64_t>> read = (*client)->Query("//b");
+  util::Failpoints::Deactivate("net.frame.corrupt");
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  EXPECT_GE((*client)->retries(), 1u);
+
+  const uint64_t id = (*client)->last_trace_id();
+  ASSERT_NE(id, 0u);
+  bool found = false;
+  for (const obs::RetainedTrace& trace :
+       obs::Tracer::Instance().Retained()) {
+    if (trace.trace_id != id) continue;
+    found = true;
+    EXPECT_GE(trace.attempts, 2u);
+    size_t evals = 0;
+    for (const obs::Span& span : trace.spans) {
+      if (span.name == obs::SpanName::kEval) ++evals;
+    }
+    EXPECT_GE(evals, 2u) << "both server-side executions must be visible";
+  }
+  EXPECT_TRUE(found) << "no retained trace for the client's last request";
+}
+
+TEST_F(NetTest, IntrospectReturnsMetricsAndTracesOverTheWire) {
+  ScopedSampledTracing tracing;
+  auto client = CdbsClient::Connect(ClientFor());
+  ASSERT_TRUE(client.ok());
+  // Generate one traced request so the introspection has an event to show.
+  ASSERT_TRUE((*client)->Query("//b").ok());
+  Result<CdbsClient::Introspection> info = (*client)->Introspect();
+  ASSERT_TRUE(info.ok()) << info.status().message();
+  EXPECT_NE(info->stats_json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(info->stats_json.find("serve.requests"), std::string::npos);
+  EXPECT_NE(info->traces_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(info->traces_json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(info->traces_json.find("\"name\":\"eval\""), std::string::npos);
 }
 
 }  // namespace

@@ -2,12 +2,14 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cdbs::obs {
 namespace {
@@ -343,6 +345,107 @@ TEST(WriteJsonFileTest, RoundTrips) {
   std::remove(path.c_str());
   EXPECT_EQ(content, ToJson(ExporterFixtureRegistry(), "file_test"));
   ExpectBalancedJson(content);
+}
+
+TEST(MirroredMetricTest, UpdatesLandInBothRegistries) {
+  MetricRegistry local;
+  MetricRegistry global;
+  Mirrored<Counter> counter = MirrorCounter(local, global, "m.count", "help");
+  counter.Increment(3);
+  EXPECT_EQ(local.GetCounter("m.count")->value(), 3u);
+  EXPECT_EQ(global.GetCounter("m.count")->value(), 3u);
+  EXPECT_EQ(counter.local(), local.GetCounter("m.count"));
+  EXPECT_EQ(counter.global(), global.GetCounter("m.count"));
+
+  Mirrored<Histogram> hist = MirrorHistogram(local, global, "m.hist");
+  hist.Record(42);
+  hist.Record(7);
+  EXPECT_EQ(local.GetHistogram("m.hist")->count(), 2u);
+  EXPECT_EQ(global.GetHistogram("m.hist")->sum(), 49u);
+
+  Mirrored<Gauge> gauge = MirrorGauge(local, global, "m.gauge");
+  gauge.Set(2.0);
+  gauge.Add(0.5);
+  EXPECT_DOUBLE_EQ(local.GetGauge("m.gauge")->value(), 2.5);
+  EXPECT_DOUBLE_EQ(global.GetGauge("m.gauge")->value(), 2.5);
+}
+
+TEST(PrometheusExportTest, HelpLinesAlwaysPresentAndEscaped) {
+  MetricRegistry reg;
+  reg.GetCounter("h.with_help", "counts\nthings with \\ slashes")
+      ->Increment(1);
+  reg.GetCounter("h.without_help")->Increment(2);
+  const std::string text = ToPrometheus(reg);
+  // Help text survives with newline/backslash escaped per the exposition
+  // format; a metric registered without help falls back to its source name.
+  EXPECT_NE(
+      text.find("# HELP cdbs_h_with_help counts\\nthings with \\\\ slashes"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP cdbs_h_without_help h.without_help"),
+            std::string::npos)
+      << text;
+  // Every metric has a HELP/TYPE pair.
+  EXPECT_NE(text.find("# HELP cdbs_h_with_help"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cdbs_h_with_help counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cdbs_h_without_help counter"),
+            std::string::npos);
+}
+
+// --- trace knobs ---------------------------------------------------------
+
+TEST(TraceKnobTest, StrictParsingRejectsGarbage) {
+  // Mirrors the bench EnvKnob convention: whole-string parse or bust, with
+  // the difference that 0 is a valid value (it means "off").
+  uint64_t v = 7;
+  EXPECT_TRUE(Tracer::ParseKnob("K", nullptr, &v));  // unset keeps default
+  EXPECT_EQ(v, 7u);
+  EXPECT_TRUE(Tracer::ParseKnob("K", "", &v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_TRUE(Tracer::ParseKnob("K", "0", &v));
+  EXPECT_EQ(v, 0u);
+  v = 7;
+  EXPECT_TRUE(Tracer::ParseKnob("K", "123", &v));
+  EXPECT_EQ(v, 123u);
+  v = 7;
+  EXPECT_FALSE(Tracer::ParseKnob("K", "12x", &v));  // trailing junk
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(Tracer::ParseKnob("K", "x12", &v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(Tracer::ParseKnob("K", "-1", &v));  // negative
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(Tracer::ParseKnob("K", "1.5", &v));  // fractional
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(Tracer::ParseKnob("K", " 5", &v));  // leading space
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(TraceKnobTest, OptionsFromEnvParsesAndDefaults) {
+  ::setenv("CDBS_TRACE_SAMPLE", "4", 1);
+  ::setenv("CDBS_TRACE_SLOW_MS", "250", 1);
+  ::setenv("CDBS_TRACE_RETAIN", "9", 1);
+  TraceOptions opts = Tracer::OptionsFromEnv();
+  EXPECT_EQ(opts.sample_every, 4u);
+  EXPECT_EQ(opts.slow_ms, 250u);
+  EXPECT_EQ(opts.retain, 9u);
+
+  // Garbage falls back to defaults with a warning, per the PR-1 EnvKnob
+  // convention — it must never abort or half-apply.
+  ::setenv("CDBS_TRACE_SAMPLE", "fast", 1);
+  ::setenv("CDBS_TRACE_SLOW_MS", "10ms", 1);
+  ::setenv("CDBS_TRACE_RETAIN", "0", 1);  // 0 retained is clamped to 1
+  opts = Tracer::OptionsFromEnv();
+  EXPECT_EQ(opts.sample_every, 0u);
+  EXPECT_EQ(opts.slow_ms, 0u);
+  EXPECT_EQ(opts.retain, 1u);
+
+  ::unsetenv("CDBS_TRACE_SAMPLE");
+  ::unsetenv("CDBS_TRACE_SLOW_MS");
+  ::unsetenv("CDBS_TRACE_RETAIN");
+  opts = Tracer::OptionsFromEnv();
+  EXPECT_EQ(opts.sample_every, 0u);
+  EXPECT_EQ(opts.slow_ms, 0u);
+  EXPECT_EQ(opts.retain, 32u);
 }
 
 TEST(DefaultRegistryTest, IsSingletonAndUsable) {
