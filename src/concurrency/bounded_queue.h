@@ -99,6 +99,31 @@ class BoundedQueue {
     return n;
   }
 
+  /// Deadline-bounded PopBatch: waits for an item only until `deadline`.
+  /// Returns the number popped; 0 with `*closed_out` unset means the wait
+  /// timed out with the queue still open (the consumer can do idle work —
+  /// e.g. the replication sender's heartbeat — and come back), 0 with
+  /// `*closed_out` set means closed-and-drained.
+  size_t PopBatchUntil(std::vector<T>* out, size_t max_items,
+                       util::Deadline deadline, bool* closed_out = nullptr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto ready = [this] { return closed_ || !items_.empty(); };
+    if (deadline.infinite()) {
+      not_empty_.wait(lock, ready);
+    } else {
+      not_empty_.wait_until(lock, deadline.time_point(), ready);
+    }
+    const size_t n = items_.size() < max_items ? items_.size() : max_items;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (closed_out != nullptr) *closed_out = closed_ && items_.empty();
+    lock.unlock();
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
   /// Closes the queue: subsequent pushes fail, blocked pushers wake and
   /// fail, and consumers drain what remains before PopBatch returns 0.
   void Close() {

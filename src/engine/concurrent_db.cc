@@ -12,26 +12,63 @@
 
 namespace cdbs::engine {
 
+namespace {
+
+/// Opens the replication log against the db's private registry when the
+/// options ask for one; nullptr (replication off) otherwise.
+Result<std::unique_ptr<repl::ReplicationLog>> OpenReplLog(
+    obs::MetricRegistry* registry, const ConcurrentXmlDbOptions& options) {
+  if (options.replication_log_path.empty()) {
+    return std::unique_ptr<repl::ReplicationLog>();
+  }
+  repl::ReplicationLogOptions log_options;
+  log_options.retain_bytes = options.replication_retain_bytes;
+  auto log = std::make_unique<repl::ReplicationLog>(registry, log_options);
+  CDBS_RETURN_NOT_OK(log->Open(options.replication_log_path));
+  return log;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ConcurrentXmlDb>> ConcurrentXmlDb::Open(
     xml::Document doc, const ConcurrentXmlDbOptions& options) {
   Result<std::unique_ptr<XmlDb>> db = XmlDb::Open(std::move(doc), options.db);
   if (!db.ok()) return db.status();
-  return std::unique_ptr<ConcurrentXmlDb>(
-      new ConcurrentXmlDb(std::move(db).value(), options));
+  Result<std::unique_ptr<repl::ReplicationLog>> log =
+      OpenReplLog(&(*db)->registry_, options);
+  if (!log.ok()) return log.status();
+  return std::unique_ptr<ConcurrentXmlDb>(new ConcurrentXmlDb(
+      std::move(db).value(), std::move(log).value(), options));
 }
 
 Result<std::unique_ptr<ConcurrentXmlDb>> ConcurrentXmlDb::OpenFromXml(
     std::string_view xml, const ConcurrentXmlDbOptions& options) {
   Result<std::unique_ptr<XmlDb>> db = XmlDb::OpenFromXml(xml, options.db);
   if (!db.ok()) return db.status();
-  return std::unique_ptr<ConcurrentXmlDb>(
-      new ConcurrentXmlDb(std::move(db).value(), options));
+  Result<std::unique_ptr<repl::ReplicationLog>> log =
+      OpenReplLog(&(*db)->registry_, options);
+  if (!log.ok()) return log.status();
+  return std::unique_ptr<ConcurrentXmlDb>(new ConcurrentXmlDb(
+      std::move(db).value(), std::move(log).value(), options));
+}
+
+Result<std::unique_ptr<ConcurrentXmlDb>> ConcurrentXmlDb::OpenFromImage(
+    const BootstrapSpec& spec, const ConcurrentXmlDbOptions& options) {
+  Result<std::unique_ptr<XmlDb>> db = XmlDb::OpenFromBootstrap(spec, options.db);
+  if (!db.ok()) return db.status();
+  Result<std::unique_ptr<repl::ReplicationLog>> log =
+      OpenReplLog(&(*db)->registry_, options);
+  if (!log.ok()) return log.status();
+  return std::unique_ptr<ConcurrentXmlDb>(new ConcurrentXmlDb(
+      std::move(db).value(), std::move(log).value(), options));
 }
 
 ConcurrentXmlDb::ConcurrentXmlDb(std::unique_ptr<XmlDb> db,
+                                 std::unique_ptr<repl::ReplicationLog> repl_log,
                                  const ConcurrentXmlDbOptions& options)
     : options_(options),
       db_(std::move(db)),
+      repl_log_(std::move(repl_log)),
       snapshots_(db_->labeled().Fork()),
       write_queue_(options.write_queue_capacity) {
   obs::MetricRegistry& local = db_->registry_;
@@ -178,7 +215,7 @@ std::future<Result<std::vector<NodeId>>> ConcurrentXmlDb::SubmitQuery(
 
 bool ConcurrentXmlDb::EnqueueWrite(WriteRequest req, bool blocking,
                                    bool* accepted) {
-  const bool is_delete = req.kind == WriteRequest::Kind::kDelete;
+  const WriteRequest::Kind kind = req.kind;
   // Trace attribution rides in from the submitting thread's scope; the
   // admission span covers this function (the queue push or its bounce).
   req.trace_id = obs::TraceScope::current();
@@ -221,8 +258,10 @@ bool ConcurrentXmlDb::EnqueueWrite(WriteRequest req, bool blocking,
                               ? obs::SpanOutcome::kDeadline
                               : obs::SpanOutcome::kError);
     // `req` is untouched on a failed push; fail its promise in place.
-    if (is_delete) {
+    if (kind == WriteRequest::Kind::kDelete) {
       req.delete_promise.set_value(rejection);
+    } else if (kind == WriteRequest::Kind::kSnapshot) {
+      req.snapshot_promise.set_value(rejection);
     } else {
       req.insert_promise.set_value(rejection);
     }
@@ -346,6 +385,25 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
   // Chaos/test hook: arm with a delay= spec to slow the writer, filling
   // the submission queue (deterministic overload and deadline-expiry).
   static_cast<void>(CDBS_FAILPOINT("engine.concurrent.write.delay"));
+
+  // Bootstrap snapshots are answered at the group boundary, BEFORE this
+  // group mutates anything: the serialized document then corresponds
+  // exactly to commit_lsn_ — every op at or below it applied, none above
+  // it — which is the invariant a bootstrapping follower depends on.
+  for (WriteRequest& req : *group) {
+    if (req.kind != WriteRequest::Kind::kSnapshot) continue;
+    if (req.deadline.expired()) {
+      deadline_exceeded_.Increment();
+      req.snapshot_promise.set_value(Status::DeadlineExceeded(
+          "bootstrap deadline expired while queued"));
+      continue;
+    }
+    BootstrapImage image;
+    image.spec = db_->CaptureBootstrapSpec();
+    image.lsn = commit_lsn_.load(std::memory_order_acquire);
+    image.epoch = repl_log_ != nullptr ? repl_log_->epoch() : 0;
+    req.snapshot_promise.set_value(std::move(image));
+  }
   std::vector<PendingInsert> pending;
   std::vector<storage::StoreBatch> batches;
   std::vector<std::optional<Result<NodeId>>> insert_results(n);
@@ -358,6 +416,7 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
   obs::TraceSpan phase1_span(obs::SpanName::kCommitPhase1);
   for (size_t i = 0; i < n; ++i) {
     WriteRequest& req = (*group)[i];
+    if (req.kind == WriteRequest::Kind::kSnapshot) continue;  // handled above
     write_wait_ns_.Record(static_cast<uint64_t>(req.queued.ElapsedNanos()));
     if (req.deadline.expired()) {
       // Expired while queued: shed before it costs writer time. The
@@ -418,6 +477,57 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
     }
   }
 
+  // Replication: the committed effects of this group — inserts that
+  // persisted, deletions that removed something — become one LSN-stamped
+  // record, appended post-fsync and handed to the sender's sink BEFORE any
+  // client promise resolves. An acknowledged write is therefore always in
+  // the replication stream (and, with a sync-mode sink, already
+  // acknowledged by every healthy follower).
+  if (repl_log_ != nullptr && mutated) {
+    std::vector<repl::ReplOp> ops;
+    ops.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const WriteRequest& req = (*group)[i];
+      repl::ReplOp op;
+      op.target = req.target;
+      if (req.kind == WriteRequest::Kind::kDelete) {
+        if (!delete_results[i].has_value() || !delete_results[i]->ok() ||
+            **delete_results[i] == 0) {
+          continue;
+        }
+        op.kind = repl::ReplOp::Kind::kDelete;
+        op.new_id = **delete_results[i];
+      } else if (req.kind == WriteRequest::Kind::kInsertBefore ||
+                 req.kind == WriteRequest::Kind::kInsertAfter) {
+        if (!insert_results[i].has_value() || !insert_results[i]->ok()) {
+          continue;
+        }
+        op.kind = req.kind == WriteRequest::Kind::kInsertBefore
+                      ? repl::ReplOp::Kind::kInsertBefore
+                      : repl::ReplOp::Kind::kInsertAfter;
+        op.new_id = **insert_results[i];
+        op.tag = req.tag;
+      } else {
+        continue;
+      }
+      ops.push_back(std::move(op));
+    }
+    if (!ops.empty()) {
+      Result<uint64_t> lsn = repl_log_->Append(ops);
+      if (lsn.ok()) {
+        commit_lsn_.store(*lsn, std::memory_order_release);
+        std::lock_guard<std::mutex> lock(sink_mu_);
+        if (commit_sink_) {
+          commit_sink_(repl::ReplRecord{*lsn, std::move(ops)});
+        }
+      }
+      // An append failure leaves a gap no follower can stream across; the
+      // next record a live follower sees will fail to apply (its target id
+      // is missing) and force a self-healing re-bootstrap. Rare enough
+      // (local-disk I/O error) that the simple path wins.
+    }
+  }
+
   // Publish the post-group snapshot before resolving any promise, so a
   // client that waits on its future then queries is guaranteed to see its
   // own write (read-your-writes across the two pipelines).
@@ -427,6 +537,7 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
   commit_batch_.Record(n);
   for (size_t i = 0; i < n; ++i) {
     WriteRequest& req = (*group)[i];
+    if (req.kind == WriteRequest::Kind::kSnapshot) continue;  // resolved above
     write_ns_.Record(static_cast<uint64_t>(req.queued.ElapsedNanos()));
     if (req.kind == WriteRequest::Kind::kDelete) {
       req.delete_promise.set_value(std::move(*delete_results[i]));
@@ -434,6 +545,22 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
       req.insert_promise.set_value(std::move(*insert_results[i]));
     }
   }
+}
+
+void ConcurrentXmlDb::SetCommitSink(
+    std::function<void(const repl::ReplRecord&)> sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  commit_sink_ = std::move(sink);
+}
+
+Result<BootstrapImage> ConcurrentXmlDb::CaptureBootstrap(
+    util::Deadline deadline) {
+  WriteRequest req;
+  req.kind = WriteRequest::Kind::kSnapshot;
+  req.deadline = deadline;
+  std::future<Result<BootstrapImage>> fut = req.snapshot_promise.get_future();
+  EnqueueWrite(std::move(req), /*blocking=*/true, nullptr);
+  return fut.get();
 }
 
 uint64_t ConcurrentXmlDb::RetryAfterHintMillis() const {

@@ -2,6 +2,7 @@
 #define CDBS_ENGINE_CONCURRENT_DB_H_
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,7 @@
 #include "engine/xml_db.h"
 #include "obs/metrics.h"
 #include "query/tag_index.h"
+#include "repl/replication.h"
 #include "util/deadline.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -46,6 +48,24 @@ struct ConcurrentXmlDbOptions {
   size_t write_queue_capacity = 256;
   /// Most write requests folded into one group commit (one store fsync).
   size_t group_commit_limit = 64;
+  /// When non-empty, every committed group is also appended — post-fsync —
+  /// to a repl::ReplicationLog at this path, and the database exposes a
+  /// monotonically increasing commit LSN plus a commit sink for the
+  /// replication sender (docs/REPLICATION.md). Empty = replication off.
+  std::string replication_log_path;
+  /// Retention bound for the replication log (see ReplicationLogOptions).
+  uint64_t replication_retain_bytes = 4ull << 20;
+};
+
+/// A consistent (document, LSN) pair captured between group commits — what
+/// a snapshot bootstrap ships to a follower too far behind the log. The
+/// spec carries the id-space history (not just the serialized tree) so the
+/// follower rebuilds a bit-identical id space and the logical op stream
+/// keeps applying cleanly after the bootstrap (see XmlDb::OpenFromBootstrap).
+struct BootstrapImage {
+  BootstrapSpec spec;
+  uint64_t lsn = 0;
+  uint64_t epoch = 0;
 };
 
 /// A concurrently-servable XML database.
@@ -64,6 +84,12 @@ class ConcurrentXmlDb {
       xml::Document doc, const ConcurrentXmlDbOptions& options);
   static Result<std::unique_ptr<ConcurrentXmlDb>> OpenFromXml(
       std::string_view xml, const ConcurrentXmlDbOptions& options);
+
+  /// Rebuilds a replica database from a bootstrap spec captured on the
+  /// primary, preserving the primary's node-id space exactly (see
+  /// XmlDb::OpenFromBootstrap). Corruption when the spec is inconsistent.
+  static Result<std::unique_ptr<ConcurrentXmlDb>> OpenFromImage(
+      const BootstrapSpec& spec, const ConcurrentXmlDbOptions& options);
 
   ~ConcurrentXmlDb();
 
@@ -163,6 +189,31 @@ class ConcurrentXmlDb {
   /// responses so clients back off proportionally to actual load.
   uint64_t RetryAfterHintMillis() const;
 
+  // --- replication (primary side; see docs/REPLICATION.md) ---
+
+  /// The replication log, or nullptr when `replication_log_path` was empty.
+  repl::ReplicationLog* replication_log() { return repl_log_.get(); }
+
+  /// LSN of the most recently committed-and-logged group (0 = none, or
+  /// replication off). Monotonic; safe from any thread.
+  uint64_t commit_lsn() const {
+    return commit_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Installs the post-commit sink the writer invokes — after the group's
+  /// fsync and its replication-log append, before resolving any client
+  /// promise — with each committed record. The sender uses it to fan
+  /// records out to follower buffers (and, in sync mode, to block the
+  /// commit until followers acknowledge). Pass nullptr to detach.
+  void SetCommitSink(std::function<void(const repl::ReplRecord&)> sink);
+
+  /// Captures a consistent (document XML, commit LSN) pair by running a
+  /// snapshot request through the write pipeline: the writer serializes
+  /// the document at a group boundary, so the image reflects exactly the
+  /// ops in LSNs [1, image.lsn] — the contract a bootstrapping follower
+  /// relies on. Blocks while the submission queue is full.
+  Result<BootstrapImage> CaptureBootstrap(util::Deadline deadline = {});
+
   /// Point-in-time stats assembled from the latest snapshot plus the
   /// underlying database's counters (all atomics — safe any time).
   XmlDbStats Stats() const;
@@ -171,6 +222,12 @@ class ConcurrentXmlDb {
   /// `engine.concurrent.*` metrics. Safe to snapshot from any thread.
   const obs::MetricRegistry& metrics() const { return db_->metrics(); }
 
+  /// Mutable view of the same registry, for attached layers (the
+  /// replication sender/follower) that register their `repl.*` metrics
+  /// alongside the engine's so kIntrospect and the Prometheus export carry
+  /// them. Registration-only: do not reset through this.
+  obs::MetricRegistry& registry() { return db_->registry_; }
+
   /// Direct access to the underlying database. Only safe while no reads or
   /// writes are in flight — i.e. after Shutdown() — for end-of-run
   /// verification (ToXml, exhaustive consistency checks).
@@ -178,13 +235,14 @@ class ConcurrentXmlDb {
 
  private:
   struct WriteRequest {
-    enum class Kind { kInsertBefore, kInsertAfter, kDelete };
+    enum class Kind { kInsertBefore, kInsertAfter, kDelete, kSnapshot };
     Kind kind = Kind::kInsertAfter;
     NodeId target = 0;
     std::string tag;
     util::Deadline deadline;  // infinite unless the caller set one
     std::promise<Result<NodeId>> insert_promise;
     std::promise<Result<uint64_t>> delete_promise;
+    std::promise<Result<BootstrapImage>> snapshot_promise;  // kSnapshot
     util::Stopwatch queued;  // started at submission, for latency metrics
     /// Trace attribution (obs/trace.h): captured from the submitting
     /// thread's TraceScope so the writer can fan group spans (wal.fsync,
@@ -194,6 +252,7 @@ class ConcurrentXmlDb {
   };
 
   ConcurrentXmlDb(std::unique_ptr<XmlDb> db,
+                  std::unique_ptr<repl::ReplicationLog> repl_log,
                   const ConcurrentXmlDbOptions& options);
 
   std::future<Result<NodeId>> SubmitInsert(WriteRequest::Kind kind,
@@ -209,6 +268,10 @@ class ConcurrentXmlDb {
 
   ConcurrentXmlDbOptions options_;
   std::unique_ptr<XmlDb> db_;  // mutated only by the writer thread
+  std::unique_ptr<repl::ReplicationLog> repl_log_;  // null = replication off
+  std::atomic<uint64_t> commit_lsn_{0};
+  std::mutex sink_mu_;  // guards commit_sink_ (set at attach, read per group)
+  std::function<void(const repl::ReplRecord&)> commit_sink_;
   concurrency::SnapshotManager<query::LabeledDocument> snapshots_;
   concurrency::BoundedQueue<WriteRequest> write_queue_;
   std::unique_ptr<concurrency::ThreadPool> readers_;

@@ -1,5 +1,7 @@
 #include "engine/xml_db.h"
 
+#include <functional>
+#include <unordered_map>
 #include <utility>
 
 #include "labeling/registry.h"
@@ -16,6 +18,7 @@ XmlDb::XmlDb(xml::Document doc,
     : doc_(std::move(doc)), scheme_(std::move(scheme)) {
   labeled_ = std::make_unique<query::LabeledDocument>(doc_, *scheme_);
   node_of_id_ = doc_.NodesInDocumentOrder();
+  original_count_ = node_of_id_.size();
 
   insertions_ = registry_.GetCounter("engine.inserts", "Element insertions");
   deletions_ = registry_.GetCounter("engine.deletes", "Nodes removed");
@@ -63,6 +66,264 @@ Result<std::unique_ptr<XmlDb>> XmlDb::OpenFromXml(
   Result<xml::Document> parsed = xml::ParseXml(xml);
   if (!parsed.ok()) return parsed.status();
   return Open(std::move(parsed).value(), options);
+}
+
+BootstrapSpec XmlDb::CaptureBootstrapSpec() const {
+  BootstrapSpec spec;
+  spec.xml = ToXml();
+  spec.original_count = original_count_;
+  spec.next_id = node_of_id_.size();
+  std::unordered_map<const xml::Node*, NodeId> id_of;
+  id_of.reserve(node_of_id_.size());
+  for (size_t i = 0; i < node_of_id_.size(); ++i) {
+    id_of.emplace(node_of_id_[i], static_cast<NodeId>(i));
+  }
+  const std::vector<xml::Node*> order = doc_.NodesInDocumentOrder();
+  spec.ids.reserve(order.size());
+  for (const xml::Node* node : order) spec.ids.push_back(id_of.at(node));
+  return spec;
+}
+
+Result<std::unique_ptr<XmlDb>> XmlDb::OpenFromBootstrap(
+    const BootstrapSpec& spec, const XmlDbOptions& options) {
+  Result<xml::Document> parsed = xml::ParseXml(spec.xml);
+  if (!parsed.ok()) return parsed.status();
+  const std::vector<xml::Node*> order = parsed->NodesInDocumentOrder();
+  const size_t n = order.size();
+  if (n == 0 || spec.ids.size() != n) {
+    return Status::Corruption("bootstrap spec: id list does not match tree");
+  }
+  // Fast path: the source never saw an update, so document order IS id
+  // order and a plain open mints the identical id space.
+  bool identity = spec.next_id == n;
+  for (size_t i = 0; identity && i < n; ++i) identity = spec.ids[i] == i;
+  if (identity) return Open(std::move(parsed).value(), options);
+
+  const uint64_t n0 = spec.original_count;
+  const uint64_t next_id = spec.next_id;
+  if (n0 == 0 || n0 > next_id) {
+    return Status::Corruption("bootstrap spec: bad original_count");
+  }
+  std::vector<xml::Node*> node_at(next_id, nullptr);  // id -> parsed node
+  std::unordered_map<const xml::Node*, NodeId> id_at;  // parsed node -> id
+  id_at.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId id = spec.ids[i];
+    if (id >= next_id || node_at[id] != nullptr) {
+      return Status::Corruption("bootstrap spec: id duplicated or out of range");
+    }
+    node_at[id] = order[i];
+    id_at.emplace(order[i], id);
+    // Post-open mutations are sibling element inserts and subtree deletes
+    // only, so every node inserted after open is a leaf element forever;
+    // interior and text nodes must be originals.
+    if (id >= n0 &&
+        (!order[i]->is_element() || !order[i]->children().empty())) {
+      return Status::Corruption("bootstrap spec: inserted node is interior");
+    }
+  }
+  if (id_at.at(order[0]) != 0) {
+    return Status::Corruption("bootstrap spec: root id is not 0");
+  }
+  // Surviving originals in document order. Sibling inserts never reorder
+  // originals and deletes only remove, so their ids must still be strictly
+  // increasing — each survivor's id is its pre-order rank at open time.
+  std::vector<xml::Node*> survivors;
+  for (xml::Node* node : order) {
+    if (id_at.at(node) < n0) survivors.push_back(node);
+  }
+  for (size_t i = 1; i < survivors.size(); ++i) {
+    if (id_at.at(survivors[i - 1]) >= id_at.at(survivors[i])) {
+      return Status::Corruption("bootstrap spec: originals out of id order");
+    }
+  }
+
+  // --- Stage 1: rebuild the open-time document shape. ---
+  // Labels assign ids by pre-order rank at open, so the base document must
+  // put every surviving original at exactly its original rank. It contains
+  // the survivors (their hierarchy is intact: an original's parent is
+  // always an original) plus disposable gap dummies standing in for the
+  // deleted originals' ranks.
+  xml::Document base;
+  std::unordered_map<const xml::Node*, xml::Node*> base_of;  // parsed -> base
+  base_of.reserve(survivors.size());
+  std::function<void(xml::Node*, xml::Node*)> clone_originals =
+      [&](xml::Node* src, xml::Node* parent) {
+        xml::Node* fresh;
+        if (parent == nullptr) {
+          fresh = base.CreateRoot(src->name());
+        } else if (src->is_text()) {
+          fresh = base.CreateText(src->text());
+          base.AppendChild(parent, fresh);
+        } else {
+          fresh = base.CreateElement(src->name());
+          base.AppendChild(parent, fresh);
+        }
+        for (const auto& attr : src->attributes()) {
+          fresh->SetAttribute(attr.first, attr.second);
+        }
+        base_of.emplace(src, fresh);
+        for (xml::Node* child : src->children()) {
+          if (id_at.at(child) < n0) clone_originals(child, fresh);
+        }
+      };
+  clone_originals(order[0], nullptr);
+
+  constexpr const char* kGapTag = "cdbs-bootstrap-gap";
+  std::vector<xml::Node*> gap_nodes;  // base dummies, deleted in stage 3
+  // Replay can only insert siblings, so a parent whose original children
+  // were all deleted could never receive its first (inserted) child back.
+  // Such a parent is guaranteed a gap at rank id+1 — its deleted original
+  // first child — and that one dummy is seeded as the parent's first
+  // child. Every other dummy in a gap goes immediately before the next
+  // surviving original (or, past the last survivor, at the end of the
+  // root), where leaves occupy exactly the consecutive pre-order ranks.
+  std::unordered_map<const xml::Node*, xml::Node*> seed_of;  // parsed parent
+  auto fill_gap = [&](xml::Node* after, xml::Node* before) -> Status {
+    const uint64_t lo = id_at.at(after);
+    const uint64_t hi = before != nullptr ? id_at.at(before) : n0;
+    uint64_t need = hi - lo - 1;
+    if (need == 0) return Status::OK();
+    bool seed = !after->children().empty();
+    for (xml::Node* child : after->children()) {
+      if (seed && id_at.at(child) < n0) seed = false;
+    }
+    if (seed) {
+      xml::Node* dummy = base.CreateElement(kGapTag);
+      base.InsertChildAt(base_of.at(after), 0, dummy);
+      gap_nodes.push_back(dummy);
+      seed_of.emplace(after, dummy);
+      --need;
+    }
+    if (before != nullptr) {
+      xml::Node* anchor = base_of.at(before);
+      xml::Node* parent = anchor->parent();
+      if (parent == nullptr) {
+        return Status::Corruption("bootstrap spec: survivor lost its parent");
+      }
+      const size_t index = parent->IndexOfChild(anchor);
+      for (uint64_t j = 0; j < need; ++j) {
+        xml::Node* dummy = base.CreateElement(kGapTag);
+        base.InsertChildAt(parent, index + j, dummy);
+        gap_nodes.push_back(dummy);
+      }
+    } else {
+      for (uint64_t j = 0; j < need; ++j) {
+        xml::Node* dummy = base.CreateElement(kGapTag);
+        base.AppendChild(base.root(), dummy);
+        gap_nodes.push_back(dummy);
+      }
+    }
+    return Status::OK();
+  };
+  for (size_t i = 0; i + 1 < survivors.size(); ++i) {
+    CDBS_RETURN_NOT_OK(fill_gap(survivors[i], survivors[i + 1]));
+  }
+  CDBS_RETURN_NOT_OK(fill_gap(survivors.back(), nullptr));
+
+  Result<std::unique_ptr<XmlDb>> built = Open(std::move(base), options);
+  if (!built.ok()) return built.status();
+  std::unique_ptr<XmlDb> db = std::move(built).value();
+  if (db->node_of_id_.size() != n0) {
+    return Status::Corruption("bootstrap reconstruction: base rank count");
+  }
+  std::unordered_map<const xml::Node*, NodeId> base_id;  // base node -> id
+  base_id.reserve(n0);
+  for (size_t i = 0; i < db->node_of_id_.size(); ++i) {
+    base_id.emplace(db->node_of_id_[i], static_cast<NodeId>(i));
+  }
+  for (xml::Node* survivor : survivors) {
+    if (base_id.at(base_of.at(survivor)) != id_at.at(survivor)) {
+      return Status::Corruption("bootstrap reconstruction: rank drifted");
+    }
+  }
+
+  // --- Stage 2: replay the insertion history in id order. ---
+  // Each surviving inserted leaf is placed adjacent to a sibling that is
+  // already present (an original, an earlier-replayed insert — both carry
+  // their final id already — or the seeded gap dummy). Ids attached
+  // nowhere are burnt with an insert+delete pair, just as a delete or
+  // rollback burnt them on the source. Either way one id per step.
+  for (uint64_t i = n0; i < next_id; ++i) {
+    xml::Node* node = node_at[i];
+    if (node == nullptr) {
+      // Rank 1 always exists here: a burnt id implies an insert happened,
+      // and the first-ever insert needed a non-root original target.
+      if (db->node_of_id_.size() < 2) {
+        return Status::Corruption("bootstrap spec: burnt id in a root-only tree");
+      }
+      Result<NodeId> burnt = db->InsertElementAfter(1, kGapTag);
+      if (!burnt.ok()) return burnt.status();
+      if (*burnt != i) {
+        return Status::Corruption("bootstrap reconstruction: burnt id drifted");
+      }
+      Result<uint64_t> removed = db->DeleteElement(*burnt);
+      if (!removed.ok()) return removed.status();
+      continue;
+    }
+    xml::Node* parent = node->parent();
+    if (parent == nullptr) {
+      return Status::Corruption("bootstrap spec: inserted node has no parent");
+    }
+    const std::vector<xml::Node*>& siblings = parent->children();
+    const size_t index = parent->IndexOfChild(node);
+    xml::Node* next_present = nullptr;
+    for (size_t j = index + 1; j < siblings.size() && next_present == nullptr;
+         ++j) {
+      if (id_at.at(siblings[j]) < i) next_present = siblings[j];
+    }
+    xml::Node* prev_present = nullptr;
+    for (size_t j = index; j > 0 && prev_present == nullptr; --j) {
+      if (id_at.at(siblings[j - 1]) < i) prev_present = siblings[j - 1];
+    }
+    Result<NodeId> got = [&]() -> Result<NodeId> {
+      if (next_present != nullptr) {
+        return db->InsertElementBefore(id_at.at(next_present), node->name());
+      }
+      if (prev_present != nullptr) {
+        return db->InsertElementAfter(id_at.at(prev_present), node->name());
+      }
+      const auto seed = seed_of.find(parent);
+      if (seed == seed_of.end()) {
+        return Status::Corruption("bootstrap reconstruction: no anchor");
+      }
+      return db->InsertElementAfter(base_id.at(seed->second), node->name());
+    }();
+    if (!got.ok()) return got.status();
+    if (*got != i) {
+      return Status::Corruption("bootstrap reconstruction: inserted id drifted");
+    }
+  }
+
+  // --- Stage 3: drop the dummies and verify the whole reconstruction. ---
+  for (xml::Node* dummy : gap_nodes) {
+    Result<uint64_t> removed = db->DeleteElement(base_id.at(dummy));
+    if (!removed.ok()) return removed.status();
+    if (*removed != 1) {
+      return Status::Corruption("bootstrap reconstruction: dummy grew a subtree");
+    }
+  }
+  if (db->node_of_id_.size() != next_id) {
+    return Status::Corruption("bootstrap reconstruction: id counter drifted");
+  }
+  if (db->ToXml() != xml::WriteXml(*parsed)) {
+    return Status::Corruption("bootstrap reconstruction: tree mismatch");
+  }
+  const std::vector<xml::Node*> rebuilt = db->doc_.NodesInDocumentOrder();
+  if (rebuilt.size() != n) {
+    return Status::Corruption("bootstrap reconstruction: node count mismatch");
+  }
+  std::unordered_map<const xml::Node*, NodeId> rebuilt_id;
+  rebuilt_id.reserve(db->node_of_id_.size());
+  for (size_t i = 0; i < db->node_of_id_.size(); ++i) {
+    rebuilt_id.emplace(db->node_of_id_[i], static_cast<NodeId>(i));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (rebuilt_id.at(rebuilt[i]) != spec.ids[i]) {
+      return Status::Corruption("bootstrap reconstruction: id space mismatch");
+    }
+  }
+  return db;
 }
 
 Status XmlDb::InitStore(const XmlDbOptions& options) {

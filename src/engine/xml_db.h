@@ -54,6 +54,21 @@ struct XmlDbStats {
   uint64_t store_page_writes = 0;  // 0 when not persistent
 };
 
+/// An id-preserving snapshot of a database: the serialized tree plus the
+/// id-space history a replica needs to rebuild a *bit-identical* id space.
+/// Node ids are assigned in document order at open time and then
+/// sequentially by insertions (never reused), so a tree that has seen
+/// updates no longer has ids in document order — and a replica that merely
+/// re-parsed `xml` would mint a divergent id space, answering queries with
+/// the wrong ids and mis-applying every streamed logical op that follows.
+/// `OpenFromBootstrap` reconstructs the exact id assignment instead.
+struct BootstrapSpec {
+  std::string xml;           // serialized current tree
+  std::vector<NodeId> ids;   // id of each tree node, in document order
+  uint64_t original_count = 0;  // nodes present when the db was opened
+  uint64_t next_id = 0;      // ids ever assigned, including burnt ones
+};
+
 /// A labeled, queryable, updatable XML document.
 class XmlDb {
  public:
@@ -64,6 +79,21 @@ class XmlDb {
   /// Parses `xml` and builds a database over it.
   static Result<std::unique_ptr<XmlDb>> OpenFromXml(
       std::string_view xml, const XmlDbOptions& options);
+
+  /// Rebuilds a database whose tree, labels-visible order relations AND
+  /// node-id space match the database `spec` was captured from: every
+  /// attached node keeps its id, burnt ids stay burnt, and the next
+  /// insertion is assigned `spec.next_id` — so logical replication replay
+  /// (docs/REPLICATION.md) continues seamlessly after a snapshot
+  /// bootstrap. Returns Corruption when `spec` is inconsistent or the
+  /// reconstruction fails self-verification.
+  static Result<std::unique_ptr<XmlDb>> OpenFromBootstrap(
+      const BootstrapSpec& spec, const XmlDbOptions& options);
+
+  /// Captures the id-preserving snapshot of the current state. Not
+  /// synchronized with updates: callers serialize against writes (the
+  /// concurrent front-end captures on its writer thread).
+  BootstrapSpec CaptureBootstrapSpec() const;
 
   /// Evaluates an XPath-subset query; returns matching node ids in document
   /// order.
@@ -158,6 +188,12 @@ class XmlDb {
   std::unique_ptr<labeling::LabelingScheme> scheme_;
   std::unique_ptr<query::LabeledDocument> labeled_;
   std::vector<xml::Node*> node_of_id_;  // id -> tree node
+  // Nodes present at construction (ids 0..original_count_-1, document
+  // order). Everything at or above this id was inserted later — and since
+  // the only mutations are sibling element inserts and subtree deletes,
+  // such nodes are leaf elements forever. CaptureBootstrapSpec ships this
+  // so OpenFromBootstrap can split originals from inserted leaves.
+  size_t original_count_ = 0;
   std::unique_ptr<storage::LabelStore> store_;  // null when not persistent
   // Set when a persist failure rolled back an update whose in-memory label
   // state may have diverged from the store (e.g. an overflow re-encode):

@@ -25,17 +25,35 @@ uint32_t WireDeadlineMs(util::Deadline deadline) {
       std::min<int64_t>(left, UINT32_MAX));
 }
 
+/// One socket operation's budget: the configured timeout, clamped to what
+/// remains of the caller's deadline (floor 1ms so an in-flight op can
+/// still fail fast rather than block on a 0 timeout). Without this clamp a
+/// 5s io_timeout could overshoot a 50ms deadline a hundredfold.
+int IoBudgetMs(int timeout_ms, util::Deadline deadline) {
+  if (deadline.infinite()) return timeout_ms;
+  const int64_t left = deadline.remaining_millis();
+  return static_cast<int>(
+      std::max<int64_t>(1, std::min<int64_t>(timeout_ms, left)));
+}
+
 }  // namespace
 
 Result<std::unique_ptr<CdbsClient>> CdbsClient::Connect(
     const ClientOptions& options) {
   std::unique_ptr<CdbsClient> client(new CdbsClient(options));
-  CDBS_RETURN_NOT_OK(client->EnsureConnected());
-  return client;
+  // Eager connect verifies *some* endpoint is reachable: try each once.
+  Status last = Status::OK();
+  for (size_t i = 0; i < client->endpoints_.size(); ++i) {
+    last = client->EnsureConnected(util::Deadline::Infinite());
+    if (last.ok()) return client;
+    client->RotateEndpoint();
+  }
+  return last;
 }
 
 CdbsClient::CdbsClient(const ClientOptions& options)
     : options_(options),
+      endpoints_(options.endpoints),
       rng_(options.jitter_seed != 0
                ? options.jitter_seed
                : static_cast<uint64_t>(
@@ -43,14 +61,19 @@ CdbsClient::CdbsClient(const ClientOptions& options)
                      0x9E3779B97F4A7C15ull),
       retries_counter_(obs::MetricRegistry::Default().GetCounter(
           "serve.retries",
-          "Client-side retries (reconnects, backoff, retry-after)")) {}
+          "Client-side retries (reconnects, backoff, retry-after)")) {
+  if (endpoints_.empty()) {
+    endpoints_.push_back(Endpoint{options.host, options.port});
+  }
+}
 
 CdbsClient::~CdbsClient() { CloseConnection(); }
 
-Status CdbsClient::EnsureConnected() {
+Status CdbsClient::EnsureConnected(util::Deadline deadline) {
   if (fd_ >= 0) return Status::OK();
-  Result<int> fd =
-      ConnectTcp(options_.host, options_.port, options_.connect_timeout_ms);
+  const Endpoint& ep = endpoints_[endpoint_idx_];
+  Result<int> fd = ConnectTcp(
+      ep.host, ep.port, IoBudgetMs(options_.connect_timeout_ms, deadline));
   if (!fd.ok()) return fd.status();
   fd_ = *fd;
   return Status::OK();
@@ -61,6 +84,11 @@ void CdbsClient::CloseConnection() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+void CdbsClient::RotateEndpoint() {
+  if (endpoints_.size() < 2) return;
+  endpoint_idx_ = (endpoint_idx_ + 1) % endpoints_.size();
 }
 
 void CdbsClient::Backoff(int attempt, uint32_t retry_after_ms,
@@ -105,24 +133,28 @@ Result<Response> CdbsClient::Call(Request req, util::Deadline deadline) {
       return Status::DeadlineExceeded("client deadline expired after " +
                                       std::to_string(attempt) + " attempts");
     }
-    const Status connected = EnsureConnected();
+    const Status connected = EnsureConnected(deadline);
     if (!connected.ok()) {
-      // Server restarting, at its connection cap, or unreachable: back off
-      // and retry (no request was sent, so this is safe for writes too).
+      // Server restarting, at its connection cap, or unreachable: try the
+      // next endpoint (read failover; no request was sent, so moving a
+      // write is safe too) and back off.
       last = connected;
+      RotateEndpoint();
       if (!final_attempt) Backoff(attempt, /*retry_after_ms=*/0, deadline);
       continue;
     }
     req.request_id = next_request_id_++;
     req.deadline_ms = WireDeadlineMs(deadline);
     const std::string frame = EncodeFrame(EncodeRequest(req));
-    const Status sent = WriteFrame(fd_, frame, options_.io_timeout_ms);
+    const Status sent = WriteFrame(
+        fd_, frame, IoBudgetMs(options_.io_timeout_ms, deadline));
     if (!sent.ok()) {
       // The request may have partially reached the server. Reconnect; only
-      // reads are safe to resend.
+      // reads are safe to resend (on the next endpoint — this one's dead).
       CloseConnection();
       last = sent;
       if (idempotent) {
+        RotateEndpoint();
         if (!final_attempt) Backoff(attempt, /*retry_after_ms=*/0, deadline);
         continue;
       }
@@ -130,13 +162,15 @@ Result<Response> CdbsClient::Call(Request req, util::Deadline deadline) {
                              sent.message() + ")");
     }
     std::string payload;
-    const Status read = ReadFrame(fd_, &payload, options_.io_timeout_ms);
+    const Status read = ReadFrame(
+        fd_, &payload, IoBudgetMs(options_.io_timeout_ms, deadline));
     if (!read.ok()) {
       // EOF, timeout, or a CRC-failed (torn) frame: the stream is dead.
       // The server may or may not have executed the request.
       CloseConnection();
       last = read;
       if (idempotent) {
+        RotateEndpoint();
         if (!final_attempt) Backoff(attempt, /*retry_after_ms=*/0, deadline);
         continue;
       }
@@ -149,6 +183,7 @@ Result<Response> CdbsClient::Call(Request req, util::Deadline deadline) {
       CloseConnection();
       last = decoded;
       if (idempotent) {
+        RotateEndpoint();
         if (!final_attempt) Backoff(attempt, /*retry_after_ms=*/0, deadline);
         continue;
       }
@@ -170,6 +205,16 @@ Result<Response> CdbsClient::Call(Request req, util::Deadline deadline) {
       // writes included. Honor the server's backoff hint.
       last = Status::RetryAfter(resp.message);
       if (!final_attempt) Backoff(attempt, resp.retry_after_ms, deadline);
+      continue;
+    }
+    if (resp.code == StatusCode::kNotLeader) {
+      // A replica refused the write *before* executing it, so resending to
+      // another endpoint is safe — rotate until we find the (possibly
+      // freshly promoted) primary.
+      last = Status::NotLeader(resp.message);
+      CloseConnection();
+      RotateEndpoint();
+      if (!final_attempt) Backoff(attempt, /*retry_after_ms=*/0, deadline);
       continue;
     }
     return resp;
@@ -254,6 +299,33 @@ Result<CdbsClient::Introspection> CdbsClient::Introspect(
   out.stats_json = std::move(resp->stats_json);
   out.traces_json = std::move(resp->traces_json);
   return out;
+}
+
+Result<CdbsClient::BootstrapImage> CdbsClient::Bootstrap(
+    util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kBootstrap;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  BootstrapImage out;
+  out.xml = std::move(resp->blob);
+  out.lsn = resp->id_or_count;
+  out.epoch = resp->epoch;
+  return out;
+}
+
+Result<uint64_t> CdbsClient::Promote(util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kPromote;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  return resp->epoch;
 }
 
 Result<std::string> CdbsClient::StatsJson(util::Deadline deadline) {

@@ -23,17 +23,33 @@
 ///     definitively did not execute and is resent, but a write whose
 ///     connection tore after the request was sent may or may not have
 ///     committed — it fails with kIoError instead of risking a duplicate;
-///   * per-call deadlines travel to the server as a relative budget and
-///     bound the whole retry loop locally.
+///   * per-call deadlines travel to the server as a relative budget, bound
+///     the whole retry loop locally, AND clamp every socket operation —
+///     connect, frame write, frame read — so no single I/O can overshoot
+///     what remains of the caller's budget;
+///   * endpoint failover (docs/REPLICATION.md): with multiple endpoints,
+///     reads rotate to the next endpoint on a dead connection (follower
+///     read failover) and writes rotate on kNotLeader (finding the
+///     promoted primary after a failover) — a write rejected by a replica
+///     definitively did not execute, so resending it elsewhere is safe.
 ///
 /// Not thread-safe: one CdbsClient per client thread (it is one TCP
 /// connection plus retry state).
 
 namespace cdbs::net {
 
+/// One server address a client may talk to.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
 struct ClientOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
+  /// Optional endpoint list (primary + replicas, any order). When
+  /// non-empty it replaces host/port; endpoints[0] is tried first.
+  std::vector<Endpoint> endpoints;
   int connect_timeout_ms = 2000;
   int io_timeout_ms = 5000;
   /// Total attempts per call (first try + retries).
@@ -79,9 +95,28 @@ class CdbsClient {
   };
   Result<Introspection> Introspect(util::Deadline deadline = {});
 
+  /// A full snapshot bootstrap from the server (Opcode::kBootstrap): the
+  /// serialized document plus the commit LSN and primary epoch it
+  /// corresponds to. Used by tooling/tests; repl::Follower speaks the same
+  /// opcode internally.
+  struct BootstrapImage {
+    std::string xml;
+    uint64_t lsn = 0;
+    uint64_t epoch = 0;
+  };
+  Result<BootstrapImage> Bootstrap(util::Deadline deadline = {});
+
+  /// Promotes the connected replica to primary (Opcode::kPromote).
+  /// Returns the promoted node's replication epoch.
+  Result<uint64_t> Promote(util::Deadline deadline = {});
+
   /// Retries performed by this client since creation (also exported as the
   /// process-wide `serve.retries` counter).
   uint64_t retries() const { return local_retries_; }
+
+  /// Index into the endpoint list this client is currently using — which
+  /// server failover landed on (tests/observability).
+  size_t endpoint_index() const { return endpoint_idx_; }
 
   /// The trace id minted for the most recent call. Every call gets a fresh
   /// id; retries of one call reuse it, so the server-side trace shows all
@@ -93,13 +128,18 @@ class CdbsClient {
 
   /// One request through the full retry loop.
   Result<Response> Call(Request req, util::Deadline deadline);
-  Status EnsureConnected();
+  Status EnsureConnected(util::Deadline deadline);
   void CloseConnection();
+  /// Advances to the next endpoint (wrapping); the next EnsureConnected
+  /// dials it. No-op with a single endpoint.
+  void RotateEndpoint();
   /// Sleeps before attempt `attempt+1`, honoring `retry_after_ms` as a
   /// floor and never past `deadline`.
   void Backoff(int attempt, uint32_t retry_after_ms, util::Deadline deadline);
 
   ClientOptions options_;
+  std::vector<Endpoint> endpoints_;
+  size_t endpoint_idx_ = 0;
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   uint64_t last_trace_id_ = 0;

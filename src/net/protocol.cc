@@ -86,7 +86,7 @@ class Cursor {
 
 Status ValidateOpcode(uint8_t raw, Opcode* out) {
   if (raw < static_cast<uint8_t>(Opcode::kPing) ||
-      raw > static_cast<uint8_t>(Opcode::kIntrospect)) {
+      raw > static_cast<uint8_t>(Opcode::kReplAck)) {
     return Status::Corruption("bad opcode " + std::to_string(raw));
   }
   *out = static_cast<Opcode>(raw);
@@ -94,7 +94,7 @@ Status ValidateOpcode(uint8_t raw, Opcode* out) {
 }
 
 Status ValidateStatusCode(uint8_t raw, StatusCode* out) {
-  if (raw > static_cast<uint8_t>(StatusCode::kRetryAfter)) {
+  if (raw > static_cast<uint8_t>(StatusCode::kNotLeader)) {
     return Status::Corruption("bad status code " + std::to_string(raw));
   }
   *out = static_cast<StatusCode>(raw);
@@ -109,11 +109,20 @@ bool IsIdempotent(Opcode op) {
     case Opcode::kQuery:
     case Opcode::kStats:
     case Opcode::kIntrospect:
+    case Opcode::kSubscribe:
+    case Opcode::kBootstrap:
+    // Promoting a node that is already primary is a no-op, so a resend
+    // after a torn stream cannot change the outcome.
+    case Opcode::kPromote:
+    // Acks are pure notifications; a duplicate only re-reports progress.
+    case Opcode::kReplAck:
       return true;
     case Opcode::kInsertBefore:
     case Opcode::kInsertAfter:
     case Opcode::kDelete:
       return false;
+    case Opcode::kReplBatch:
+      break;  // server-push only; never resent by a client
   }
   return false;
 }
@@ -139,6 +148,18 @@ std::string EncodeRequest(const Request& req) {
     case Opcode::kDelete:
       AppendU64(&out, req.target);
       break;
+    case Opcode::kSubscribe:
+      AppendU64(&out, req.target);  // first LSN wanted
+      AppendU64(&out, req.epoch);
+      break;
+    case Opcode::kBootstrap:
+    case Opcode::kPromote:
+      break;
+    case Opcode::kReplAck:
+      AppendU64(&out, req.target);  // last applied LSN
+      break;
+    case Opcode::kReplBatch:
+      break;  // server-push only; a request with this op is never encoded
   }
   // Optional trailing field: present only when traced, so old decoders
   // (which reject trailing bytes) still interoperate with untraced
@@ -168,6 +189,17 @@ Status DecodeRequest(std::string_view payload, Request* out) {
       CDBS_RETURN_NOT_OK(cur.ReadString(&out->tag));
       break;
     case Opcode::kDelete:
+      CDBS_RETURN_NOT_OK(cur.ReadU64(&out->target));
+      break;
+    case Opcode::kSubscribe:
+      CDBS_RETURN_NOT_OK(cur.ReadU64(&out->target));
+      CDBS_RETURN_NOT_OK(cur.ReadU64(&out->epoch));
+      break;
+    case Opcode::kBootstrap:
+    case Opcode::kPromote:
+    case Opcode::kReplBatch:
+      break;
+    case Opcode::kReplAck:
       CDBS_RETURN_NOT_OK(cur.ReadU64(&out->target));
       break;
   }
@@ -208,6 +240,19 @@ std::string EncodeResponse(const Response& resp) {
         AppendString(&out, resp.stats_json);
         AppendString(&out, resp.traces_json);
         break;
+      case Opcode::kSubscribe:
+      case Opcode::kPromote:
+        AppendU64(&out, resp.id_or_count);
+        AppendU64(&out, resp.epoch);
+        break;
+      case Opcode::kBootstrap:
+      case Opcode::kReplBatch:
+        AppendU64(&out, resp.id_or_count);
+        AppendU64(&out, resp.epoch);
+        AppendString(&out, resp.blob);
+        break;
+      case Opcode::kReplAck:
+        break;  // client-push only; never answered
     }
   }
   return out;
@@ -251,6 +296,19 @@ Status DecodeResponse(std::string_view payload, Response* out) {
       case Opcode::kIntrospect:
         CDBS_RETURN_NOT_OK(cur.ReadString(&out->stats_json));
         CDBS_RETURN_NOT_OK(cur.ReadString(&out->traces_json));
+        break;
+      case Opcode::kSubscribe:
+      case Opcode::kPromote:
+        CDBS_RETURN_NOT_OK(cur.ReadU64(&out->id_or_count));
+        CDBS_RETURN_NOT_OK(cur.ReadU64(&out->epoch));
+        break;
+      case Opcode::kBootstrap:
+      case Opcode::kReplBatch:
+        CDBS_RETURN_NOT_OK(cur.ReadU64(&out->id_or_count));
+        CDBS_RETURN_NOT_OK(cur.ReadU64(&out->epoch));
+        CDBS_RETURN_NOT_OK(cur.ReadString(&out->blob));
+        break;
+      case Opcode::kReplAck:
         break;
     }
   }

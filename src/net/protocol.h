@@ -28,8 +28,11 @@
 namespace cdbs::net {
 
 /// Hard cap on one frame's payload. A decoded length beyond this is
-/// corruption (or a hostile peer), not a big request.
-constexpr uint32_t kMaxFramePayloadBytes = 1u << 20;
+/// corruption (or a hostile peer), not a big request. Sized to fit a
+/// snapshot-bootstrap response (the serialized document, see
+/// docs/REPLICATION.md) with headroom; documents beyond this cannot be
+/// bootstrapped over the wire.
+constexpr uint32_t kMaxFramePayloadBytes = 4u << 20;
 
 /// Bytes before the payload: u32 CRC + u32 length.
 constexpr size_t kFrameHeaderBytes = 8;
@@ -45,6 +48,17 @@ enum class Opcode : uint8_t {
   /// Live introspection: the server's metrics snapshot plus its retained
   /// request traces (Chrome trace_event JSON), without restarting it.
   kIntrospect = 7,
+  /// Replication (docs/REPLICATION.md). kSubscribe turns the connection
+  /// into a one-way replication stream: the primary pushes kReplBatch
+  /// frames (committed op batches and heartbeats) and reads kReplAck
+  /// frames back on the same socket. kBootstrap ships a full document
+  /// snapshot + LSN for a follower too far behind the primary's log.
+  /// kPromote flips a follower into an accepting-writes primary.
+  kSubscribe = 8,
+  kBootstrap = 9,
+  kPromote = 10,
+  kReplBatch = 11,
+  kReplAck = 12,
 };
 
 /// True for operations that are safe to resend after a broken stream (they
@@ -59,8 +73,13 @@ struct Request {
   /// absolute) so client and server clocks never need to agree.
   uint32_t deadline_ms = 0;
   std::string xpath;   // kQuery
-  uint64_t target = 0; // kInsertBefore/kInsertAfter/kDelete
+  uint64_t target = 0; // kInsertBefore/kInsertAfter/kDelete; kSubscribe:
+                       // first LSN wanted; kReplAck: last applied LSN
   std::string tag;     // kInsertBefore/kInsertAfter
+  /// kSubscribe: the primary epoch the follower last replicated from
+  /// (0 = none). A mismatch means the follower's LSN coordinates belong to
+  /// a different primary incarnation and it must re-bootstrap.
+  uint64_t epoch = 0;
   /// End-to-end trace id (obs/trace.h); 0 = untraced. Encoded as an
   /// *optional trailing* field — omitted when 0 — so new clients can talk
   /// to old servers and vice versa: a decoder only reads it when bytes
@@ -78,9 +97,18 @@ struct Response {
   uint32_t retry_after_ms = 0;
   std::string message;              // non-OK: human-readable detail
   std::vector<uint64_t> node_ids;   // kQuery result
-  uint64_t id_or_count = 0;         // insert: new node id; delete: removed
+  uint64_t id_or_count = 0;         // insert: new node id; delete: removed;
+                                    // kSubscribe/kPromote: current last LSN;
+                                    // kBootstrap: snapshot LSN; kReplBatch:
+                                    // record LSN (heartbeat: primary's last)
   std::string stats_json;           // kStats / kIntrospect: metrics JSON
   std::string traces_json;          // kIntrospect: Chrome trace_event JSON
+  /// Replication ops: the primary epoch stamped on every kSubscribe /
+  /// kBootstrap / kPromote / kReplBatch payload.
+  uint64_t epoch = 0;
+  /// kBootstrap: the serialized document XML. kReplBatch: an encoded
+  /// repl::ReplOp batch (empty = heartbeat).
+  std::string blob;
 };
 
 /// Payload (de)serialization. Decoders validate opcode/status ranges and

@@ -4,11 +4,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <charconv>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 #include <vector>
 
 #include "net/socket_io.h"
+#include "repl/replication.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "util/deadline.h"
@@ -43,16 +48,45 @@ obs::SpanOutcome OutcomeFromStatus(StatusCode code) {
 
 }  // namespace
 
+int ApplyDrainMsKnob(const char* raw, int drain_timeout_ms) {
+  if (raw == nullptr || raw[0] == '\0') return drain_timeout_ms;
+  // Strict parse, same discipline as the CDBS_TRACE_* knobs: the whole
+  // string must be one non-negative integer, or the knob is ignored.
+  int parsed = 0;
+  const char* end = raw + std::strlen(raw);
+  const auto [ptr, ec] = std::from_chars(raw, end, parsed);
+  if (ec != std::errc() || ptr != end || parsed < 0) {
+    std::fprintf(stderr,
+                 "warning: ignoring CDBS_NET_DRAIN_MS=\"%s\" (want a whole "
+                 "non-negative integer); using default %d\n",
+                 raw, drain_timeout_ms);
+    return drain_timeout_ms;
+  }
+  return parsed;
+}
+
 Result<std::unique_ptr<Server>> Server::Start(engine::ConcurrentXmlDb* db,
                                               const ServerOptions& options) {
-  std::unique_ptr<Server> server(new Server(db, options));
+  std::unique_ptr<Server> server(new Server(db, nullptr, options));
+  CDBS_RETURN_NOT_OK(server->Listen());
+  server->MaybeAttachSender(db);
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+Result<std::unique_ptr<Server>> Server::StartReplica(
+    repl::Follower* follower, const ServerOptions& options) {
+  std::unique_ptr<Server> server(new Server(nullptr, follower, options));
   CDBS_RETURN_NOT_OK(server->Listen());
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   return server;
 }
 
-Server::Server(engine::ConcurrentXmlDb* db, const ServerOptions& options)
-    : db_(db), options_(options) {
+Server::Server(engine::ConcurrentXmlDb* db, repl::Follower* follower,
+               const ServerOptions& options)
+    : db_(db), follower_(follower), options_(options) {
+  options_.drain_timeout_ms = ApplyDrainMsKnob(
+      std::getenv("CDBS_NET_DRAIN_MS"), options_.drain_timeout_ms);
   obs::MetricRegistry& reg = obs::MetricRegistry::Default();
   requests_ = reg.GetCounter("serve.requests", "Requests served (any outcome)");
   shed_ = reg.GetCounter("serve.requests_shed",
@@ -72,6 +106,23 @@ Server::Server(engine::ConcurrentXmlDb* db, const ServerOptions& options)
 }
 
 Server::~Server() { Shutdown(); }
+
+void Server::MaybeAttachSender(engine::ConcurrentXmlDb* db) {
+  if (db == nullptr || db->replication_log() == nullptr) return;
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  if (sender_ != nullptr) return;
+  sender_ = std::make_unique<repl::ReplicationSender>(db, options_.repl);
+  sender_->Attach();
+}
+
+engine::ConcurrentXmlDb* Server::WriteDb(
+    std::shared_ptr<engine::ConcurrentXmlDb>* pin) {
+  if (follower_ == nullptr) return db_;
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  if (promoted_db_ == nullptr) return nullptr;
+  *pin = promoted_db_;
+  return pin->get();
+}
 
 Status Server::Listen() {
   Result<int> fd =
@@ -153,6 +204,32 @@ void Server::ServeConnection(Connection* conn) {
       dropped = true;
       break;
     }
+    if (req.op == Opcode::kSubscribe) {
+      // Hand the connection to the replication sender: from here on it is
+      // a one-way push stream (plus kReplAck frames flowing back), not a
+      // request/response loop. The connection ends when the stream does.
+      repl::ReplicationSender* sender = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(repl_mu_);
+        sender = sender_.get();
+      }
+      if (sender != nullptr) {
+        requests_->Increment();
+        conn->stream.store(true, std::memory_order_release);
+        sender->RunFollowerStream(conn->fd, req);
+      } else {
+        Response resp;
+        resp.request_id = req.request_id;
+        resp.op = req.op;
+        resp.code = follower_ != nullptr ? StatusCode::kNotLeader
+                                         : StatusCode::kInvalidArgument;
+        resp.message = "this node does not serve replication streams";
+        static_cast<void>(WriteFrame(conn->fd,
+                                     EncodeFrame(EncodeResponse(resp)),
+                                     options_.write_timeout_ms));
+      }
+      break;
+    }
     util::Stopwatch timer;
     {
       // The request's trace envelope: installs this thread's TraceScope,
@@ -202,14 +279,46 @@ Response Server::Execute(const Request& req) {
   resp.request_id = req.request_id;
   resp.op = req.op;
   const util::Deadline deadline = DeadlineFromRequest(req);
+  if (deadline.expired()) {
+    // The caller's budget was spent before we even dispatched (queued
+    // behind a slow frame, overloaded accept path): shed it now rather
+    // than bill the engine for an answer nobody is waiting for.
+    resp.code = StatusCode::kDeadlineExceeded;
+    resp.message = "deadline expired before dispatch";
+    return resp;
+  }
+
+  // Route the request. A replica serves reads from the follower's current
+  // database (pinned so a concurrent re-bootstrap cannot free it) and
+  // bounces writes to the primary; once promoted it serves both.
+  std::shared_ptr<engine::ConcurrentXmlDb> pin;
+  engine::ConcurrentXmlDb* write_db = WriteDb(&pin);
+  engine::ConcurrentXmlDb* read_db = write_db;
+  if (read_db == nullptr && follower_ != nullptr &&
+      req.op == Opcode::kQuery) {
+    Result<std::shared_ptr<engine::ConcurrentXmlDb>> replica =
+        follower_->ReadableDb();
+    if (!replica.ok()) {
+      resp.code = replica.status().code();
+      resp.message = replica.status().message();
+      if (resp.code == StatusCode::kRetryAfter) resp.retry_after_ms = 50;
+      return resp;
+    }
+    pin = std::move(*replica);
+    read_db = pin.get();
+  }
 
   auto fill_error = [&](const Status& st) {
     resp.code = st.code();
     resp.message = st.message();
-    if (st.code() == StatusCode::kRetryAfter) {
+    if (st.code() == StatusCode::kRetryAfter && write_db != nullptr) {
       resp.retry_after_ms =
-          static_cast<uint32_t>(db_->RetryAfterHintMillis());
+          static_cast<uint32_t>(write_db->RetryAfterHintMillis());
     }
+  };
+  auto not_leader = [&] {
+    resp.code = StatusCode::kNotLeader;
+    resp.message = "this node is a replica; send writes to the primary";
   };
 
   switch (req.op) {
@@ -228,7 +337,7 @@ Response Server::Execute(const Request& req) {
       break;
     case Opcode::kQuery: {
       Result<std::vector<engine::NodeId>> r =
-          db_->SubmitQuery(req.xpath, deadline).get();
+          read_db->SubmitQuery(req.xpath, deadline).get();
       if (!r.ok()) {
         fill_error(r.status());
         break;
@@ -238,15 +347,21 @@ Response Server::Execute(const Request& req) {
     }
     case Opcode::kInsertBefore:
     case Opcode::kInsertAfter: {
+      if (write_db == nullptr) {
+        not_leader();
+        break;
+      }
       // Admission-controlled: a full queue sheds with retry-after instead
       // of blocking this connection's thread behind the writer.
       Result<engine::NodeId> r =
           req.op == Opcode::kInsertAfter
-              ? db_->TrySubmitInsertAfter(req.target, req.tag, nullptr,
-                                          deadline)
-                    .get()
-              : db_->TrySubmitInsertBefore(req.target, req.tag, nullptr,
+              ? write_db
+                    ->TrySubmitInsertAfter(req.target, req.tag, nullptr,
                                            deadline)
+                    .get()
+              : write_db
+                    ->TrySubmitInsertBefore(req.target, req.tag, nullptr,
+                                            deadline)
                     .get();
       if (!r.ok()) {
         fill_error(r.status());
@@ -256,8 +371,12 @@ Response Server::Execute(const Request& req) {
       break;
     }
     case Opcode::kDelete: {
+      if (write_db == nullptr) {
+        not_leader();
+        break;
+      }
       Result<uint64_t> r =
-          db_->TrySubmitDelete(req.target, nullptr, deadline).get();
+          write_db->TrySubmitDelete(req.target, nullptr, deadline).get();
       if (!r.ok()) {
         fill_error(r.status());
         break;
@@ -265,6 +384,68 @@ Response Server::Execute(const Request& req) {
       resp.id_or_count = *r;
       break;
     }
+    case Opcode::kBootstrap: {
+      if (write_db == nullptr) {
+        not_leader();
+        break;
+      }
+      if (write_db->replication_log() == nullptr) {
+        resp.code = StatusCode::kInvalidArgument;
+        resp.message = "replication is not enabled on this server";
+        break;
+      }
+      Result<engine::BootstrapImage> image =
+          write_db->CaptureBootstrap(deadline);
+      if (!image.ok()) {
+        fill_error(image.status());
+        break;
+      }
+      std::string blob = repl::EncodeBootstrapSpec(image->spec);
+      if (blob.size() > kMaxFramePayloadBytes - 1024) {
+        resp.code = StatusCode::kOutOfRange;
+        resp.message = "document too large for a wire bootstrap";
+        break;
+      }
+      resp.blob = std::move(blob);
+      resp.id_or_count = image->lsn;
+      resp.epoch = image->epoch;
+      break;
+    }
+    case Opcode::kPromote: {
+      if (follower_ == nullptr) {
+        resp.code = StatusCode::kInvalidArgument;
+        resp.message = "this node is already a primary";
+        break;
+      }
+      Result<std::shared_ptr<engine::ConcurrentXmlDb>> promoted =
+          follower_->Promote();
+      if (!promoted.ok()) {
+        fill_error(promoted.status());
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(repl_mu_);
+        promoted_db_ = *promoted;
+      }
+      // The promoted database is a primary now: serve follower streams
+      // from it (its own replication log, its own epoch — subscribers of
+      // the old primary will epoch-mismatch into a bootstrap, which is
+      // exactly right after a failover).
+      MaybeAttachSender(promoted->get());
+      resp.id_or_count = (*promoted)->commit_lsn();
+      resp.epoch = (*promoted)->replication_log() != nullptr
+                       ? (*promoted)->replication_log()->epoch()
+                       : 0;
+      break;
+    }
+    case Opcode::kSubscribe:
+    case Opcode::kReplBatch:
+    case Opcode::kReplAck:
+      // kSubscribe is intercepted in ServeConnection; the other two only
+      // ever travel primary→follower / follower→primary inside a stream.
+      resp.code = StatusCode::kInvalidArgument;
+      resp.message = "replication stream opcode outside a stream";
+      break;
   }
   return resp;
 }
@@ -290,22 +471,39 @@ void Server::Shutdown() {
       ::close(listen_fd_);
       listen_fd_ = -1;
     }
-    // 2. Drain: every connection notices `stopping_` after its in-flight
-    // request (bounded by the frame timeouts); give them drain_timeout_ms.
     const util::Deadline drain =
         util::Deadline::AfterMillis(options_.drain_timeout_ms);
-    for (;;) {
-      bool all_done = true;
-      {
-        std::lock_guard<std::mutex> lock(conns_mu_);
-        for (const auto& c : conns_) {
-          if (!c->done.load(std::memory_order_acquire)) all_done = false;
+    const auto drained = [this](bool streams_too) {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& c : conns_) {
+        if (!streams_too && c->stream.load(std::memory_order_acquire)) {
+          continue;
         }
+        if (!c->done.load(std::memory_order_acquire)) return false;
       }
-      if (all_done || drain.expired()) break;
+      return true;
+    };
+    // 2. Drain request/response connections BEFORE stopping replication:
+    // a sync-commit write in flight right now resolves its client promise
+    // only once followers acknowledge, and that needs a live sender.
+    // Stopping the sender first would release those waits un-acked — an
+    // OK the follower never saw, exactly the failover loss sync mode
+    // exists to prevent. Each connection notices `stopping_` after its
+    // in-flight request (bounded by the frame timeouts and, in sync mode,
+    // the sender's ack timeout).
+    while (!drained(/*streams_too=*/false) && !drain.expired()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
-    // 3. Force-close stragglers (a blocked read/write fails immediately
+    // 3. Stop replication streams: long-lived connections that only end
+    // when the sender does, so they drain in their own phase.
+    {
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      if (sender_ != nullptr) sender_->Stop();
+    }
+    while (!drained(/*streams_too=*/true) && !drain.expired()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // 4. Force-close stragglers (a blocked read/write fails immediately
     // once the socket is shut down), then join everything.
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (auto& c : conns_) {

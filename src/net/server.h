@@ -12,6 +12,8 @@
 #include "engine/concurrent_db.h"
 #include "net/protocol.h"
 #include "obs/metrics.h"
+#include "repl/follower.h"
+#include "repl/sender.h"
 #include "util/status.h"
 
 /// \file
@@ -53,15 +55,39 @@ struct ServerOptions {
   int read_timeout_ms = 5000;
   int write_timeout_ms = 5000;
   /// How long Shutdown waits for in-flight requests before force-closing.
+  /// Overridable at process level with `CDBS_NET_DRAIN_MS` (strict-parsed:
+  /// a whole non-negative integer, anything else warns and keeps this
+  /// default) — the ops knob for rolling restarts, no rebuild needed.
   int drain_timeout_ms = 2000;
+  /// Replication sender tuning, used when the served database has a
+  /// replication log (docs/REPLICATION.md).
+  repl::ReplicationSenderOptions repl;
 };
+
+/// Applies the `CDBS_NET_DRAIN_MS` environment knob to `drain_timeout_ms`.
+/// `raw` is the env value (nullptr/empty = unset, keep the default);
+/// malformed values warn on stderr and keep the default — the server must
+/// come up even with a bad knob. Exposed for unit tests.
+int ApplyDrainMsKnob(const char* raw, int drain_timeout_ms);
 
 /// A running server. Start it, talk to `port()`, Shutdown (or destroy) to
 /// drain and stop.
 class Server {
  public:
+  /// Serves `db` directly (a primary). When `db` has a replication log, a
+  /// ReplicationSender is attached and kSubscribe/kBootstrap streams are
+  /// served to followers.
   static Result<std::unique_ptr<Server>> Start(engine::ConcurrentXmlDb* db,
                                                const ServerOptions& options);
+
+  /// Serves a replica: reads come from `follower`'s database (bounded by
+  /// its staleness options), writes are rejected with kNotLeader, and a
+  /// kPromote request flips the node into a primary (serving writes and —
+  /// when the replica database has its own replication log — follower
+  /// streams). `follower` must outlive the server.
+  static Result<std::unique_ptr<Server>> StartReplica(
+      repl::Follower* follower, const ServerOptions& options);
+
   ~Server();
 
   Server(const Server&) = delete;
@@ -89,9 +115,14 @@ class Server {
     int fd = -1;
     std::thread thread;
     std::atomic<bool> done{false};
+    /// Became a replication push stream (kSubscribe). Streams only end
+    /// when the sender stops, so Shutdown drains them in a later phase
+    /// than request/response connections.
+    std::atomic<bool> stream{false};
   };
 
-  Server(engine::ConcurrentXmlDb* db, const ServerOptions& options);
+  Server(engine::ConcurrentXmlDb* db, repl::Follower* follower,
+         const ServerOptions& options);
 
   Status Listen();
   void AcceptLoop();
@@ -99,8 +130,17 @@ class Server {
   /// Executes one decoded request against the database.
   Response Execute(const Request& req);
   void ReapFinishedLocked();
+  /// The database writes (and bootstraps) go to: the primary's, or the
+  /// promoted replica's. Null on an unpromoted replica — writes bounce
+  /// with kNotLeader. The shared_ptr pin keeps a replica database alive
+  /// across a concurrent re-bootstrap swap.
+  engine::ConcurrentXmlDb* WriteDb(
+      std::shared_ptr<engine::ConcurrentXmlDb>* pin);
+  /// Attaches a replication sender to `db` if it has a replication log.
+  void MaybeAttachSender(engine::ConcurrentXmlDb* db);
 
-  engine::ConcurrentXmlDb* db_;
+  engine::ConcurrentXmlDb* db_;          // primary mode; null on a replica
+  repl::Follower* follower_ = nullptr;   // replica mode; null on a primary
   ServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -111,6 +151,14 @@ class Server {
   std::mutex conns_mu_;
   std::list<std::unique_ptr<Connection>> conns_;
   std::atomic<size_t> active_connections_{0};
+
+  /// Replication state. `sender_` exists while this node serves follower
+  /// streams (primary from Start; replica after promotion). `promoted_db_`
+  /// pins the replica database once promoted, so it outlives any follower
+  /// re-bootstrap bookkeeping.
+  std::mutex repl_mu_;
+  std::unique_ptr<repl::ReplicationSender> sender_;
+  std::shared_ptr<engine::ConcurrentXmlDb> promoted_db_;
 
   // serve.* / net.* metrics, in the process-wide registry.
   obs::Counter* requests_;

@@ -1,0 +1,239 @@
+#include "repl/replication.h"
+
+#include <chrono>
+#include <limits>
+#include <random>
+
+#include "engine/xml_db.h"
+
+namespace cdbs::repl {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+bool ReadU32(std::string_view data, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > data.size()) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data[*pos + i]))
+           << (8 * i);
+  }
+  *pos += 4;
+  *v = out;
+  return true;
+}
+
+bool ReadU64(std::string_view data, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > data.size()) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data[*pos + i]))
+           << (8 * i);
+  }
+  *pos += 8;
+  *v = out;
+  return true;
+}
+
+uint64_t MintEpoch() {
+  // Random, not sequential: two primaries must never mint the same epoch,
+  // or a follower could splice LSN streams from different incarnations.
+  std::random_device rd;
+  uint64_t epoch = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  epoch ^= static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  if (epoch == 0) epoch = 1;  // 0 means "no epoch" on the wire
+  return epoch;
+}
+
+}  // namespace
+
+std::string EncodeReplOps(const std::vector<ReplOp>& ops) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(ops.size()));
+  for (const ReplOp& op : ops) {
+    out.push_back(static_cast<char>(op.kind));
+    AppendU64(&out, op.target);
+    AppendU64(&out, op.new_id);
+    AppendU32(&out, static_cast<uint32_t>(op.tag.size()));
+    out.append(op.tag);
+  }
+  return out;
+}
+
+Status DecodeReplOps(std::string_view payload, std::vector<ReplOp>* out) {
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!ReadU32(payload, &pos, &count)) {
+    return Status::Corruption("repl batch truncated at count");
+  }
+  // Each op occupies at least 21 bytes; a count beyond that is corruption,
+  // not a huge batch.
+  if (static_cast<size_t>(count) * 21 > payload.size()) {
+    return Status::Corruption("repl batch count exceeds payload");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ReplOp op;
+    if (pos >= payload.size()) {
+      return Status::Corruption("repl batch truncated at op kind");
+    }
+    const uint8_t kind = static_cast<uint8_t>(payload[pos++]);
+    if (kind < static_cast<uint8_t>(ReplOp::Kind::kInsertBefore) ||
+        kind > static_cast<uint8_t>(ReplOp::Kind::kDelete)) {
+      return Status::Corruption("bad repl op kind " + std::to_string(kind));
+    }
+    op.kind = static_cast<ReplOp::Kind>(kind);
+    uint32_t tag_len = 0;
+    if (!ReadU64(payload, &pos, &op.target) ||
+        !ReadU64(payload, &pos, &op.new_id) ||
+        !ReadU32(payload, &pos, &tag_len)) {
+      return Status::Corruption("repl op truncated");
+    }
+    if (pos + tag_len > payload.size()) {
+      return Status::Corruption("repl op tag truncated");
+    }
+    op.tag.assign(payload.data() + pos, tag_len);
+    pos += tag_len;
+    out->push_back(std::move(op));
+  }
+  if (pos != payload.size()) {
+    return Status::Corruption("trailing bytes after repl batch");
+  }
+  return Status::OK();
+}
+
+namespace {
+constexpr uint8_t kBootstrapVersion = 1;
+}  // namespace
+
+std::string EncodeBootstrapSpec(const engine::BootstrapSpec& spec) {
+  std::string out;
+  out.reserve(1 + 3 * 8 + 8 * spec.ids.size() + spec.xml.size());
+  out.push_back(static_cast<char>(kBootstrapVersion));
+  AppendU64(&out, spec.next_id);
+  AppendU64(&out, spec.original_count);
+  AppendU64(&out, static_cast<uint64_t>(spec.ids.size()));
+  for (const engine::NodeId id : spec.ids) {
+    AppendU64(&out, static_cast<uint64_t>(id));
+  }
+  out.append(spec.xml);
+  return out;
+}
+
+Status DecodeBootstrapSpec(std::string_view blob, engine::BootstrapSpec* out) {
+  size_t pos = 0;
+  if (blob.empty() ||
+      static_cast<uint8_t>(blob[pos++]) != kBootstrapVersion) {
+    return Status::Corruption("bootstrap blob: missing or unknown version");
+  }
+  uint64_t count = 0;
+  if (!ReadU64(blob, &pos, &out->next_id) ||
+      !ReadU64(blob, &pos, &out->original_count) ||
+      !ReadU64(blob, &pos, &count)) {
+    return Status::Corruption("bootstrap blob: truncated header");
+  }
+  if (count > (blob.size() - pos) / 8) {
+    return Status::Corruption("bootstrap blob: id count exceeds payload");
+  }
+  out->ids.clear();
+  out->ids.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    if (!ReadU64(blob, &pos, &id)) {
+      return Status::Corruption("bootstrap blob: truncated id list");
+    }
+    if (id > std::numeric_limits<engine::NodeId>::max()) {
+      return Status::Corruption("bootstrap blob: id overflows NodeId");
+    }
+    out->ids.push_back(static_cast<engine::NodeId>(id));
+  }
+  out->xml.assign(blob.substr(pos));
+  return Status::OK();
+}
+
+ReplicationLog::ReplicationLog(obs::MetricRegistry* registry,
+                               ReplicationLogOptions options)
+    : wal_(registry), options_(options) {
+  appends_ = registry->GetCounter("repl.log.appends",
+                                  "Record batches appended to the repl log");
+  bytes_appended_ = registry->GetCounter(
+      "repl.log.bytes_appended", "Bytes appended to the repl log");
+  evictions_ = registry->GetCounter(
+      "repl.log.evictions",
+      "Retention evictions (whole-log resets) of the repl log");
+}
+
+Status ReplicationLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CDBS_RETURN_NOT_OK(wal_.Open(path));
+  std::vector<std::string> discard;
+  CDBS_RETURN_NOT_OK(wal_.Recover(&discard));  // restores the LSN counter
+  std::vector<storage::WalRecord> records;
+  CDBS_RETURN_NOT_OK(wal_.ReadFrom(0, &records));
+  oldest_lsn_ = records.empty() ? wal_.next_lsn() : records.front().lsn;
+  epoch_ = MintEpoch();
+  return Status::OK();
+}
+
+Result<uint64_t> ReplicationLog::Append(const std::vector<ReplOp>& ops) {
+  const std::string payload = EncodeReplOps(ops);
+  std::lock_guard<std::mutex> lock(mu_);
+  CDBS_RETURN_NOT_OK(wal_.Append(payload));
+  const uint64_t lsn = wal_.last_lsn();
+  appends_->Increment();
+  bytes_appended_->Increment(payload.size());
+  if (wal_.size_bytes() > options_.retain_bytes) {
+    // Whole-log eviction: crude but O(1), and correct because the floor
+    // moves with it — a reader below the floor is told to bootstrap
+    // instead of silently skipping records.
+    CDBS_RETURN_NOT_OK(wal_.Reset());
+    oldest_lsn_ = wal_.next_lsn();
+    evictions_->Increment();
+  }
+  return lsn;
+}
+
+Status ReplicationLog::ReadFrom(uint64_t lsn,
+                                std::vector<ReplRecord>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lsn < oldest_lsn_) {
+    return Status::OutOfRange(
+        "lsn " + std::to_string(lsn) + " evicted (retention floor " +
+        std::to_string(oldest_lsn_) + "); bootstrap required");
+  }
+  std::vector<storage::WalRecord> raw;
+  CDBS_RETURN_NOT_OK(wal_.ReadFrom(lsn, &raw));
+  out->reserve(out->size() + raw.size());
+  for (storage::WalRecord& rec : raw) {
+    ReplRecord decoded;
+    decoded.lsn = rec.lsn;
+    CDBS_RETURN_NOT_OK(DecodeReplOps(rec.payload, &decoded.ops));
+    out->push_back(std::move(decoded));
+  }
+  return Status::OK();
+}
+
+uint64_t ReplicationLog::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.last_lsn();
+}
+
+uint64_t ReplicationLog::oldest_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return oldest_lsn_;
+}
+
+}  // namespace cdbs::repl

@@ -1,0 +1,136 @@
+#ifndef CDBS_REPL_REPLICATION_H_
+#define CDBS_REPL_REPLICATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+/// \file
+/// Logical replication records and the primary's replication log
+/// (docs/REPLICATION.md).
+///
+/// CDBS replication ships *logical* operations, not label-page images: the
+/// paper's labeling is deterministic (insertions never relabel existing
+/// nodes, Theorem 3.1, and label assignment depends only on the neighbour
+/// labels), so a follower that applies the same operation sequence to the
+/// same starting document derives bit-identical labels and node ids. Each
+/// committed group becomes one `ReplRecord` — a batch of `ReplOp`s stamped
+/// with the commit LSN — appended post-fsync to a dedicated `storage::Wal`
+/// that acts as a bounded retention buffer for follower catch-up. Live
+/// followers receive records pushed over their subscribe stream; a
+/// follower that reconnects resumes with `ReadFrom(last_applied + 1)`, and
+/// one that has fallen behind the retention window (or carries LSNs from a
+/// different primary incarnation, detected via the epoch) falls back to a
+/// full snapshot bootstrap.
+
+namespace cdbs::engine {
+struct BootstrapSpec;
+}  // namespace cdbs::engine
+
+namespace cdbs::repl {
+
+/// One logical, committed mutation. `new_id` is the node id the primary
+/// assigned (inserts) — the follower re-derives the same id and uses the
+/// field to detect divergence, which forces a re-bootstrap.
+struct ReplOp {
+  enum class Kind : uint8_t {
+    kInsertBefore = 1,
+    kInsertAfter = 2,
+    kDelete = 3,
+  };
+  Kind kind = Kind::kInsertBefore;
+  uint64_t target = 0;
+  uint64_t new_id = 0;  // inserts: assigned node id; deletes: removed count
+  std::string tag;      // inserts only
+};
+
+/// One replication-stream record: the ops of one committed group, stamped
+/// with the commit LSN the record carries in its WAL header.
+struct ReplRecord {
+  uint64_t lsn = 0;
+  std::vector<ReplOp> ops;
+};
+
+/// Serializes a batch of ops into one WAL/wire payload.
+std::string EncodeReplOps(const std::vector<ReplOp>& ops);
+
+/// Decodes a payload produced by EncodeReplOps. Corruption on any
+/// truncated or malformed field.
+Status DecodeReplOps(std::string_view payload, std::vector<ReplOp>* out);
+
+/// Serializes a bootstrap spec (engine::BootstrapSpec — the serialized
+/// tree plus its id-space history) into one wire blob:
+///   [u8 version=1][u64 next_id][u64 original_count]
+///   [u64 id_count][id_count x u64 ids][xml bytes to end of blob]
+std::string EncodeBootstrapSpec(const engine::BootstrapSpec& spec);
+
+/// Decodes a blob produced by EncodeBootstrapSpec. Corruption on any
+/// truncated, malformed or unknown-version blob.
+Status DecodeBootstrapSpec(std::string_view blob, engine::BootstrapSpec* out);
+
+struct ReplicationLogOptions {
+  /// Retention bound: once the log file exceeds this many bytes the whole
+  /// file is evicted (storage::Wal::Reset — LSNs keep counting). Catch-up
+  /// readers below the post-eviction floor get kOutOfRange and must
+  /// bootstrap. Small by design: the log is a catch-up buffer, not the
+  /// durability store (the label store's own WAL is).
+  uint64_t retain_bytes = 4ull << 20;
+};
+
+/// The primary's replication log: an LSN-stamped `storage::Wal` of encoded
+/// ReplRecords plus the primary-incarnation epoch. Thread-safe: the
+/// group-commit writer appends while follower connections read.
+class ReplicationLog {
+ public:
+  explicit ReplicationLog(obs::MetricRegistry* registry,
+                          ReplicationLogOptions options = {});
+
+  /// Opens (creating if missing) the log file and mints this incarnation's
+  /// epoch. An existing file restores the LSN counter so the sequence
+  /// continues across restarts, but the epoch always changes — a follower
+  /// holding LSNs from the previous incarnation re-bootstraps rather than
+  /// trusting coordinates across a restart it cannot vouch for.
+  Status Open(const std::string& path);
+
+  /// Appends one committed group; returns its LSN. Does not fsync: the
+  /// log's loss model is "primary restart re-mints the epoch and followers
+  /// re-bootstrap", so retention — not durability — is its contract.
+  Result<uint64_t> Append(const std::vector<ReplOp>& ops);
+
+  /// Reads every retained record with lsn >= `lsn`, in order. Returns
+  /// kOutOfRange when `lsn` precedes the retention floor (the reader must
+  /// snapshot-bootstrap instead).
+  Status ReadFrom(uint64_t lsn, std::vector<ReplRecord>* out) const;
+
+  /// LSN of the most recently appended record (0 = none yet).
+  uint64_t last_lsn() const;
+
+  /// Smallest LSN still retained; equals `last_lsn() + 1` when the log was
+  /// just evicted or never written.
+  uint64_t oldest_lsn() const;
+
+  /// This primary incarnation's identity, stamped on every stream frame.
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  mutable std::mutex mu_;
+  storage::Wal wal_;
+  ReplicationLogOptions options_;
+  uint64_t oldest_lsn_ = 1;
+  uint64_t epoch_ = 0;
+
+  obs::Counter* appends_;
+  obs::Counter* bytes_appended_;
+  obs::Counter* evictions_;
+};
+
+}  // namespace cdbs::repl
+
+#endif  // CDBS_REPL_REPLICATION_H_

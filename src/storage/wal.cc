@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -16,11 +17,17 @@ namespace cdbs::storage {
 
 namespace {
 
-constexpr size_t kRecordHeader = 8;  // u32 crc32c + u32 len
+constexpr size_t kRecordHeader = 16;  // u32 crc32c + u32 len + u64 lsn
 
 void PutU32(char* dst, uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
+void PutU64(char* dst, uint64_t v) { std::memcpy(dst, &v, sizeof(v)); }
 uint32_t GetU32(const char* src) {
   uint32_t v = 0;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const char* src) {
+  uint64_t v = 0;
   std::memcpy(&v, src, sizeof(v));
   return v;
 }
@@ -104,11 +111,13 @@ Status Wal::AppendBatch(const std::vector<std::string_view>& payloads) {
   }
   std::string buf(total, '\0');
   char* out = buf.data();
+  uint64_t lsn = next_lsn_;
   for (const std::string_view payload : payloads) {
     const uint32_t len = static_cast<uint32_t>(payload.size());
     PutU32(out + 4, len);
+    PutU64(out + 8, lsn++);
     std::memcpy(out + kRecordHeader, payload.data(), payload.size());
-    PutU32(out, util::Crc32c(out + 4, 4 + payload.size()));
+    PutU32(out, util::Crc32c(out + 4, kRecordHeader - 4 + payload.size()));
     out += kRecordHeader + payload.size();
   }
 
@@ -123,6 +132,7 @@ Status Wal::AppendBatch(const std::vector<std::string_view>& payloads) {
   }
   CDBS_RETURN_NOT_OK(WriteAt(end_offset_, buf.data(), buf.size()));
   end_offset_ += buf.size();
+  next_lsn_ = lsn;
   appends_->Increment(payloads.size());
   global_appends_->Increment(payloads.size());
   bytes_written_->Increment(buf.size());
@@ -167,6 +177,7 @@ Status Wal::Recover(std::vector<std::string>* payloads) {
     }
     const uint32_t crc = GetU32(header);
     const uint32_t len = GetU32(header + 4);
+    const uint64_t lsn = GetU64(header + 8);
     if (offset + kRecordHeader + len > size) {
       torn = true;  // length runs past the tail: torn append
       break;
@@ -178,7 +189,7 @@ Status Wal::Recover(std::vector<std::string>* payloads) {
             static_cast<ssize_t>(len)) {
       return Status::IoError("pread failed on WAL payload");
     }
-    uint32_t actual = util::Crc32c(header + 4, 4);
+    uint32_t actual = util::Crc32c(header + 4, kRecordHeader - 4);
     actual = util::Crc32c(payload.data(), payload.size(),
                           actual);
     if (actual != crc) {
@@ -188,6 +199,7 @@ Status Wal::Recover(std::vector<std::string>* payloads) {
       break;
     }
     payloads->push_back(std::move(payload));
+    if (lsn + 1 > next_lsn_) next_lsn_ = lsn + 1;
     replayed_records_->Increment();
     global_replayed_->Increment();
     offset += kRecordHeader + len;
@@ -200,6 +212,44 @@ Status Wal::Recover(std::vector<std::string>* payloads) {
     truncated_bytes_->Increment(size - offset);
   }
   end_offset_ = offset;
+  return Status::OK();
+}
+
+Status Wal::ReadFrom(uint64_t lsn, std::vector<WalRecord>* out) const {
+  if (fd_ < 0) return Status::Internal("WAL not open");
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Status::IoError("fstat failed on WAL");
+  // Bound the scan to the logical tail: bytes past end_offset_ belong to
+  // an append that has not completed (or a torn tail Recover has not seen
+  // yet) and must not be surfaced to a cursor.
+  const uint64_t size =
+      std::min(static_cast<uint64_t>(st.st_size), end_offset_);
+  uint64_t offset = 0;
+  while (offset + kRecordHeader <= size) {
+    char header[kRecordHeader];
+    if (::pread(fd_, header, kRecordHeader, static_cast<off_t>(offset)) !=
+        static_cast<ssize_t>(kRecordHeader)) {
+      return Status::IoError("pread failed on WAL header");
+    }
+    const uint32_t crc = GetU32(header);
+    const uint32_t len = GetU32(header + 4);
+    const uint64_t record_lsn = GetU64(header + 8);
+    if (offset + kRecordHeader + len > size) break;  // torn tail: stop
+    std::string payload(len, '\0');
+    if (len > 0 &&
+        ::pread(fd_, payload.data(), len,
+                static_cast<off_t>(offset + kRecordHeader)) !=
+            static_cast<ssize_t>(len)) {
+      return Status::IoError("pread failed on WAL payload");
+    }
+    uint32_t actual = util::Crc32c(header + 4, kRecordHeader - 4);
+    actual = util::Crc32c(payload.data(), payload.size(), actual);
+    if (actual != crc) break;  // checksum-failing tail: stop, no truncate
+    if (record_lsn >= lsn) {
+      out->push_back(WalRecord{record_lsn, std::move(payload)});
+    }
+    offset += kRecordHeader + len;
+  }
   return Status::OK();
 }
 

@@ -16,12 +16,26 @@
 /// a torn tail (truncated on recovery, pre-update state wins). Record
 /// layout and the recovery protocol are documented in docs/DURABILITY.md.
 ///
-/// On-disk record: `[u32 crc32c][u32 len][len payload bytes]`, little-
-/// endian, where the CRC covers the length field plus the payload — a
-/// record whose length was torn mid-write fails its checksum instead of
-/// misparsing the tail.
+/// On-disk record: `[u32 crc32c][u32 len][u64 lsn][len payload bytes]`,
+/// little-endian, where the CRC covers the length field, the LSN and the
+/// payload — a record whose length or LSN was torn mid-write fails its
+/// checksum instead of misparsing the tail.
+///
+/// Every record carries a monotonically increasing log sequence number
+/// (LSN), assigned at append time and persisted in the header. LSNs let a
+/// reader resume from where it left off (`ReadFrom`) — the cursor the
+/// replication layer (docs/REPLICATION.md) uses for follower catch-up —
+/// and survive reopen: `Recover` restores the counter from the last intact
+/// record. `Reset` empties the file but never rewinds the counter, so an
+/// LSN is never reused within one WAL lifetime.
 
 namespace cdbs::storage {
+
+/// One recovered or cursor-read WAL record: its persisted LSN + payload.
+struct WalRecord {
+  uint64_t lsn = 0;
+  std::string payload;
+};
 
 class Wal {
  public:
@@ -34,6 +48,9 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   /// Opens (creating if missing) the log file, preserving its contents.
+  /// The LSN counter is *not* derived here — call `Recover` to scan the
+  /// file and restore it (Open alone leaves the counter at its current
+  /// value, 1 for a fresh handle).
   Status Open(const std::string& path);
 
   /// Appends one record at the current tail. Does not sync.
@@ -44,7 +61,8 @@ class Wal {
   /// batch many logical records with AppendBatch, then pay for ONE `Sync`.
   /// A crash before the sync leaves an all-or-prefix tail — `Recover`
   /// replays whichever leading records are intact and truncates the rest
-  /// at a record boundary.
+  /// at a record boundary. Each record gets the next consecutive LSN; on
+  /// success `last_lsn()` is the LSN of the final record written.
   Status AppendBatch(const std::vector<std::string_view>& payloads);
 
   /// Flushes the log to stable storage.
@@ -53,15 +71,35 @@ class Wal {
   /// Scans the log from the start, appending every intact payload to
   /// `payloads`. A torn or checksum-failing tail is truncated away (the
   /// file is physically cut at the last intact record boundary); intact
-  /// records before the tear are still returned.
+  /// records before the tear are still returned. Restores the LSN counter:
+  /// after Recover, `next_lsn()` is one past the last intact record (or
+  /// unchanged when the log is empty).
   Status Recover(std::vector<std::string>* payloads);
 
+  /// Read-only cursor: appends every intact record whose LSN is >= `lsn`
+  /// to `out`, in log order. Unlike `Recover` this never truncates — a
+  /// torn or checksum-failing tail simply ends the scan (the intact prefix
+  /// is still returned), so it is safe to call on a live log between
+  /// appends. Records below `lsn` are skipped, which is how a resumed
+  /// cursor avoids re-reading what it already consumed.
+  Status ReadFrom(uint64_t lsn, std::vector<WalRecord>* out) const;
+
   /// Empties the log (after a checkpoint: the store's pages and header are
-  /// durable, so the logged batch is no longer needed).
+  /// durable, so the logged batch is no longer needed). The LSN counter is
+  /// preserved — records appended after a Reset continue the sequence, so
+  /// a reader that saw LSN n can detect that records (n, m) were evicted
+  /// rather than silently miss them.
   Status Reset();
 
   /// Current log tail offset in bytes.
   uint64_t size_bytes() const { return end_offset_; }
+
+  /// LSN the next appended record will receive. Monotonic, never reused.
+  uint64_t next_lsn() const { return next_lsn_; }
+
+  /// LSN of the most recently appended record; 0 if nothing was ever
+  /// appended (or recovered) through this handle.
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
 
   const std::string& path() const { return path_; }
 
@@ -71,6 +109,7 @@ class Wal {
   int fd_ = -1;
   std::string path_;
   uint64_t end_offset_ = 0;
+  uint64_t next_lsn_ = 1;
   bool crashed_ = false;  // poisoned by an injected crash failpoint
 
   // Private counters and their process-wide mirrors.

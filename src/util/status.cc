@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kRetryAfter:
       return "RetryAfter";
+    case StatusCode::kNotLeader:
+      return "NotLeader";
   }
   return "Unknown";
 }

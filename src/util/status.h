@@ -28,6 +28,7 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,  ///< the request's deadline passed before completion
   kRetryAfter,        ///< load shed; retry after a server-suggested backoff
+  kNotLeader,         ///< write sent to a replica; redirect to the primary
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -77,6 +78,9 @@ class Status {
   }
   static Status RetryAfter(std::string msg) {
     return Status(StatusCode::kRetryAfter, std::move(msg));
+  }
+  static Status NotLeader(std::string msg) {
+    return Status(StatusCode::kNotLeader, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

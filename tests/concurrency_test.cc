@@ -139,6 +139,62 @@ TEST(BoundedQueueTest, PushUntilTimesOutOnFullQueue) {
             BoundedQueue<int>::PushOutcome::kClosed);
 }
 
+TEST(BoundedQueueTest, PopBatchUntilTimesOutIdlesAndReportsClosure) {
+  BoundedQueue<int> q(4);
+  std::vector<int> out;
+  bool closed = false;
+
+  // Empty queue + expired wait: returns 0 without touching closed_out —
+  // the consumer treats it as an idle tick (e.g. a heartbeat), not exit.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.PopBatchUntil(&out, 10, cdbs::util::Deadline::AfterMillis(30),
+                            &closed),
+            0u);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 25);
+  EXPECT_FALSE(closed);
+
+  // Queued items pop immediately, bounded by max_items, FIFO.
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  ASSERT_TRUE(q.Push(3));
+  EXPECT_EQ(q.PopBatchUntil(&out, 2, cdbs::util::Deadline::AfterMillis(1000),
+                            &closed),
+            2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(closed);  // an item remains; not drained
+
+  // Drain the leftover so the queue is empty again.
+  out.clear();
+  EXPECT_EQ(q.PopBatchUntil(&out, 10, cdbs::util::Deadline::AfterMillis(1000),
+                            &closed),
+            1u);
+  EXPECT_EQ(out, (std::vector<int>{3}));
+  EXPECT_FALSE(closed);
+
+  // A sleeping consumer wakes when an item arrives, well before timeout.
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    static_cast<void>(q.Push(4));
+  });
+  out.clear();
+  EXPECT_EQ(q.PopBatchUntil(&out, 10, cdbs::util::Deadline::AfterMillis(5000),
+                            &closed),
+            1u);
+  EXPECT_EQ(out, (std::vector<int>{4}));
+  producer.join();
+  EXPECT_FALSE(closed);
+
+  // Close on an empty queue: the wait returns 0 at once, closure reported.
+  q.Close();
+  out.clear();
+  EXPECT_EQ(q.PopBatchUntil(&out, 10, cdbs::util::Deadline::AfterMillis(1000),
+                            &closed),
+            0u);
+  EXPECT_TRUE(closed);
+}
+
 // --------------------------------------------------------------------------
 // ThreadPool
 

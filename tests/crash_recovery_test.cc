@@ -191,6 +191,65 @@ TEST_F(CrashMatrixTest, TransientFailureThenRetrySucceeds) {
   EXPECT_EQ(ReadAll(&survivor), ReadAll(&store));
 }
 
+// A crash during recovery itself (the post-replay fsync dies) leaves the
+// WAL intact, so the next open replays the very same records on top of
+// already-patched pages. Full page images make that redo idempotent: the
+// double-replayed store is exactly the intended post state, and the
+// completed recovery finally checkpoints the WAL away.
+TEST_F(CrashMatrixTest, InterruptedRecoveryReplaysIdempotently) {
+  const std::vector<std::string> pre = {"one", "two", "three"};
+  const std::vector<std::string> post = {"one", "TWO", "three", "four"};
+  {
+    LabelStore store;
+    ASSERT_TRUE(store.Open(path_).ok());
+    ASSERT_TRUE(store.BulkLoad(pre, 8).ok());
+    StoreBatch batch;
+    batch.Rewrite(1, "TWO");
+    batch.Append("four");
+    // Crash after the WAL group is durable but before any page lands.
+    ASSERT_TRUE(
+        Failpoints::Activate("storage.write_page.crash", "oneshot").ok());
+    EXPECT_FALSE(store.ApplyBatch(batch).ok());
+    Failpoints::Deactivate("storage.write_page.crash");
+  }
+
+  // First reopen: redo replays the batch, then dies in the post-replay
+  // fsync — pages patched, WAL checkpoint never reached.
+  {
+    const uint64_t before = Failpoints::InjectionCount("storage.sync.crash");
+    ASSERT_TRUE(Failpoints::Activate("storage.sync.crash", "oneshot").ok());
+    LabelStore half;
+    EXPECT_FALSE(half.OpenExisting(path_).ok());
+    Failpoints::Deactivate("storage.sync.crash");
+    ASSERT_GT(Failpoints::InjectionCount("storage.sync.crash"), before)
+        << "recovery never reached its fsync";
+  }
+
+  // Second reopen: the same WAL records replay again over already-applied
+  // pages. Clean checksums, exactly the post state, one replay pass.
+  LabelStore survivor;
+  ASSERT_TRUE(survivor.OpenExisting(path_).ok());
+  ASSERT_TRUE(survivor.VerifyChecksums().ok());
+  EXPECT_EQ(ReadAll(&survivor), post);
+  uint64_t replays = 0;
+  for (const auto& m : survivor.metrics().Snapshot()) {
+    if (m.name == "storage.recovery.replays") replays = m.counter_value;
+  }
+  EXPECT_EQ(replays, 1u);
+
+  // That recovery completed, so it checkpointed: a third open finds an
+  // empty WAL and nothing to redo.
+  LabelStore third;
+  ASSERT_TRUE(third.OpenExisting(path_).ok());
+  ASSERT_TRUE(third.VerifyChecksums().ok());
+  EXPECT_EQ(ReadAll(&third), post);
+  replays = 0;
+  for (const auto& m : third.metrics().Snapshot()) {
+    if (m.name == "storage.recovery.replays") replays = m.counter_value;
+  }
+  EXPECT_EQ(replays, 0u) << "WAL must be empty after a completed recovery";
+}
+
 // A single injected I/O error is absorbed by retry-with-backoff: the batch
 // succeeds and the retry counter moves.
 TEST_F(CrashMatrixTest, OneTransientErrorIsRetriedAway) {

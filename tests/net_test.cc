@@ -33,7 +33,8 @@ TEST(ProtocolTest, RequestRoundtripsEveryOpcode) {
   for (Opcode op :
        {Opcode::kPing, Opcode::kQuery, Opcode::kInsertBefore,
         Opcode::kInsertAfter, Opcode::kDelete, Opcode::kStats,
-        Opcode::kIntrospect}) {
+        Opcode::kIntrospect, Opcode::kSubscribe, Opcode::kBootstrap,
+        Opcode::kPromote, Opcode::kReplAck}) {
     Request req;
     req.op = op;
     req.request_id = 0x1122334455667788ull;
@@ -41,6 +42,7 @@ TEST(ProtocolTest, RequestRoundtripsEveryOpcode) {
     req.xpath = "//b[1]/c";
     req.target = 0xDEADBEEFull;
     req.tag = "element-tag";
+    req.epoch = 0x0F1E2D3C4B5A6978ull;
     req.trace_id = 0xA1B2C3D4E5F60718ull;
     Request out;
     ASSERT_TRUE(DecodeRequest(EncodeRequest(req), &out).ok())
@@ -57,10 +59,57 @@ TEST(ProtocolTest, RequestRoundtripsEveryOpcode) {
       EXPECT_EQ(out.target, req.target);
       EXPECT_EQ(out.tag, req.tag);
     }
-    if (op == Opcode::kDelete) {
+    if (op == Opcode::kDelete || op == Opcode::kReplAck) {
       EXPECT_EQ(out.target, req.target);
     }
+    if (op == Opcode::kSubscribe) {
+      EXPECT_EQ(out.target, req.target);
+      EXPECT_EQ(out.epoch, req.epoch);
+    }
   }
+}
+
+TEST(ProtocolTest, ReplicationResponsesRoundtripLsnEpochAndBlob) {
+  // kSubscribe / kPromote carry an LSN + epoch; kBootstrap / kReplBatch
+  // additionally carry a blob (the snapshot image or the encoded batch).
+  for (Opcode op : {Opcode::kSubscribe, Opcode::kPromote}) {
+    Response resp;
+    resp.request_id = 11;
+    resp.op = op;
+    resp.code = StatusCode::kOk;
+    resp.id_or_count = 0x123456789ABCDEF0ull;
+    resp.epoch = 0xFEDCBA9876543210ull;
+    Response out;
+    ASSERT_TRUE(DecodeResponse(EncodeResponse(resp), &out).ok())
+        << "opcode " << static_cast<int>(op);
+    EXPECT_EQ(out.id_or_count, resp.id_or_count);
+    EXPECT_EQ(out.epoch, resp.epoch);
+  }
+  for (Opcode op : {Opcode::kBootstrap, Opcode::kReplBatch}) {
+    Response resp;
+    resp.request_id = 12;
+    resp.op = op;
+    resp.code = StatusCode::kOk;
+    resp.id_or_count = 42;
+    resp.epoch = 7;
+    resp.blob = std::string("binary\x00payload", 14);
+    Response out;
+    ASSERT_TRUE(DecodeResponse(EncodeResponse(resp), &out).ok())
+        << "opcode " << static_cast<int>(op);
+    EXPECT_EQ(out.id_or_count, resp.id_or_count);
+    EXPECT_EQ(out.epoch, resp.epoch);
+    EXPECT_EQ(out.blob, resp.blob);
+  }
+  // An empty kReplBatch blob (a heartbeat) survives too.
+  Response hb;
+  hb.op = Opcode::kReplBatch;
+  hb.code = StatusCode::kOk;
+  hb.id_or_count = 99;  // primary's last LSN rides on heartbeats
+  hb.epoch = 3;
+  Response out;
+  ASSERT_TRUE(DecodeResponse(EncodeResponse(hb), &out).ok());
+  EXPECT_EQ(out.id_or_count, 99u);
+  EXPECT_TRUE(out.blob.empty());
 }
 
 TEST(ProtocolTest, ResponseRoundtripsResultsAndErrors) {
@@ -200,6 +249,34 @@ TEST(ProtocolTest, IdempotencyClassification) {
   EXPECT_FALSE(IsIdempotent(Opcode::kInsertBefore));
   EXPECT_FALSE(IsIdempotent(Opcode::kInsertAfter));
   EXPECT_FALSE(IsIdempotent(Opcode::kDelete));
+  // Replication control ops are all safely resendable: subscribing again,
+  // re-requesting a snapshot, re-promoting an already-promoted node, and
+  // re-reporting applied progress are no-ops the second time.
+  EXPECT_TRUE(IsIdempotent(Opcode::kSubscribe));
+  EXPECT_TRUE(IsIdempotent(Opcode::kBootstrap));
+  EXPECT_TRUE(IsIdempotent(Opcode::kPromote));
+  EXPECT_TRUE(IsIdempotent(Opcode::kReplAck));
+  EXPECT_FALSE(IsIdempotent(Opcode::kReplBatch));  // server-push only
+}
+
+// --------------------------------------------------------------------------
+// CDBS_NET_DRAIN_MS knob (strict parse, like the CDBS_TRACE_* knobs)
+
+TEST(ServerKnobTest, DrainMsKnobParsesWholeNonNegativeIntegersOnly) {
+  // Unset or empty keeps the compiled-in default.
+  EXPECT_EQ(ApplyDrainMsKnob(nullptr, 2000), 2000);
+  EXPECT_EQ(ApplyDrainMsKnob("", 2000), 2000);
+  // Valid values override it, zero included (drain = force-close now).
+  EXPECT_EQ(ApplyDrainMsKnob("750", 2000), 750);
+  EXPECT_EQ(ApplyDrainMsKnob("0", 2000), 0);
+  // Anything short of a whole non-negative integer warns and keeps the
+  // default: the server must come up even with a mangled knob.
+  EXPECT_EQ(ApplyDrainMsKnob(" 750", 2000), 2000);   // leading space
+  EXPECT_EQ(ApplyDrainMsKnob("750ms", 2000), 2000);  // trailing unit
+  EXPECT_EQ(ApplyDrainMsKnob("-5", 2000), 2000);     // negative
+  EXPECT_EQ(ApplyDrainMsKnob("7.5", 2000), 2000);    // fractional
+  EXPECT_EQ(ApplyDrainMsKnob("abc", 2000), 2000);    // garbage
+  EXPECT_EQ(ApplyDrainMsKnob("99999999999999999999", 2000), 2000);  // overflow
 }
 
 // --------------------------------------------------------------------------
@@ -345,15 +422,43 @@ TEST_F(NetTest, DeadlineTravelsToTheServerAndShedsQueuedWork) {
   ASSERT_TRUE(
       util::Failpoints::Activate("engine.concurrent.read.delay", "delay=150")
           .ok());
-  // 30ms of budget against a 150ms reader delay: the engine sheds it after
-  // the delay, and the client reports the server's authoritative verdict.
+  // 30ms of budget against a 150ms reader delay: the client's socket reads
+  // are clamped to the remaining budget, so it gives up on time instead of
+  // waiting out the delay; the server independently sheds the expired work
+  // once the reader reaches it.
   Result<std::vector<uint64_t>> shed =
       (*client)->Query("//b", util::Deadline::AfterMillis(30));
   util::Failpoints::Deactivate("engine.concurrent.read.delay");
   EXPECT_EQ(shed.status().code(), StatusCode::kDeadlineExceeded);
+  // The server is still inside the injected delay when the client returns;
+  // wait for it to record the shed.
+  const util::Deadline observed = util::Deadline::AfterMillis(2000);
+  while (server_->deadline_exceeded() == 0 && !observed.expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   EXPECT_GE(server_->deadline_exceeded(), 1u);
   // Plenty of budget afterwards: same query succeeds.
   EXPECT_TRUE((*client)->Query("//b", util::Deadline::AfterMillis(5000)).ok());
+}
+
+TEST_F(NetTest, PerIoTimeoutsAreClampedToTheCallDeadline) {
+  // The server sits in a 1000ms injected per-request delay while the caller
+  // has a 150ms budget and a 5000ms io_timeout. Without the per-IO clamp
+  // the frame read would block until the server finally answered (~1s);
+  // with it, every socket operation is bounded by the remaining budget, so
+  // the call returns kDeadlineExceeded close to the deadline.
+  ASSERT_TRUE(
+      util::Failpoints::Activate("net.conn.delay", "delay=1000").ok());
+  auto client = CdbsClient::Connect(ClientFor(/*max_attempts=*/2));
+  ASSERT_TRUE(client.ok());
+  const auto start = std::chrono::steady_clock::now();
+  const Status s = (*client)->Ping(util::Deadline::AfterMillis(150));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  util::Failpoints::Deactivate("net.conn.delay");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.message();
+  EXPECT_LT(elapsed.count(), 700)
+      << "socket read overshot the caller's deadline";
 }
 
 TEST_F(NetTest, FullWriteQueueShedsWithRetryAfterOnTheRawWire) {

@@ -116,9 +116,9 @@ TEST_F(WalTest, RecoverTruncatesRecordWithLengthPastEof) {
     ASSERT_TRUE(wal.Sync().ok());
   }
   const uint64_t intact_size = FileSize();
-  // A full 8-byte header whose length field points far past the tail —
+  // A full 16-byte header whose length field points far past the tail —
   // the payload never made it to disk.
-  std::string header(8, '\0');
+  std::string header(16, '\0');
   header[4] = static_cast<char>(0xFF);
   header[5] = static_cast<char>(0xFF);
   AppendRawBytes(header);
@@ -143,7 +143,7 @@ TEST_F(WalTest, BitFlipDropsRecordAndCountsChecksumFailure) {
     ASSERT_TRUE(wal.Sync().ok());
   }
   // Flip one payload byte inside the second record.
-  FlipByteAt(static_cast<long>(first_record_end) + 8 + 2);
+  FlipByteAt(static_cast<long>(first_record_end) + 16 + 2);
 
   Wal reopened(&registry_);
   ASSERT_TRUE(reopened.Open(path_).ok());
@@ -224,11 +224,11 @@ TEST_F(WalTest, PartiallySyncedBatchRecoversIntactPrefix) {
     ASSERT_TRUE(wal.AppendBatch({"batch-one", "batch-two"}).ok());
     ASSERT_TRUE(wal.Sync().ok());
   }
-  // Record layout: 8-byte header + payload. Cut the file mid-way through
+  // Record layout: 16-byte header + payload. Cut the file mid-way through
   // the second record's payload, as a crash between write-out and fsync
   // would.
-  const uint64_t first_record_size = 8 + std::string("batch-one").size();
-  TruncateTo(first_record_size + 8 + 3);
+  const uint64_t first_record_size = 16 + std::string("batch-one").size();
+  TruncateTo(first_record_size + 16 + 3);
 
   Wal reopened(&registry_);
   ASSERT_TRUE(reopened.Open(path_).ok());
@@ -261,7 +261,130 @@ TEST_F(WalTest, InjectedShortWriteTearsBatchAtRecordBoundary) {
   ASSERT_EQ(payloads.size(), 2u);
   EXPECT_EQ(payloads[0], "durable");
   EXPECT_EQ(payloads[1], "tiny");
-  EXPECT_EQ(reopened.size_bytes(), intact_size + 8 + 4);
+  EXPECT_EQ(reopened.size_bytes(), intact_size + 16 + 4);
+}
+
+TEST_F(WalTest, LsnsAreMonotonicAndSurviveReopen) {
+  {
+    Wal wal(&registry_);
+    ASSERT_TRUE(wal.Open(path_).ok());
+    EXPECT_EQ(wal.next_lsn(), 1u);
+    EXPECT_EQ(wal.last_lsn(), 0u);
+    ASSERT_TRUE(wal.AppendBatch({"one", "two"}).ok());
+    EXPECT_EQ(wal.last_lsn(), 2u);
+    ASSERT_TRUE(wal.Append("three").ok());
+    EXPECT_EQ(wal.last_lsn(), 3u);
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  // A reopened handle restores the counter from the persisted headers: the
+  // next record continues the sequence instead of reusing LSN 1.
+  Wal reopened(&registry_);
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(reopened.Recover(&payloads).ok());
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(reopened.next_lsn(), 4u);
+  ASSERT_TRUE(reopened.Append("four").ok());
+  EXPECT_EQ(reopened.last_lsn(), 4u);
+}
+
+TEST_F(WalTest, ReadFromResumesMidFile) {
+  Wal wal(&registry_);
+  ASSERT_TRUE(wal.Open(path_).ok());
+  ASSERT_TRUE(wal.AppendBatch({"r1", "r2", "r3"}).ok());
+  ASSERT_TRUE(wal.AppendBatch({"r4", "r5"}).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+
+  // A fresh cursor sees everything, with the persisted LSNs.
+  std::vector<WalRecord> all;
+  ASSERT_TRUE(wal.ReadFrom(1, &all).ok());
+  ASSERT_EQ(all.size(), 5u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].lsn, i + 1);
+    EXPECT_EQ(all[i].payload, "r" + std::to_string(i + 1));
+  }
+
+  // A cursor resumed mid-file (a follower that already applied LSNs 1-3)
+  // skips the consumed prefix and picks up exactly at the requested LSN.
+  std::vector<WalRecord> resumed;
+  ASSERT_TRUE(wal.ReadFrom(4, &resumed).ok());
+  ASSERT_EQ(resumed.size(), 2u);
+  EXPECT_EQ(resumed[0].lsn, 4u);
+  EXPECT_EQ(resumed[0].payload, "r4");
+  EXPECT_EQ(resumed[1].lsn, 5u);
+  EXPECT_EQ(resumed[1].payload, "r5");
+
+  // Past the tail: empty, not an error (the cursor is simply caught up).
+  std::vector<WalRecord> caught_up;
+  ASSERT_TRUE(wal.ReadFrom(6, &caught_up).ok());
+  EXPECT_TRUE(caught_up.empty());
+}
+
+TEST_F(WalTest, ReadFromStopsCleanlyAtTornTail) {
+  {
+    Wal wal(&registry_);
+    ASSERT_TRUE(wal.Open(path_).ok());
+    ASSERT_TRUE(wal.AppendBatch({"intact-a", "intact-b"}).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  const uint64_t intact_size = FileSize();
+  AppendRawBytes("torn-header-fragment");
+
+  // A read-only cursor over the torn log returns the intact prefix and —
+  // unlike Recover — leaves the file untouched.
+  Wal reopened(&registry_);
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(reopened.ReadFrom(1, &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].payload, "intact-a");
+  EXPECT_EQ(records[1].payload, "intact-b");
+  EXPECT_GT(FileSize(), intact_size);  // no truncation happened
+
+  // Resuming across the tear: a cursor positioned past the last intact
+  // record sees nothing rather than garbage.
+  std::vector<WalRecord> past;
+  ASSERT_TRUE(reopened.ReadFrom(3, &past).ok());
+  EXPECT_TRUE(past.empty());
+}
+
+TEST_F(WalTest, ReadFromSkipsChecksumFailingTail) {
+  uint64_t first_record_end = 0;
+  {
+    Wal wal(&registry_);
+    ASSERT_TRUE(wal.Open(path_).ok());
+    ASSERT_TRUE(wal.Append("kept").ok());
+    first_record_end = wal.size_bytes();
+    ASSERT_TRUE(wal.Append("flipped").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  FlipByteAt(static_cast<long>(first_record_end) + 16 + 1);
+
+  Wal reopened(&registry_);
+  ASSERT_TRUE(reopened.Open(path_).ok());
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(reopened.ReadFrom(1, &records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].lsn, 1u);
+  EXPECT_EQ(records[0].payload, "kept");
+}
+
+TEST_F(WalTest, ResetPreservesLsnCounter) {
+  Wal wal(&registry_);
+  ASSERT_TRUE(wal.Open(path_).ok());
+  ASSERT_TRUE(wal.AppendBatch({"a", "b", "c"}).ok());
+  EXPECT_EQ(wal.last_lsn(), 3u);
+  ASSERT_TRUE(wal.Reset().ok());
+  EXPECT_EQ(wal.size_bytes(), 0u);
+  // The sequence continues: a reader holding LSN 3 can tell that 4 is the
+  // next record, and that nothing in (3, 4) was silently skipped.
+  ASSERT_TRUE(wal.Append("d").ok());
+  EXPECT_EQ(wal.last_lsn(), 4u);
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(wal.ReadFrom(1, &records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].lsn, 4u);
+  EXPECT_EQ(records[0].payload, "d");
 }
 
 TEST_F(WalTest, InjectedSyncCrashPoisonsHandle) {

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -274,6 +275,165 @@ TEST(XmlDbTest, WorksOnGeneratedPlay) {
   ASSERT_TRUE(act1.ok());
   EXPECT_LT((*db)->CompareOrder(*act1, *inserted), 0);
   EXPECT_LT((*db)->CompareOrder(*inserted, *act2), 0);
+}
+
+// --- id-preserving bootstrap (OpenFromBootstrap) ---
+//
+// A replica rebuilt from a bootstrap spec must answer every query with the
+// *same node ids* as the source, keep burnt ids burnt, and assign the same
+// id to the next insertion — otherwise the logical replication stream that
+// resumes after the snapshot mis-applies (docs/REPLICATION.md).
+
+/// Every query in `paths` returns identical id vectors on both databases.
+void ExpectSameAnswers(XmlDb* a, XmlDb* b,
+                       const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    auto lhs = a->Query(path);
+    auto rhs = b->Query(path);
+    ASSERT_TRUE(lhs.ok()) << path << ": " << lhs.status();
+    ASSERT_TRUE(rhs.ok()) << path << ": " << rhs.status();
+    EXPECT_EQ(*lhs, *rhs) << path;
+  }
+}
+
+TEST(XmlDbBootstrapTest, UntouchedDatabaseTakesTheIdentityFastPath) {
+  auto db = XmlDb::OpenFromXml(kDoc, {});
+  ASSERT_TRUE(db.ok());
+  const BootstrapSpec spec = (*db)->CaptureBootstrapSpec();
+  EXPECT_EQ(spec.next_id, 5u);
+  EXPECT_EQ(spec.original_count, 5u);
+  auto clone = XmlDb::OpenFromBootstrap(spec, {});
+  ASSERT_TRUE(clone.ok()) << clone.status();
+  EXPECT_EQ((*clone)->ToXml(), (*db)->ToXml());
+  ExpectSameAnswers(db->get(), clone->get(),
+                    {"//book", "//shelf", "/library/*"});
+}
+
+TEST(XmlDbBootstrapTest, ReconstructionPreservesAMutatedIdSpace) {
+  // ids at open: r=0 a=1 b=2 c=3 d=4 e=5.
+  auto source = XmlDb::OpenFromXml("<r><a><b/><c/></a><d/><e/></r>", {});
+  ASSERT_TRUE(source.ok());
+  XmlDb* db = source->get();
+  const NodeId b = *db->QueryOne("//b");
+  const NodeId c = *db->QueryOne("//c");
+  const NodeId d = *db->QueryOne("//d");
+  const NodeId e = *db->QueryOne("//e");
+  // x (id 6) becomes a's only child once b and c die: at bootstrap time a
+  // is an interior node with no surviving originals, the seeded-gap case.
+  ASSERT_EQ(*db->InsertElementAfter(b, "x"), 6u);
+  ASSERT_TRUE(db->DeleteElement(b).ok());
+  ASSERT_TRUE(db->DeleteElement(c).ok());
+  // z (id 7) after d, then burn id 8, then y (id 9) *before* d: document
+  // order y < d < z runs against id order, exercising replay anchoring.
+  ASSERT_EQ(*db->InsertElementAfter(d, "z"), 7u);
+  const NodeId burnt = *db->InsertElementAfter(d, "gone");
+  ASSERT_EQ(burnt, 8u);
+  ASSERT_TRUE(db->DeleteElement(burnt).ok());
+  ASSERT_EQ(*db->InsertElementBefore(d, "y"), 9u);
+  // Deleting the last original leaves a trailing rank gap.
+  ASSERT_TRUE(db->DeleteElement(e).ok());
+
+  const BootstrapSpec spec = db->CaptureBootstrapSpec();
+  EXPECT_EQ(spec.original_count, 6u);
+  EXPECT_EQ(spec.next_id, 10u);
+  auto rebuilt = XmlDb::OpenFromBootstrap(spec, {});
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  XmlDb* clone = rebuilt->get();
+  EXPECT_EQ(clone->ToXml(), db->ToXml());
+  ExpectSameAnswers(db, clone, {"//a", "//x", "//y", "//z", "//d", "/r/*"});
+  // Order and ancestry relations agree for the surviving ids.
+  const NodeId a = *db->QueryOne("//a");
+  const NodeId x = *db->QueryOne("//x");
+  EXPECT_TRUE(clone->IsParent(a, x));
+  EXPECT_LT(clone->CompareOrder(9, d), 0);
+  EXPECT_LT(clone->CompareOrder(d, 7), 0);
+  // Burnt ids stay burnt and the id counter continues identically: the
+  // same replicated insert op must mint the same id on both sides.
+  EXPECT_EQ(clone->DeleteElement(burnt).status().code(),
+            StatusCode::kNotFound);
+  const auto next_src = db->InsertElementAfter(d, "next");
+  const auto next_clone = clone->InsertElementAfter(d, "next");
+  ASSERT_TRUE(next_src.ok());
+  ASSERT_TRUE(next_clone.ok());
+  EXPECT_EQ(*next_src, 10u);
+  EXPECT_EQ(*next_clone, *next_src);
+  EXPECT_EQ(clone->ToXml(), db->ToXml());
+}
+
+TEST(XmlDbBootstrapTest, ReconstructionSurvivesHeavyRandomHistory) {
+  // A long, deterministic insert/delete mix over a generated play; then
+  // clone from the spec and require a byte-identical tree and id space.
+  xml::Document play = xml::GeneratePlay(2, 500);
+  auto source = XmlDb::Open(std::move(play), {});
+  ASSERT_TRUE(source.ok());
+  XmlDb* db = source->get();
+  uint64_t seed = 0x9E3779B97F4A7C15ull;
+  auto next_rand = [&seed]() {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  for (int i = 0; i < 300; ++i) {
+    auto lines = db->Query("//line");
+    ASSERT_TRUE(lines.ok());
+    ASSERT_FALSE(lines->empty());
+    const NodeId target = (*lines)[next_rand() % lines->size()];
+    switch (next_rand() % 4) {
+      case 0:
+        ASSERT_TRUE(db->InsertElementBefore(target, "cue").ok());
+        break;
+      case 1:
+        ASSERT_TRUE(db->InsertElementAfter(target, "cue").ok());
+        break;
+      case 2:
+        ASSERT_TRUE(db->DeleteElement(target).ok());
+        break;
+      default: {
+        // Insert-then-delete: burns an id without changing the tree.
+        auto fresh = db->InsertElementAfter(target, "cut");
+        ASSERT_TRUE(fresh.ok());
+        ASSERT_TRUE(db->DeleteElement(*fresh).ok());
+        break;
+      }
+    }
+  }
+  const BootstrapSpec spec = db->CaptureBootstrapSpec();
+  auto rebuilt = XmlDb::OpenFromBootstrap(spec, {});
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_EQ((*rebuilt)->ToXml(), db->ToXml());
+  ExpectSameAnswers(db, rebuilt->get(),
+                    {"//line", "//cue", "//speech", "//act"});
+  const NodeId anchor = *db->QueryOne("/play/act[1]");
+  EXPECT_EQ(*(*rebuilt)->InsertElementAfter(anchor, "tail"),
+            *db->InsertElementAfter(anchor, "tail"));
+}
+
+TEST(XmlDbBootstrapTest, RejectsInconsistentSpecs) {
+  auto db = XmlDb::OpenFromXml(kDoc, {});
+  ASSERT_TRUE(db.ok());
+  const NodeId desk = *(*db)->QueryOne("//desk");
+  // Before desk, so ids are NOT in document order and no spec below can
+  // take the identity fast path (which skips validation by design).
+  ASSERT_TRUE((*db)->InsertElementBefore(desk, "lamp").ok());
+  const BootstrapSpec good = (*db)->CaptureBootstrapSpec();
+
+  BootstrapSpec bad = good;
+  bad.ids[2] = bad.ids[3];  // duplicate id
+  EXPECT_EQ(XmlDb::OpenFromBootstrap(bad, {}).status().code(),
+            StatusCode::kCorruption);
+  bad = good;
+  bad.original_count = 0;
+  EXPECT_EQ(XmlDb::OpenFromBootstrap(bad, {}).status().code(),
+            StatusCode::kCorruption);
+  bad = good;
+  bad.ids.pop_back();  // id list shorter than the tree
+  EXPECT_EQ(XmlDb::OpenFromBootstrap(bad, {}).status().code(),
+            StatusCode::kCorruption);
+  bad = good;
+  std::swap(bad.ids[1], bad.ids[2]);  // originals out of pre-order
+  EXPECT_EQ(XmlDb::OpenFromBootstrap(bad, {}).status().code(),
+            StatusCode::kCorruption);
 }
 
 }  // namespace
