@@ -116,8 +116,13 @@ ConcurrentXmlDb::ConcurrentXmlDb(std::unique_ptr<XmlDb> db,
                           "Snapshot versions alive (current + pinned)");
   snapshots_live_.Set(1);
 
-  readers_ =
-      std::make_unique<concurrency::ThreadPool>(options_.read_workers);
+  if (options_.shared_readers != nullptr) {
+    readers_ = options_.shared_readers;
+    owns_readers_ = false;
+  } else {
+    readers_ =
+        std::make_shared<concurrency::ThreadPool>(options_.read_workers);
+  }
   writer_ = std::thread([this] { WriterLoop(); });
 }
 
@@ -128,7 +133,11 @@ void ConcurrentXmlDb::Shutdown() {
     shut_down_.store(true);
     write_queue_.Close();
     if (writer_.joinable()) writer_.join();
-    readers_->Shutdown();
+    // A shared pool belongs to the sharded front-end: it is shut down by
+    // its owner after every shard, so tasks already queued for this shard
+    // still run (the object outlives Shutdown; reads stay safe until
+    // destruction).
+    if (owns_readers_) readers_->Shutdown();
   });
 }
 

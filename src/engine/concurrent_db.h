@@ -42,6 +42,13 @@ struct ConcurrentXmlDbOptions {
   XmlDbOptions db;
   /// Worker threads executing submitted (asynchronous) read requests.
   size_t read_workers = 4;
+  /// When set, submitted reads run on this pool instead of a private one
+  /// (`read_workers` is then ignored). The sharded front-end (src/shard/)
+  /// passes one pool to every shard so read concurrency does not multiply
+  /// threads by the shard count. The pool must outlive the database and is
+  /// NOT shut down by ConcurrentXmlDb::Shutdown — the owner does that,
+  /// after shutting down every database that uses it.
+  std::shared_ptr<concurrency::ThreadPool> shared_readers;
   /// Capacity of the write submission queue. Blocking submits stall when
   /// it fills (backpressure); TrySubmit* bounce instead (admission
   /// control).
@@ -274,7 +281,8 @@ class ConcurrentXmlDb {
   std::function<void(const repl::ReplRecord&)> commit_sink_;
   concurrency::SnapshotManager<query::LabeledDocument> snapshots_;
   concurrency::BoundedQueue<WriteRequest> write_queue_;
-  std::unique_ptr<concurrency::ThreadPool> readers_;
+  std::shared_ptr<concurrency::ThreadPool> readers_;
+  bool owns_readers_ = true;  // false when options.shared_readers was set
   std::thread writer_;
   std::atomic<bool> shut_down_{false};
   std::once_flag shutdown_once_;

@@ -328,6 +328,8 @@ class ContainmentLabeling : public Labeling {
     return std::make_unique<ContainmentLabeling<Codec>>(*this);
   }
 
+  bool SupportsSharedFork() const override { return true; }
+
   /// Test hooks.
   const Value& start_value(NodeId n) const { return start_[n]; }
   const Value& end_value(NodeId n) const { return end_[n]; }

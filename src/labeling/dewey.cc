@@ -150,6 +150,8 @@ class DeweyLabeling : public Labeling {
     return std::make_unique<DeweyLabeling>(*this);
   }
 
+  bool SupportsSharedFork() const override { return true; }
+
   /// Test hook: the raw component path.
   const std::vector<uint64_t>& label(NodeId n) const { return labels_[n]; }
 

@@ -190,6 +190,12 @@ class Labeling {
   /// O(nodes). The default falls back to the deep Clone().
   virtual std::unique_ptr<Labeling> ForkShared() const { return Clone(); }
 
+  /// True when ForkShared() genuinely shares state (COW chunks) instead of
+  /// falling back to the deep Clone(). The per-shard concurrent serving
+  /// path (src/shard/) publishes a snapshot per group commit and refuses
+  /// schemes where that publish would be O(nodes) — see ShardedDb::Open.
+  virtual bool SupportsSharedFork() const { return false; }
+
   /// Structural skeleton (shared bookkeeping; not used by predicates).
   virtual const TreeSkeleton& skeleton() const = 0;
 };

@@ -286,6 +286,97 @@ Result<uint64_t> CdbsClient::Delete(uint64_t target, util::Deadline deadline) {
   return resp->id_or_count;
 }
 
+Result<std::vector<uint64_t>> CdbsClient::QueryDoc(uint64_t doc,
+                                                   const std::string& xpath,
+                                                   util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kQuery;
+  req.xpath = xpath;
+  req.doc_id = doc;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  return std::move(resp->node_ids);
+}
+
+Result<uint64_t> CdbsClient::InsertBeforeIn(uint64_t doc, uint64_t target,
+                                            const std::string& tag,
+                                            util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kInsertBefore;
+  req.target = target;
+  req.tag = tag;
+  req.doc_id = doc;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  return resp->id_or_count;
+}
+
+Result<uint64_t> CdbsClient::InsertAfterIn(uint64_t doc, uint64_t target,
+                                           const std::string& tag,
+                                           util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kInsertAfter;
+  req.target = target;
+  req.tag = tag;
+  req.doc_id = doc;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  return resp->id_or_count;
+}
+
+Result<uint64_t> CdbsClient::DeleteIn(uint64_t doc, uint64_t target,
+                                      util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kDelete;
+  req.target = target;
+  req.doc_id = doc;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  return resp->id_or_count;
+}
+
+Result<CdbsClient::CountResult> CdbsClient::Count(const std::string& xpath,
+                                                  util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kCount;
+  req.xpath = xpath;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  CountResult out;
+  out.total = resp->id_or_count;
+  out.per_shard = std::move(resp->shard_counts);
+  return out;
+}
+
+Result<uint64_t> CdbsClient::CountIn(uint64_t doc, const std::string& xpath,
+                                     util::Deadline deadline) {
+  Request req;
+  req.op = Opcode::kCount;
+  req.xpath = xpath;
+  req.doc_id = doc;
+  Result<Response> resp = Call(std::move(req), deadline);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status(resp->code, resp->message);
+  }
+  return resp->id_or_count;
+}
+
 Result<CdbsClient::Introspection> CdbsClient::Introspect(
     util::Deadline deadline) {
   Request req;

@@ -84,6 +84,38 @@ class CdbsClient {
                                util::Deadline deadline = {});
   /// Returns the number of nodes removed.
   Result<uint64_t> Delete(uint64_t target, util::Deadline deadline = {});
+
+  // --- sharded servers (docs/SHARDING.md) -----------------------------
+  // Document-scoped variants: `doc` rides the wire as the optional
+  // trailing doc_id field, and the server routes the request to the shard
+  // owning that document. Node ids are shard-local.
+
+  Result<std::vector<uint64_t>> QueryDoc(uint64_t doc,
+                                         const std::string& xpath,
+                                         util::Deadline deadline = {});
+  Result<uint64_t> InsertBeforeIn(uint64_t doc, uint64_t target,
+                                  const std::string& tag,
+                                  util::Deadline deadline = {});
+  Result<uint64_t> InsertAfterIn(uint64_t doc, uint64_t target,
+                                 const std::string& tag,
+                                 util::Deadline deadline = {});
+  Result<uint64_t> DeleteIn(uint64_t doc, uint64_t target,
+                            util::Deadline deadline = {});
+
+  /// A scatter-gathered cross-shard count (Opcode::kCount without a doc):
+  /// `total` sums the OK shards; `per_shard` surfaces each shard's leg,
+  /// including kUnavailable entries for shards that could not answer.
+  struct CountResult {
+    uint64_t total = 0;
+    std::vector<ShardCountEntry> per_shard;
+  };
+  Result<CountResult> Count(const std::string& xpath,
+                            util::Deadline deadline = {});
+
+  /// Matches of `xpath` inside one document only.
+  Result<uint64_t> CountIn(uint64_t doc, const std::string& xpath,
+                           util::Deadline deadline = {});
+
   /// The server's metric registry as JSON.
   Result<std::string> StatsJson(util::Deadline deadline = {});
 

@@ -86,7 +86,7 @@ class Cursor {
 
 Status ValidateOpcode(uint8_t raw, Opcode* out) {
   if (raw < static_cast<uint8_t>(Opcode::kPing) ||
-      raw > static_cast<uint8_t>(Opcode::kReplAck)) {
+      raw > static_cast<uint8_t>(Opcode::kCount)) {
     return Status::Corruption("bad opcode " + std::to_string(raw));
   }
   *out = static_cast<Opcode>(raw);
@@ -94,7 +94,7 @@ Status ValidateOpcode(uint8_t raw, Opcode* out) {
 }
 
 Status ValidateStatusCode(uint8_t raw, StatusCode* out) {
-  if (raw > static_cast<uint8_t>(StatusCode::kNotLeader)) {
+  if (raw > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::Corruption("bad status code " + std::to_string(raw));
   }
   *out = static_cast<StatusCode>(raw);
@@ -107,6 +107,7 @@ bool IsIdempotent(Opcode op) {
   switch (op) {
     case Opcode::kPing:
     case Opcode::kQuery:
+    case Opcode::kCount:
     case Opcode::kStats:
     case Opcode::kIntrospect:
     case Opcode::kSubscribe:
@@ -138,6 +139,7 @@ std::string EncodeRequest(const Request& req) {
     case Opcode::kIntrospect:
       break;
     case Opcode::kQuery:
+    case Opcode::kCount:
       AppendString(&out, req.xpath);
       break;
     case Opcode::kInsertBefore:
@@ -161,10 +163,15 @@ std::string EncodeRequest(const Request& req) {
     case Opcode::kReplBatch:
       break;  // server-push only; a request with this op is never encoded
   }
-  // Optional trailing field: present only when traced, so old decoders
-  // (which reject trailing bytes) still interoperate with untraced
-  // requests and old encoders produce frames new decoders accept.
-  if (req.trace_id != 0) AppendU64(&out, req.trace_id);
+  // Optional trailing fields, in fixed order: present only when set, so
+  // old decoders (which reject trailing bytes) still interoperate with
+  // plain requests and old encoders produce frames new decoders accept.
+  // A doc_id forces the trace-id slot to be written (even untraced) so the
+  // decoder can tell the two apart by position.
+  if (req.trace_id != 0 || req.doc_id != Request::kNoDoc) {
+    AppendU64(&out, req.trace_id);
+  }
+  if (req.doc_id != Request::kNoDoc) AppendU64(&out, req.doc_id);
   return out;
 }
 
@@ -181,6 +188,7 @@ Status DecodeRequest(std::string_view payload, Request* out) {
     case Opcode::kIntrospect:
       break;
     case Opcode::kQuery:
+    case Opcode::kCount:
       CDBS_RETURN_NOT_OK(cur.ReadString(&out->xpath));
       break;
     case Opcode::kInsertBefore:
@@ -204,8 +212,12 @@ Status DecodeRequest(std::string_view payload, Request* out) {
       break;
   }
   out->trace_id = 0;
+  out->doc_id = Request::kNoDoc;
   if (!cur.exhausted()) {
     CDBS_RETURN_NOT_OK(cur.ReadU64(&out->trace_id));
+  }
+  if (!cur.exhausted()) {
+    CDBS_RETURN_NOT_OK(cur.ReadU64(&out->doc_id));
   }
   if (!cur.exhausted()) {
     return Status::Corruption("trailing bytes after request");
@@ -250,6 +262,16 @@ std::string EncodeResponse(const Response& resp) {
         AppendU64(&out, resp.id_or_count);
         AppendU64(&out, resp.epoch);
         AppendString(&out, resp.blob);
+        break;
+      case Opcode::kCount:
+        AppendU64(&out, resp.id_or_count);  // total over OK shards
+        AppendU32(&out, static_cast<uint32_t>(resp.shard_counts.size()));
+        for (const auto& e : resp.shard_counts) {
+          AppendU32(&out, e.shard);
+          AppendU8(&out, static_cast<uint8_t>(e.code));
+          AppendU64(&out, e.count);
+          AppendString(&out, e.message);
+        }
         break;
       case Opcode::kReplAck:
         break;  // client-push only; never answered
@@ -308,6 +330,26 @@ Status DecodeResponse(std::string_view payload, Response* out) {
         CDBS_RETURN_NOT_OK(cur.ReadU64(&out->epoch));
         CDBS_RETURN_NOT_OK(cur.ReadString(&out->blob));
         break;
+      case Opcode::kCount: {
+        CDBS_RETURN_NOT_OK(cur.ReadU64(&out->id_or_count));
+        uint32_t n = 0;
+        CDBS_RETURN_NOT_OK(cur.ReadU32(&n));
+        // Each entry is at least 17 bytes (u32 + u8 + u64 + empty string).
+        if (static_cast<size_t>(n) * 17 > payload.size()) {
+          return Status::Corruption("shard count entries exceed payload");
+        }
+        out->shard_counts.resize(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          auto& e = out->shard_counts[i];
+          CDBS_RETURN_NOT_OK(cur.ReadU32(&e.shard));
+          uint8_t code_byte = 0;
+          CDBS_RETURN_NOT_OK(cur.ReadU8(&code_byte));
+          CDBS_RETURN_NOT_OK(ValidateStatusCode(code_byte, &e.code));
+          CDBS_RETURN_NOT_OK(cur.ReadU64(&e.count));
+          CDBS_RETURN_NOT_OK(cur.ReadString(&e.message));
+        }
+        break;
+      }
       case Opcode::kReplAck:
         break;
     }

@@ -59,6 +59,10 @@ enum class Opcode : uint8_t {
   kPromote = 10,
   kReplBatch = 11,
   kReplAck = 12,
+  /// Cross-shard count (docs/SHARDING.md): with `doc_id` set, counts the
+  /// query's matches inside that one document; without it, scatter-gathers
+  /// across every shard and returns per-shard partial results.
+  kCount = 13,
 };
 
 /// True for operations that are safe to resend after a broken stream (they
@@ -86,6 +90,22 @@ struct Request {
   /// remain after the opcode-specific fields. A retry of the same logical
   /// call reuses the id (the retained trace shows every attempt).
   uint64_t trace_id = 0;
+  /// Document addressed by a sharded server (docs/SHARDING.md); kNoDoc on
+  /// an unsharded connection. Same optional-trailing trick as trace_id: it
+  /// is encoded only when set (after the trace-id slot, which is then
+  /// always written so field order stays fixed), so old servers and clients
+  /// interoperate with doc-less frames.
+  uint64_t doc_id = kNoDoc;
+
+  static constexpr uint64_t kNoDoc = ~0ull;
+};
+
+/// One shard's leg of a scatter-gathered kCount response.
+struct ShardCountEntry {
+  uint32_t shard = 0;
+  StatusCode code = StatusCode::kOk;
+  uint64_t count = 0;   // meaningful when code == kOk
+  std::string message;  // non-OK detail
 };
 
 /// A decoded response. `code` mirrors cdbs::StatusCode on the wire;
@@ -109,6 +129,11 @@ struct Response {
   /// kBootstrap: the serialized document XML. kReplBatch: an encoded
   /// repl::ReplOp batch (empty = heartbeat).
   std::string blob;
+  /// kCount without a doc_id: one entry per shard, shard order. A shard
+  /// that could not serve its leg carries a non-OK code here while the
+  /// response itself stays kOk — partial results, not whole-request
+  /// failure. `id_or_count` is the total over the OK shards.
+  std::vector<ShardCountEntry> shard_counts;
 };
 
 /// Payload (de)serialization. Decoders validate opcode/status ranges and

@@ -67,7 +67,7 @@ int ApplyDrainMsKnob(const char* raw, int drain_timeout_ms) {
 
 Result<std::unique_ptr<Server>> Server::Start(engine::ConcurrentXmlDb* db,
                                               const ServerOptions& options) {
-  std::unique_ptr<Server> server(new Server(db, nullptr, options));
+  std::unique_ptr<Server> server(new Server(db, nullptr, nullptr, options));
   CDBS_RETURN_NOT_OK(server->Listen());
   server->MaybeAttachSender(db);
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
@@ -76,15 +76,24 @@ Result<std::unique_ptr<Server>> Server::Start(engine::ConcurrentXmlDb* db,
 
 Result<std::unique_ptr<Server>> Server::StartReplica(
     repl::Follower* follower, const ServerOptions& options) {
-  std::unique_ptr<Server> server(new Server(nullptr, follower, options));
+  std::unique_ptr<Server> server(new Server(nullptr, follower, nullptr,
+                                            options));
+  CDBS_RETURN_NOT_OK(server->Listen());
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+Result<std::unique_ptr<Server>> Server::StartSharded(
+    shard::ShardedDb* db, const ServerOptions& options) {
+  std::unique_ptr<Server> server(new Server(nullptr, nullptr, db, options));
   CDBS_RETURN_NOT_OK(server->Listen());
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   return server;
 }
 
 Server::Server(engine::ConcurrentXmlDb* db, repl::Follower* follower,
-               const ServerOptions& options)
-    : db_(db), follower_(follower), options_(options) {
+               shard::ShardedDb* sharded, const ServerOptions& options)
+    : db_(db), follower_(follower), sharded_(sharded), options_(options) {
   options_.drain_timeout_ms = ApplyDrainMsKnob(
       std::getenv("CDBS_NET_DRAIN_MS"), options_.drain_timeout_ms);
   obs::MetricRegistry& reg = obs::MetricRegistry::Default();
@@ -288,6 +297,10 @@ Response Server::Execute(const Request& req) {
     return resp;
   }
 
+  if (sharded_ != nullptr) {
+    return ExecuteSharded(req, deadline, std::move(resp));
+  }
+
   // Route the request. A replica serves reads from the follower's current
   // database (pinned so a concurrent re-bootstrap cannot free it) and
   // bounces writes to the primary; once promoted it serves both.
@@ -295,7 +308,7 @@ Response Server::Execute(const Request& req) {
   engine::ConcurrentXmlDb* write_db = WriteDb(&pin);
   engine::ConcurrentXmlDb* read_db = write_db;
   if (read_db == nullptr && follower_ != nullptr &&
-      req.op == Opcode::kQuery) {
+      (req.op == Opcode::kQuery || req.op == Opcode::kCount)) {
     Result<std::shared_ptr<engine::ConcurrentXmlDb>> replica =
         follower_->ReadableDb();
     if (!replica.ok()) {
@@ -343,6 +356,20 @@ Response Server::Execute(const Request& req) {
         break;
       }
       resp.node_ids.assign(r->begin(), r->end());
+      break;
+    }
+    case Opcode::kCount: {
+      // Unsharded servers answer kCount too — one logical "shard" — so a
+      // shard-aware client works against any server.
+      Result<std::vector<engine::NodeId>> r =
+          read_db->SubmitQuery(req.xpath, deadline).get();
+      if (!r.ok()) {
+        fill_error(r.status());
+        break;
+      }
+      resp.id_or_count = r->size();
+      resp.shard_counts.push_back(
+          {0, StatusCode::kOk, static_cast<uint64_t>(r->size()), ""});
       break;
     }
     case Opcode::kInsertBefore:
@@ -445,6 +472,120 @@ Response Server::Execute(const Request& req) {
       // ever travel primary→follower / follower→primary inside a stream.
       resp.code = StatusCode::kInvalidArgument;
       resp.message = "replication stream opcode outside a stream";
+      break;
+  }
+  return resp;
+}
+
+Response Server::ExecuteSharded(const Request& req, util::Deadline deadline,
+                                Response resp) {
+  auto fill_error = [&](const Status& st) {
+    resp.code = st.code();
+    resp.message = st.message();
+    if (st.code() == StatusCode::kRetryAfter &&
+        req.doc_id != Request::kNoDoc) {
+      resp.retry_after_ms = static_cast<uint32_t>(
+          sharded_->RetryAfterHintMillis(req.doc_id));
+    }
+  };
+  // Node ids are per-shard, so a node-addressed request without a document
+  // is ambiguous: there is no shard to resolve the id against.
+  auto need_doc = [&]() -> bool {
+    if (req.doc_id != Request::kNoDoc) return false;
+    resp.code = StatusCode::kInvalidArgument;
+    resp.message =
+        "a sharded server needs a document id for node-addressed operations";
+    return true;
+  };
+
+  switch (req.op) {
+    case Opcode::kPing:
+      break;
+    case Opcode::kStats:
+      resp.stats_json =
+          obs::ToJson(obs::MetricRegistry::Default(), "serve.stats");
+      break;
+    case Opcode::kIntrospect:
+      resp.stats_json =
+          obs::ToJson(obs::MetricRegistry::Default(), "serve.introspect");
+      resp.traces_json = obs::Tracer::Instance().ToChromeJson();
+      break;
+    case Opcode::kQuery: {
+      if (need_doc()) break;
+      Result<std::vector<engine::NodeId>> r =
+          sharded_->QueryDoc(req.doc_id, req.xpath, deadline);
+      if (!r.ok()) {
+        fill_error(r.status());
+        break;
+      }
+      resp.node_ids.assign(r->begin(), r->end());
+      break;
+    }
+    case Opcode::kCount: {
+      if (req.doc_id != Request::kNoDoc) {
+        Result<uint64_t> r =
+            sharded_->CountDoc(req.doc_id, req.xpath, deadline);
+        if (!r.ok()) {
+          fill_error(r.status());
+          break;
+        }
+        resp.id_or_count = *r;
+        resp.shard_counts.push_back({sharded_->ShardOfDoc(req.doc_id),
+                                     StatusCode::kOk, *r, ""});
+        break;
+      }
+      // Scatter-gather: the response is kOk as long as ANY shard answered;
+      // shards that could not serve their leg ride along as non-OK entries.
+      Result<shard::GatheredCount> r = sharded_->CountAll(req.xpath, deadline);
+      if (!r.ok()) {
+        fill_error(r.status());
+        break;
+      }
+      resp.id_or_count = r->total;
+      resp.shard_counts.reserve(r->per_shard.size());
+      for (const auto& e : r->per_shard) {
+        resp.shard_counts.push_back({e.shard, e.code, e.count, e.message});
+      }
+      break;
+    }
+    case Opcode::kInsertBefore:
+    case Opcode::kInsertAfter: {
+      if (need_doc()) break;
+      Result<engine::NodeId> r =
+          req.op == Opcode::kInsertAfter
+              ? sharded_
+                    ->TrySubmitInsertAfter(req.doc_id, req.target, req.tag,
+                                           deadline)
+                    .get()
+              : sharded_
+                    ->TrySubmitInsertBefore(req.doc_id, req.target, req.tag,
+                                            deadline)
+                    .get();
+      if (!r.ok()) {
+        fill_error(r.status());
+        break;
+      }
+      resp.id_or_count = *r;
+      break;
+    }
+    case Opcode::kDelete: {
+      if (need_doc()) break;
+      Result<uint64_t> r =
+          sharded_->TrySubmitDelete(req.doc_id, req.target, deadline).get();
+      if (!r.ok()) {
+        fill_error(r.status());
+        break;
+      }
+      resp.id_or_count = *r;
+      break;
+    }
+    case Opcode::kBootstrap:
+    case Opcode::kPromote:
+    case Opcode::kSubscribe:
+    case Opcode::kReplBatch:
+    case Opcode::kReplAck:
+      resp.code = StatusCode::kInvalidArgument;
+      resp.message = "replication is not supported on a sharded server";
       break;
   }
   return resp;

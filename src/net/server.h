@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "repl/follower.h"
 #include "repl/sender.h"
+#include "shard/sharded_db.h"
 #include "util/status.h"
 
 /// \file
@@ -88,6 +89,16 @@ class Server {
   static Result<std::unique_ptr<Server>> StartReplica(
       repl::Follower* follower, const ServerOptions& options);
 
+  /// Serves a sharded corpus (docs/SHARDING.md). Node-addressed operations
+  /// (kQuery, kInsert*, kDelete) must carry `Request::doc_id` — node ids
+  /// are per-shard, so a request without a document is ambiguous and
+  /// bounces with kInvalidArgument. kCount without a doc_id scatter-gathers
+  /// across every shard with per-shard partial-failure semantics.
+  /// Replication opcodes are not served in this mode. `db` must outlive
+  /// the server.
+  static Result<std::unique_ptr<Server>> StartSharded(
+      shard::ShardedDb* db, const ServerOptions& options);
+
   ~Server();
 
   Server(const Server&) = delete;
@@ -122,13 +133,17 @@ class Server {
   };
 
   Server(engine::ConcurrentXmlDb* db, repl::Follower* follower,
-         const ServerOptions& options);
+         shard::ShardedDb* sharded, const ServerOptions& options);
 
   Status Listen();
   void AcceptLoop();
   void ServeConnection(Connection* conn);
   /// Executes one decoded request against the database.
   Response Execute(const Request& req);
+  /// Sharded-mode dispatch (document-routed reads/writes, scatter-gather
+  /// counts). `resp` arrives with request_id/op prefilled.
+  Response ExecuteSharded(const Request& req, util::Deadline deadline,
+                          Response resp);
   void ReapFinishedLocked();
   /// The database writes (and bootstraps) go to: the primary's, or the
   /// promoted replica's. Null on an unpromoted replica — writes bounce
@@ -141,6 +156,7 @@ class Server {
 
   engine::ConcurrentXmlDb* db_;          // primary mode; null on a replica
   repl::Follower* follower_ = nullptr;   // replica mode; null on a primary
+  shard::ShardedDb* sharded_ = nullptr;  // sharded mode; null otherwise
   ServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -30,6 +30,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "RetryAfter";
     case StatusCode::kNotLeader:
       return "NotLeader";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

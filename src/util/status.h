@@ -29,6 +29,7 @@ enum class StatusCode {
   kDeadlineExceeded,  ///< the request's deadline passed before completion
   kRetryAfter,        ///< load shed; retry after a server-suggested backoff
   kNotLeader,         ///< write sent to a replica; redirect to the primary
+  kUnavailable,       ///< a shard/backend could not serve its part right now
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -81,6 +82,9 @@ class Status {
   }
   static Status NotLeader(std::string msg) {
     return Status(StatusCode::kNotLeader, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
