@@ -114,6 +114,12 @@ ConcurrentXmlDb::ConcurrentXmlDb(std::unique_ptr<XmlDb> db,
                        "Write submission queue depth");
   snapshots_live_ = gauge("engine.concurrent.snapshots.live",
                           "Snapshot versions alive (current + pinned)");
+  persist_failures_ = counter("engine.concurrent.persist.failures",
+                              "Group persists that failed and rolled back");
+  reopens_ = counter("engine.concurrent.reopens",
+                     "Store reopens through the WAL recovery path");
+  poisoned_gauge_ = gauge("engine.concurrent.writer.poisoned",
+                          "1 while the writer circuit breaker is tripped");
   snapshots_live_.Set(1);
 
   if (options_.shared_readers != nullptr) {
@@ -271,6 +277,8 @@ bool ConcurrentXmlDb::EnqueueWrite(WriteRequest req, bool blocking,
       req.delete_promise.set_value(rejection);
     } else if (kind == WriteRequest::Kind::kSnapshot) {
       req.snapshot_promise.set_value(rejection);
+    } else if (kind == WriteRequest::Kind::kReopen) {
+      req.reopen_promise.set_value(rejection);
     } else {
       req.insert_promise.set_value(rejection);
     }
@@ -413,6 +421,33 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
     image.epoch = repl_log_ != nullptr ? repl_log_->epoch() : 0;
     req.snapshot_promise.set_value(std::move(image));
   }
+
+  // Reopen requests are also handled at the group boundary: the writer
+  // thread owns every mutation of db_, so no fencing is needed — closing
+  // and reopening the store here is serialized with all group commits. A
+  // successful reopen clears the poisoned state, so writes later in this
+  // same group already commit normally.
+  for (WriteRequest& req : *group) {
+    if (req.kind != WriteRequest::Kind::kReopen) continue;
+    if (req.deadline.expired()) {
+      deadline_exceeded_.Increment();
+      req.reopen_promise.set_value(Status::DeadlineExceeded(
+          "reopen deadline expired while queued"));
+      continue;
+    }
+    const Status reopened = db_->ReopenStore();
+    if (reopened.ok()) {
+      consecutive_persist_failures_.store(0, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(persist_error_mu_);
+        last_persist_error_ = Status::OK();
+      }
+      poisoned_.store(false, std::memory_order_release);
+      poisoned_gauge_.Set(0);
+      reopens_.Increment();
+    }
+    req.reopen_promise.set_value(reopened);
+  }
   std::vector<PendingInsert> pending;
   std::vector<storage::StoreBatch> batches;
   std::vector<std::optional<Result<NodeId>>> insert_results(n);
@@ -425,8 +460,24 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
   obs::TraceSpan phase1_span(obs::SpanName::kCommitPhase1);
   for (size_t i = 0; i < n; ++i) {
     WriteRequest& req = (*group)[i];
-    if (req.kind == WriteRequest::Kind::kSnapshot) continue;  // handled above
+    if (req.kind == WriteRequest::Kind::kSnapshot ||
+        req.kind == WriteRequest::Kind::kReopen) {
+      continue;  // handled above
+    }
     write_wait_ns_.Record(static_cast<uint64_t>(req.queued.ElapsedNanos()));
+    if (poisoned_.load(std::memory_order_acquire)) {
+      // Tripped circuit breaker: fast-fail without touching the database or
+      // its WAL. Reads keep serving the last published snapshot; a
+      // successful Reopen() re-admits writes.
+      Status unavailable = Status::Unavailable(
+          "writer poisoned by a persistent persist failure; awaiting reopen");
+      if (req.kind == WriteRequest::Kind::kDelete) {
+        delete_results[i].emplace(std::move(unavailable));
+      } else {
+        insert_results[i].emplace(std::move(unavailable));
+      }
+      continue;
+    }
     if (req.deadline.expired()) {
       // Expired while queued: shed before it costs writer time. The
       // request never touches the tree, labels, or WAL.
@@ -480,7 +531,32 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
     for (const auto& d : delete_results) {
       if (d.has_value() && d->ok() && **d > 0) mutated = true;
     }
+    // Failure classification drives the circuit breaker: persistent errors
+    // (disk full, an I/O error that survived the storage retries) poison
+    // the writer after K consecutive strikes; corruption poisons at once —
+    // re-trying against a corrupt store only grinds it further. Transient
+    // failures just count.
+    persist_failures_.Increment();
+    {
+      std::lock_guard<std::mutex> lock(persist_error_mu_);
+      last_persist_error_ = persisted;
+    }
+    const uint64_t strikes = consecutive_persist_failures_.fetch_add(
+                                 1, std::memory_order_acq_rel) +
+                             1;
+    const int threshold = options_.poison_after_persist_failures;
+    const FailureClass cls = FailureClassOf(persisted);
+    if (threshold > 0 &&
+        (cls == FailureClass::kCorruption ||
+         (cls == FailureClass::kPersistent &&
+          strikes >= static_cast<uint64_t>(threshold)))) {
+      poisoned_.store(true, std::memory_order_release);
+      poisoned_gauge_.Set(1);
+    }
   } else {
+    if (!pending.empty()) {
+      consecutive_persist_failures_.store(0, std::memory_order_release);
+    }
     for (const PendingInsert& p : pending) {
       db_->NoteInsertCommitted(p.applied.result);
     }
@@ -546,7 +622,10 @@ void ConcurrentXmlDb::ProcessGroup(std::vector<WriteRequest>* group) {
   commit_batch_.Record(n);
   for (size_t i = 0; i < n; ++i) {
     WriteRequest& req = (*group)[i];
-    if (req.kind == WriteRequest::Kind::kSnapshot) continue;  // resolved above
+    if (req.kind == WriteRequest::Kind::kSnapshot ||
+        req.kind == WriteRequest::Kind::kReopen) {
+      continue;  // resolved above
+    }
     write_ns_.Record(static_cast<uint64_t>(req.queued.ElapsedNanos()));
     if (req.kind == WriteRequest::Kind::kDelete) {
       req.delete_promise.set_value(std::move(*delete_results[i]));
@@ -560,6 +639,20 @@ void ConcurrentXmlDb::SetCommitSink(
     std::function<void(const repl::ReplRecord&)> sink) {
   std::lock_guard<std::mutex> lock(sink_mu_);
   commit_sink_ = std::move(sink);
+}
+
+Status ConcurrentXmlDb::last_persist_error() const {
+  std::lock_guard<std::mutex> lock(persist_error_mu_);
+  return last_persist_error_;
+}
+
+Status ConcurrentXmlDb::Reopen(util::Deadline deadline) {
+  WriteRequest req;
+  req.kind = WriteRequest::Kind::kReopen;
+  req.deadline = deadline;
+  std::future<Status> fut = req.reopen_promise.get_future();
+  EnqueueWrite(std::move(req), /*blocking=*/true, nullptr);
+  return fut.get();
 }
 
 Result<BootstrapImage> ConcurrentXmlDb::CaptureBootstrap(

@@ -62,6 +62,14 @@ struct ConcurrentXmlDbOptions {
   std::string replication_log_path;
   /// Retention bound for the replication log (see ReplicationLogOptions).
   uint64_t replication_retain_bytes = 4ull << 20;
+  /// Circuit breaker on the persist path (docs/ROBUSTNESS.md): after this
+  /// many consecutive persistent persist failures (kResourceExhausted /
+  /// kIoError — see FailureClassOf) the writer poisons itself and
+  /// fast-fails every subsequent write with kUnavailable, without touching
+  /// the database, until Reopen() succeeds. A corruption-class failure
+  /// poisons immediately. 0 disables poisoning (failures keep rolling back
+  /// one group at a time, the pre-supervision behavior).
+  int poison_after_persist_failures = 3;
 };
 
 /// A consistent (document, LSN) pair captured between group commits — what
@@ -179,6 +187,33 @@ class ConcurrentXmlDb {
   /// Idempotent; the destructor calls it.
   void Shutdown();
 
+  // --- supervision (docs/ROBUSTNESS.md) ---
+
+  /// True while the writer is poisoned: a persistent persist failure
+  /// tripped the circuit breaker and every write now fast-fails with
+  /// kUnavailable. Reads stay live on the last published snapshot.
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
+  /// Consecutive failed group persists (reset by a successful persist or
+  /// Reopen). The breaker trips when this reaches
+  /// `poison_after_persist_failures`.
+  uint64_t consecutive_persist_failures() const {
+    return consecutive_persist_failures_.load(std::memory_order_acquire);
+  }
+
+  /// The most recent persist failure (OK if none since open/reopen).
+  Status last_persist_error() const;
+
+  /// Recovery entry point, called by the shard supervisor: runs a store
+  /// reopen through the write pipeline, so the writer thread itself — the
+  /// only mutator of the underlying database — closes the store and
+  /// reopens it through the WAL crash-recovery path (XmlDb::ReopenStore),
+  /// then clears the poisoned state on success. Safe to call while
+  /// poisoned: queued writes fast-fail around it. Blocks until processed.
+  Status Reopen(util::Deadline deadline = {});
+
   /// Epoch of the latest published snapshot (bumps once per group commit).
   uint64_t snapshot_epoch() const { return snapshots_.epoch(); }
 
@@ -242,7 +277,8 @@ class ConcurrentXmlDb {
 
  private:
   struct WriteRequest {
-    enum class Kind { kInsertBefore, kInsertAfter, kDelete, kSnapshot };
+    enum class Kind { kInsertBefore, kInsertAfter, kDelete, kSnapshot,
+                      kReopen };
     Kind kind = Kind::kInsertAfter;
     NodeId target = 0;
     std::string tag;
@@ -250,6 +286,7 @@ class ConcurrentXmlDb {
     std::promise<Result<NodeId>> insert_promise;
     std::promise<Result<uint64_t>> delete_promise;
     std::promise<Result<BootstrapImage>> snapshot_promise;  // kSnapshot
+    std::promise<Status> reopen_promise;                    // kReopen
     util::Stopwatch queued;  // started at submission, for latency metrics
     /// Trace attribution (obs/trace.h): captured from the submitting
     /// thread's TraceScope so the writer can fan group spans (wal.fsync,
@@ -287,6 +324,14 @@ class ConcurrentXmlDb {
   std::atomic<bool> shut_down_{false};
   std::once_flag shutdown_once_;
 
+  // Supervision state (docs/ROBUSTNESS.md). `poisoned_` is the circuit
+  // breaker: set by the writer thread after K consecutive persistent
+  // persist failures, cleared by a successful Reopen, read from any thread.
+  std::atomic<bool> poisoned_{false};
+  std::atomic<uint64_t> consecutive_persist_failures_{0};
+  mutable std::mutex persist_error_mu_;  // guards last_persist_error_
+  Status last_persist_error_;
+
   // engine.concurrent.* metrics, registered in the db's private registry
   // and mirrored into MetricRegistry::Default() (obs::Mirrored).
   using MirroredHistogram = obs::Mirrored<obs::Histogram>;
@@ -315,6 +360,9 @@ class ConcurrentXmlDb {
   uint64_t last_cow_chunks_shared_ = 0;
   MirroredGauge queue_depth_;
   MirroredGauge snapshots_live_;
+  MirroredCounter persist_failures_;   // failed group persists (rolled back)
+  MirroredCounter reopens_;            // successful store reopens
+  MirroredGauge poisoned_gauge_;       // 1 while the breaker is tripped
 };
 
 }  // namespace cdbs::engine

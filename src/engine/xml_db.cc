@@ -328,7 +328,11 @@ Result<std::unique_ptr<XmlDb>> XmlDb::OpenFromBootstrap(
 
 Status XmlDb::InitStore(const XmlDbOptions& options) {
   if (options.storage_path.empty()) return Status::OK();
+  storage_path_ = options.storage_path;
+  store_headroom_ = options.store_headroom;
+  failpoint_scope_ = options.failpoint_scope;
   store_ = std::make_unique<storage::LabelStore>();
+  store_->set_failpoint_scope(failpoint_scope_);
   CDBS_RETURN_NOT_OK(store_->Open(options.storage_path));
   const labeling::Labeling& lab = labeled_->labeling();
   std::vector<std::string> records;
@@ -337,6 +341,41 @@ Status XmlDb::InitStore(const XmlDbOptions& options) {
     records.push_back(lab.SerializeLabel(n));
   }
   return store_->BulkLoad(records, options.store_headroom);
+}
+
+Status XmlDb::ReopenStore() {
+  if (store_ == nullptr) return Status::OK();
+  // A fresh LabelStore instance: an injected-crash poison flag on the old
+  // one does not carry over, exactly like a process restart.
+  auto fresh = std::make_unique<storage::LabelStore>();
+  fresh->set_failpoint_scope(failpoint_scope_);
+  Status recovered = fresh->OpenExisting(storage_path_);
+  if (recovered.ok()) recovered = fresh->VerifyChecksums();
+  if (!recovered.ok()) {
+    // Corrupt beyond WAL repair: rebuild the file outright. The in-memory
+    // labels are exactly the acked state, so nothing durable is lost.
+    fresh = std::make_unique<storage::LabelStore>();
+    fresh->set_failpoint_scope(failpoint_scope_);
+    CDBS_RETURN_NOT_OK(fresh->Open(storage_path_));
+  }
+  // Re-sync the store content with the acked in-memory labels. WAL redo can
+  // leave the recovered store a step AHEAD of memory: a group whose WAL
+  // append was fsynced but whose page writes failed was rolled back in
+  // memory, yet OpenExisting just replayed it. Memory is authoritative —
+  // it holds precisely the acknowledged writes.
+  const labeling::Labeling& lab = labeled_->labeling();
+  std::vector<std::string> records;
+  records.reserve(lab.num_nodes());
+  for (NodeId n = 0; n < lab.num_nodes(); ++n) {
+    records.push_back(lab.SerializeLabel(n));
+  }
+  storage::StoreBatch reload;
+  reload.Reload(std::move(records), store_headroom_);
+  CDBS_RETURN_NOT_OK(fresh->ApplyBatch(reload));
+  CDBS_RETURN_NOT_OK(fresh->VerifyChecksums());
+  store_ = std::move(fresh);
+  store_needs_reload_ = false;
+  return Status::OK();
 }
 
 Result<std::vector<NodeId>> XmlDb::Query(const std::string& xpath) const {

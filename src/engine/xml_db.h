@@ -38,6 +38,11 @@ struct XmlDbOptions {
   std::string storage_path;
   /// Slot headroom (bytes) for label growth in the store.
   size_t store_headroom = 16;
+  /// When non-empty, the label store also evaluates errno-injection
+  /// failpoints scoped to this name (e.g. `storage.shard-1.sync.error`),
+  /// letting chaos tests fail one shard's storage while others stay
+  /// healthy. See LabelStore::set_failpoint_scope.
+  std::string failpoint_scope;
 };
 
 /// Aggregate counters for observability. A point-in-time view computed from
@@ -184,6 +189,18 @@ class XmlDb {
   // Bumps the update counters once an insertion is fully committed.
   void NoteInsertCommitted(const labeling::InsertResult& result);
 
+  /// Recovery hook for the supervision layer (docs/ROBUSTNESS.md): closes
+  /// the label store and reopens it through the WAL crash-recovery path
+  /// (OpenExisting), falling back to a full rebuild (Open + BulkLoad from
+  /// the in-memory labels) when the file is corrupt beyond WAL repair.
+  /// Either way the store is then re-synced to the acked in-memory state —
+  /// a rolled-back group whose WAL record was already durable would
+  /// otherwise be replayed, leaving the store a step AHEAD of memory — and
+  /// checksum-verified before the old store is swapped out. No-op for an
+  /// in-memory database. Called from the concurrent front-end's writer
+  /// thread only (it owns all mutation of this object).
+  Status ReopenStore();
+
   xml::Document doc_;
   std::unique_ptr<labeling::LabelingScheme> scheme_;
   std::unique_ptr<query::LabeledDocument> labeled_;
@@ -195,6 +212,10 @@ class XmlDb {
   // so OpenFromBootstrap can split originals from inserted leaves.
   size_t original_count_ = 0;
   std::unique_ptr<storage::LabelStore> store_;  // null when not persistent
+  // Saved from XmlDbOptions so ReopenStore can rebuild the store.
+  std::string storage_path_;
+  size_t store_headroom_ = 16;
+  std::string failpoint_scope_;
   // Set when a persist failure rolled back an update whose in-memory label
   // state may have diverged from the store (e.g. an overflow re-encode):
   // the next successful persist re-syncs everything with a Reload batch.

@@ -207,6 +207,16 @@ Result<Response> CdbsClient::Call(Request req, util::Deadline deadline) {
       if (!final_attempt) Backoff(attempt, resp.retry_after_ms, deadline);
       continue;
     }
+    if (resp.code == StatusCode::kUnavailable && resp.retry_after_ms > 0) {
+      // A hinted kUnavailable is a supervision fast-fail (breaker tripped,
+      // shard recovering, corpus read-only) — bounced *before* execution,
+      // so resending is safe for every op, and the hint is the server's
+      // recovery schedule. An un-hinted kUnavailable (e.g. a scatter-gather
+      // where every shard failed mid-read) is returned to the caller as-is.
+      last = Status::Unavailable(resp.message);
+      if (!final_attempt) Backoff(attempt, resp.retry_after_ms, deadline);
+      continue;
+    }
     if (resp.code == StatusCode::kNotLeader) {
       // A replica refused the write *before* executing it, so resending to
       // another endpoint is safe — rotate until we find the (possibly

@@ -94,7 +94,7 @@ Status ValidateOpcode(uint8_t raw, Opcode* out) {
 }
 
 Status ValidateStatusCode(uint8_t raw, StatusCode* out) {
-  if (raw > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+  if (raw > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
     return Status::Corruption("bad status code " + std::to_string(raw));
   }
   *out = static_cast<StatusCode>(raw);

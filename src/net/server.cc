@@ -324,7 +324,12 @@ Response Server::Execute(const Request& req) {
   auto fill_error = [&](const Status& st) {
     resp.code = st.code();
     resp.message = st.message();
-    if (st.code() == StatusCode::kRetryAfter && write_db != nullptr) {
+    // kRetryAfter (queue full) and kUnavailable (breaker tripped /
+    // degraded) both carry a backoff hint so clients retry on a schedule
+    // instead of hammering a sick server (docs/ROBUSTNESS.md).
+    if ((st.code() == StatusCode::kRetryAfter ||
+         st.code() == StatusCode::kUnavailable) &&
+        write_db != nullptr) {
       resp.retry_after_ms =
           static_cast<uint32_t>(write_db->RetryAfterHintMillis());
     }
@@ -482,7 +487,11 @@ Response Server::ExecuteSharded(const Request& req, util::Deadline deadline,
   auto fill_error = [&](const Status& st) {
     resp.code = st.code();
     resp.message = st.message();
-    if (st.code() == StatusCode::kRetryAfter &&
+    // Like the unsharded path: a breaker-tripped kUnavailable carries the
+    // supervisor's recovery-schedule hint (a pre-execution bounce, so the
+    // retry is always safe).
+    if ((st.code() == StatusCode::kRetryAfter ||
+         st.code() == StatusCode::kUnavailable) &&
         req.doc_id != Request::kNoDoc) {
       resp.retry_after_ms = static_cast<uint32_t>(
           sharded_->RetryAfterHintMillis(req.doc_id));
@@ -505,11 +514,19 @@ Response Server::ExecuteSharded(const Request& req, util::Deadline deadline,
       resp.stats_json =
           obs::ToJson(obs::MetricRegistry::Default(), "serve.stats");
       break;
-    case Opcode::kIntrospect:
-      resp.stats_json =
+    case Opcode::kIntrospect: {
+      // Splice per-shard health (docs/ROBUSTNESS.md) into the metrics
+      // object: {"metrics":..., "health":{...}}.
+      std::string json =
           obs::ToJson(obs::MetricRegistry::Default(), "serve.introspect");
+      const size_t close = json.find_last_of('}');
+      if (close != std::string::npos) {
+        json.insert(close, ",\"health\":" + sharded_->HealthJson());
+      }
+      resp.stats_json = std::move(json);
       resp.traces_json = obs::Tracer::Instance().ToChromeJson();
       break;
+    }
     case Opcode::kQuery: {
       if (need_doc()) break;
       Result<std::vector<engine::NodeId>> r =

@@ -357,6 +357,10 @@ Result<std::unique_ptr<ShardedDb>> ShardedDb::Open(
 
     engine::ConcurrentXmlDbOptions opts = options.shard;
     opts.shared_readers = db->readers_;
+    // Scope errno-injection failpoints to this shard, so chaos tests can
+    // sicken exactly one shard's storage (`storage.shard-1.sync.error`)
+    // while the others stay healthy.
+    opts.db.failpoint_scope = "shard-" + std::to_string(s);
     if (!options.storage_dir.empty()) {
       const std::string dir =
           options.storage_dir + "/shard-" + std::to_string(s);
@@ -381,6 +385,23 @@ Result<std::unique_ptr<ShardedDb>> ShardedDb::Open(
         prefix + ".unavailable", "gather legs this shard failed to serve");
     db->per_shard_metrics_.push_back(m);
   }
+
+  // Supervision (docs/ROBUSTNESS.md): each shard's probe target is its
+  // first document root — a probe insert right after it lands between
+  // documents (a child of the synthetic shard root), invisible to every
+  // document-scoped query. An empty shard has nothing safe to probe.
+  if (options.supervisor.enabled) {
+    std::vector<ShardSupervisor::ShardHandle> handles(manifest.shard_count);
+    for (uint32_t s = 0; s < manifest.shard_count; ++s) {
+      handles[s].engine = db->shards_[s].get();
+      handles[s].probe_target = db->shard_docs_[s].empty()
+                                    ? 0
+                                    : db->doc_root_[db->shard_docs_[s][0]];
+    }
+    db->supervisor_ = std::make_unique<ShardSupervisor>(
+        std::move(handles), options.storage_dir, options.supervisor);
+    db->supervisor_->Start();
+  }
   return db;
 }
 
@@ -388,8 +409,10 @@ ShardedDb::~ShardedDb() { Shutdown(); }
 
 void ShardedDb::Shutdown() {
   std::call_once(shutdown_once_, [this] {
-    // Shards first (each drains its writer and stops submitting reads),
-    // then the pool they all share.
+    // Supervisor first (it submits probe writes and reopens into the
+    // shards), then the shards (each drains its writer and stops
+    // submitting reads), then the pool they all share.
+    if (supervisor_ != nullptr) supervisor_->Stop();
     for (auto& s : shards_) s->Shutdown();
     if (readers_ != nullptr) readers_->Shutdown();
   });
@@ -596,6 +619,9 @@ std::future<Result<engine::NodeId>> ShardedDb::SubmitInsertBefore(
   if (Status st = ResolveWrite(doc, target, &s); !st.ok()) {
     return FailedFuture<engine::NodeId>(std::move(st));
   }
+  if (Status st = GateWrite(s); !st.ok()) {
+    return FailedFuture<engine::NodeId>(std::move(st));
+  }
   routed_writes_->Increment();
   per_shard_metrics_[s].writes->Increment();
   return shards_[s]->SubmitInsertBefore(target, std::move(tag), deadline);
@@ -608,6 +634,9 @@ std::future<Result<engine::NodeId>> ShardedDb::SubmitInsertAfter(
   if (Status st = ResolveWrite(doc, target, &s); !st.ok()) {
     return FailedFuture<engine::NodeId>(std::move(st));
   }
+  if (Status st = GateWrite(s); !st.ok()) {
+    return FailedFuture<engine::NodeId>(std::move(st));
+  }
   routed_writes_->Increment();
   per_shard_metrics_[s].writes->Increment();
   return shards_[s]->SubmitInsertAfter(target, std::move(tag), deadline);
@@ -618,6 +647,9 @@ std::future<Result<engine::NodeId>> ShardedDb::TrySubmitInsertBefore(
     util::Deadline deadline) {
   uint32_t s = 0;
   if (Status st = ResolveWrite(doc, target, &s); !st.ok()) {
+    return FailedFuture<engine::NodeId>(std::move(st));
+  }
+  if (Status st = GateWrite(s); !st.ok()) {
     return FailedFuture<engine::NodeId>(std::move(st));
   }
   routed_writes_->Increment();
@@ -633,6 +665,9 @@ std::future<Result<engine::NodeId>> ShardedDb::TrySubmitInsertAfter(
   if (Status st = ResolveWrite(doc, target, &s); !st.ok()) {
     return FailedFuture<engine::NodeId>(std::move(st));
   }
+  if (Status st = GateWrite(s); !st.ok()) {
+    return FailedFuture<engine::NodeId>(std::move(st));
+  }
   routed_writes_->Increment();
   per_shard_metrics_[s].writes->Increment();
   return shards_[s]->TrySubmitInsertAfter(target, std::move(tag),
@@ -643,6 +678,9 @@ std::future<Result<uint64_t>> ShardedDb::SubmitDelete(
     uint64_t doc, engine::NodeId target, util::Deadline deadline) {
   uint32_t s = 0;
   if (Status st = ResolveWrite(doc, target, &s); !st.ok()) {
+    return FailedFuture<uint64_t>(std::move(st));
+  }
+  if (Status st = GateWrite(s); !st.ok()) {
     return FailedFuture<uint64_t>(std::move(st));
   }
   routed_writes_->Increment();
@@ -656,6 +694,9 @@ std::future<Result<uint64_t>> ShardedDb::TrySubmitDelete(
   if (Status st = ResolveWrite(doc, target, &s); !st.ok()) {
     return FailedFuture<uint64_t>(std::move(st));
   }
+  if (Status st = GateWrite(s); !st.ok()) {
+    return FailedFuture<uint64_t>(std::move(st));
+  }
   routed_writes_->Increment();
   per_shard_metrics_[s].writes->Increment();
   return shards_[s]->TrySubmitDelete(target, /*accepted=*/nullptr, deadline);
@@ -663,7 +704,15 @@ std::future<Result<uint64_t>> ShardedDb::TrySubmitDelete(
 
 uint64_t ShardedDb::RetryAfterHintMillis(uint64_t doc) const {
   if (doc >= doc_count()) return 1;
-  return shards_[doc_shard_[doc]]->RetryAfterHintMillis();
+  const uint32_t s = doc_shard_[doc];
+  if (supervisor_ != nullptr &&
+      (supervisor_->read_only() ||
+       supervisor_->health(s) != ShardHealth::kHealthy)) {
+    // Breaker bounce: the hint reflects the recovery schedule, not the
+    // queue (which the fast-fail never touched).
+    return supervisor_->RetryAfterHintMillis(s);
+  }
+  return shards_[s]->RetryAfterHintMillis();
 }
 
 uint64_t ShardedDb::TotalNodes() const {

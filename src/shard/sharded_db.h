@@ -12,6 +12,7 @@
 #include "concurrency/thread_pool.h"
 #include "engine/concurrent_db.h"
 #include "obs/metrics.h"
+#include "shard/supervisor.h"
 #include "util/deadline.h"
 #include "util/status.h"
 #include "xml/tree.h"
@@ -78,6 +79,13 @@ struct ShardedDbOptions {
   std::string storage_dir;
   /// Size of the reader pool shared by every shard.
   size_t read_workers = 4;
+
+  /// Supervision and self-healing (docs/ROBUSTNESS.md): health state
+  /// machine, circuit breakers and auto-reopen recovery per shard, plus
+  /// whole-corpus read-only degradation when `storage_dir` stops being
+  /// writable. `supervisor.enabled = false` restores the unsupervised
+  /// behavior.
+  SupervisorOptions supervisor;
 
   /// Applies the strict `CDBS_SHARD_COUNT` / `CDBS_SHARD_ROUTER` env knobs
   /// to this options struct (malformed values warn on stderr and keep the
@@ -162,6 +170,18 @@ class ShardedDb {
   /// The placement actually in effect (manifest-backed when persistent).
   const ShardManifest& manifest() const { return manifest_; }
 
+  /// The supervision layer (docs/ROBUSTNESS.md); null only when
+  /// `supervisor.enabled` was false. Health gates on the write path consult
+  /// it; tests drive fault scenarios through it.
+  ShardSupervisor* supervisor() { return supervisor_.get(); }
+  const ShardSupervisor* supervisor() const { return supervisor_.get(); }
+
+  /// Per-shard health JSON (`{"read_only":...,"shards":[...]}`) for the
+  /// introspect opcode; `{}` when supervision is disabled.
+  std::string HealthJson() const {
+    return supervisor_ == nullptr ? "{}" : supervisor_->ToJson();
+  }
+
   // --- document-scoped reads -------------------------------------------
 
   /// Evaluates `xpath` within `doc` only, on the shared reader pool,
@@ -242,6 +262,14 @@ class ShardedDb {
   /// Routes + validates a write target; fills `shard` on success.
   Status ResolveWrite(uint64_t doc, engine::NodeId target, uint32_t* shard);
 
+  /// Health gate consulted before a write is forwarded to `shard`:
+  /// kUnavailable when that shard's breaker is tripped or the corpus is
+  /// read-only (lock-free; OK when supervision is off).
+  Status GateWrite(uint32_t shard) const {
+    return supervisor_ == nullptr ? Status::OK()
+                                  : supervisor_->CheckWritable(shard);
+  }
+
   /// Rewrites an absolute query to run against a merged shard document.
   static std::string RewriteForShard(const std::string& xpath);
 
@@ -252,6 +280,7 @@ class ShardedDb {
                                                    // document order
   std::shared_ptr<concurrency::ThreadPool> readers_;
   std::vector<std::unique_ptr<engine::ConcurrentXmlDb>> shards_;
+  std::unique_ptr<ShardSupervisor> supervisor_;  // null = supervision off
   std::once_flag shutdown_once_;
 
   // shard.* routing/scatter metrics in the process-wide registry, plus

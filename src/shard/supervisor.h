@@ -1,0 +1,172 @@
+#ifndef CDBS_SHARD_SUPERVISOR_H_
+#define CDBS_SHARD_SUPERVISOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/concurrent_db.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+/// \file
+/// Shard supervision and self-healing (docs/ROBUSTNESS.md). Every shard of
+/// a ShardedDb gets an explicit health state machine,
+///
+///   healthy -> degraded(read-only) -> down -> recovering -> healthy
+///
+/// driven by the engine's persist-failure classification (FailureClassOf):
+/// when a shard's writer poisons itself — K consecutive persistent failures
+/// (ENOSPC/EIO class) or one corruption — the supervisor trips that shard's
+/// circuit breaker. Writes to the sick shard then fast-fail at the routing
+/// layer with kUnavailable plus a retry-after hint, while reads keep
+/// serving the last published snapshot (degraded read-only mode). A
+/// background recovery thread closes the failed shard's store, reopens it
+/// through the existing WAL crash-recovery path (ConcurrentXmlDb::Reopen),
+/// and re-admits the shard only after half-open probe writes commit
+/// durably. The paper's per-shard WAL economics make this cheap: one sick
+/// shard costs one shard's recovery, never the cluster's availability.
+///
+/// The supervisor also probes the manifest directory itself; when it stops
+/// being writable the whole corpus degrades to read-only
+/// (`shard.manifest.unwritable` forces this in tests).
+
+namespace cdbs::shard {
+
+/// One shard's health, as published to metrics (`shard.<i>.health` carries
+/// the numeric value) and the introspect JSON (the lower-case name).
+enum class ShardHealth : uint8_t {
+  kHealthy = 0,     ///< writes admitted, reads served
+  kDegraded = 1,    ///< breaker tripped: writes fast-fail, reads serve
+  kDown = 2,        ///< recovery in progress / awaiting backoff
+  kRecovering = 3,  ///< store reopened; half-open probe writes running
+};
+
+/// Stable lower-case name ("healthy", "degraded", "down", "recovering").
+const char* ShardHealthName(ShardHealth health);
+
+struct SupervisorOptions {
+  /// Master switch: when false, Start() is a no-op and every shard reports
+  /// healthy forever (the pre-supervision behavior).
+  bool enabled = true;
+  /// Health-scan cadence of the supervisor thread.
+  uint64_t poll_interval_ms = 20;
+  /// Probe writes that must commit durably before a recovering shard is
+  /// re-admitted. 0 re-admits right after a verified reopen.
+  int half_open_probes = 2;
+  /// Initial wait after a failed reopen or probe; doubles per failure.
+  uint64_t recovery_backoff_ms = 50;
+  uint64_t max_recovery_backoff_ms = 2000;
+  /// Retry-after hint (ms) attached to breaker-tripped kUnavailable
+  /// bounces — what CdbsClient's backoff honors.
+  uint64_t breaker_retry_after_ms = 100;
+  /// Cadence of the manifest-directory writability probe.
+  uint64_t manifest_probe_interval_ms = 250;
+};
+
+/// Supervises the shards of one ShardedDb. Owned by the ShardedDb; all
+/// methods are safe from any thread once constructed. The health gate reads
+/// (`health`, `read_only`, `CheckWritable`) are lock-free — one atomic load
+/// — so they can sit on the write hot path.
+class ShardSupervisor {
+ public:
+  /// What the supervisor needs of one shard: its engine and a probe-write
+  /// target (any live non-root node of the shard; the ShardedDb passes the
+  /// first document root). 0 disables probe writes for that shard (an
+  /// empty shard re-admits right after a verified reopen).
+  struct ShardHandle {
+    engine::ConcurrentXmlDb* engine = nullptr;
+    engine::NodeId probe_target = 0;
+  };
+
+  ShardSupervisor(std::vector<ShardHandle> shards, std::string storage_dir,
+                  const SupervisorOptions& options);
+  ~ShardSupervisor();
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Starts / stops the supervision thread. Stop is idempotent and joins.
+  void Start();
+  void Stop();
+
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Current health of `shard` (lock-free).
+  ShardHealth health(uint32_t shard) const;
+
+  /// True while the whole corpus is degraded to read-only because the
+  /// manifest directory is not writable (lock-free).
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
+  /// The write-path gate: OK when `shard` is healthy and the corpus is
+  /// writable; otherwise kUnavailable with a message naming the state and
+  /// the retry-after hint. Counted in `supervisor.fast_fails`.
+  Status CheckWritable(uint32_t shard) const;
+
+  /// Hint (ms) for a write bounced by CheckWritable: while a shard is in
+  /// backoff this reflects the time until its next recovery attempt,
+  /// floored at `breaker_retry_after_ms`.
+  uint64_t RetryAfterHintMillis(uint32_t shard) const;
+
+  /// Health snapshot as JSON, spliced into the sharded `introspect`
+  /// response:
+  /// `{"read_only":false,"shards":[{"shard":0,"health":"healthy",...}]}`.
+  std::string ToJson() const;
+
+  /// Completed recoveries (shards re-admitted to healthy) since start.
+  uint64_t recoveries() const {
+    return recoveries_count_.load(std::memory_order_acquire);
+  }
+
+  /// Test helper: polls until `shard` reaches `target` health or
+  /// `timeout_ms` passes. Returns whether the target state was reached.
+  bool WaitForHealth(uint32_t shard, ShardHealth target,
+                     uint64_t timeout_ms) const;
+
+ private:
+  struct ShardState;
+
+  void Loop();
+  void ScanShard(uint32_t s, std::chrono::steady_clock::time_point now);
+  Status ProbeWrite(uint32_t s);
+  void ProbeManifestDir();
+  void SetHealth(uint32_t s, ShardHealth health);
+  void NoteFailure(uint32_t s, const Status& error,
+                   std::chrono::steady_clock::time_point now);
+
+  const std::vector<ShardHandle> shards_;
+  const std::string storage_dir_;
+  const SupervisorOptions options_;
+
+  std::vector<std::unique_ptr<ShardState>> states_;
+  std::atomic<bool> read_only_{false};
+  std::atomic<uint64_t> recoveries_count_{0};
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  std::thread thread_;
+
+  // supervisor.* metrics in the process-wide registry.
+  obs::Counter* breaker_trips_ = nullptr;
+  obs::Counter* recoveries_ = nullptr;
+  obs::Counter* reopen_failures_ = nullptr;
+  obs::Counter* probe_writes_ = nullptr;
+  obs::Counter* fast_fails_ = nullptr;
+  obs::Counter* read_only_trips_ = nullptr;
+  obs::Gauge* read_only_gauge_ = nullptr;
+};
+
+}  // namespace cdbs::shard
+
+#endif  // CDBS_SHARD_SUPERVISOR_H_

@@ -461,6 +461,16 @@ Status LabelStore::Append(const std::string& record) {
 
 Status LabelStore::Sync() { return SyncFile(); }
 
+void LabelStore::set_failpoint_scope(std::string_view scope) {
+  if (scope.empty()) {
+    scoped_sync_error_.clear();
+    scoped_write_error_.clear();
+    return;
+  }
+  scoped_sync_error_ = "storage." + std::string(scope) + ".sync.error";
+  scoped_write_error_ = "storage." + std::string(scope) + ".write_page.error";
+}
+
 Status LabelStore::SyncFile() {
   if (fd_ < 0) return Status::Internal("store not open");
   if (crashed_) return Status::IoError("store crashed (injected)");
@@ -468,10 +478,23 @@ Status LabelStore::SyncFile() {
     crashed_ = true;
     return Status::IoError("injected crash: store sync");
   }
+  // Errno-classified injection (ENOSPC/EDQUOT/EIO): persistent failures are
+  // surfaced immediately without retrying — a full disk does not clear on
+  // its own; the supervision layer owns recovery (docs/ROBUSTNESS.md).
+  int injected_errno = 0;
+  if (CDBS_FAILPOINT_ERRNO("storage.sync.error", &injected_errno) ||
+      (!scoped_sync_error_.empty() &&
+       CDBS_FAILPOINT_ERRNO(scoped_sync_error_, &injected_errno))) {
+    return ErrnoToStatus(injected_errno, "injected sync error");
+  }
   for (int attempt = 0;; ++attempt) {
-    const bool failed =
-        CDBS_FAILPOINT("storage.sync.io_error") || ::fdatasync(fd_) != 0;
-    if (!failed) return Status::OK();
+    const bool injected = CDBS_FAILPOINT("storage.sync.io_error");
+    if (!injected) {
+      if (::fdatasync(fd_) == 0) return Status::OK();
+      if (errno == ENOSPC || errno == EDQUOT) {
+        return ErrnoToStatus(errno, "fdatasync failed");
+      }
+    }
     if (attempt + 1 >= internal::kMaxIoAttempts) {
       return Status::IoError("fdatasync failed after retries");
     }
@@ -548,6 +571,13 @@ Status LabelStore::WritePage(uint64_t page_index, std::vector<char>* page) {
     crashed_ = true;
     return Status::IoError("injected crash: short page write");
   }
+  // Errno-classified injection: persistent, never retried (see SyncFile).
+  int injected_errno = 0;
+  if (CDBS_FAILPOINT_ERRNO("storage.write_page.error", &injected_errno) ||
+      (!scoped_write_error_.empty() &&
+       CDBS_FAILPOINT_ERRNO(scoped_write_error_, &injected_errno))) {
+    return ErrnoToStatus(injected_errno, "injected page-write error");
+  }
   for (int attempt = 0;; ++attempt) {
     const bool injected = CDBS_FAILPOINT("storage.write_page.io_error");
     if (!injected) {
@@ -555,7 +585,7 @@ Status LabelStore::WritePage(uint64_t page_index, std::vector<char>* page) {
                                  static_cast<off_t>(page_index * kPageSize));
       if (n == static_cast<ssize_t>(kPageSize)) break;
       if (n < 0 && errno != EINTR && errno != EAGAIN) {
-        return Status::IoError("pwrite failed");
+        return ErrnoToStatus(errno, "pwrite failed");
       }
       // A genuine short write is retried whole: pwrite is positioned, so
       // re-issuing the full page is idempotent.

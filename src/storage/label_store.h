@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -165,6 +166,14 @@ class LabelStore {
   /// Slot size chosen at bulk load.
   size_t slot_size() const { return slot_size_; }
 
+  /// Scopes errno-injection failpoints to this store instance: when set to
+  /// e.g. "shard-1", the store also evaluates `storage.shard-1.sync.error`
+  /// and `storage.shard-1.write_page.error` next to the global
+  /// `storage.sync.error` / `storage.write_page.error` sites, so chaos
+  /// tests can sicken exactly one shard of a sharded corpus. Survives
+  /// Open/OpenExisting. Empty (the default) disables the scoped sites.
+  void set_failpoint_scope(std::string_view scope);
+
  private:
   size_t SlotsPerPage() const { return kPageDataSize / slot_size_; }
   uint64_t PagesFor(uint64_t record_count, size_t slot_size) const;
@@ -204,6 +213,9 @@ class LabelStore {
   size_t slot_size_ = 0;
   size_t record_count_ = 0;
   bool crashed_ = false;  // poisoned by an injected crash failpoint
+  // Precomputed scoped errno-injection site names (empty: disabled).
+  std::string scoped_sync_error_;
+  std::string scoped_write_error_;
   std::unique_ptr<Wal> wal_;
 
   obs::MetricRegistry registry_;

@@ -1,6 +1,7 @@
 #include "util/failpoint.h"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -15,13 +16,14 @@ namespace cdbs::util {
 
 namespace {
 
-enum class Mode { kAlways, kOneShot, kAfterN, kProb, kDelay };
+enum class Mode { kAlways, kOneShot, kAfterN, kProb, kDelay, kError };
 
 struct SiteConfig {
   Mode mode = Mode::kAlways;
   uint64_t remaining_passes = 0;  // kAfterN: evaluations left before firing
-  double probability = 0;         // kProb; kDelay firing probability
+  double probability = 0;         // kProb; kDelay/kError firing probability
   uint64_t delay_ms = 0;          // kDelay
+  int error_code = 0;             // kError: errno to report when firing
 };
 
 struct State {
@@ -70,6 +72,42 @@ Status ParseSpec(std::string_view spec, SiteConfig* out) {
     out->mode = Mode::kProb;
     out->probability = v;
     return Status::OK();
+  }
+  // Named errno specs: `enospc|edquot|eio[:prob=P]` — the site fails with a
+  // specific error code so call sites can classify disk-full separately from
+  // generic I/O errors (satellite of docs/ROBUSTNESS.md).
+  {
+    std::string_view name = spec;
+    double probability = 1.0;
+    const size_t colon = name.find(':');
+    std::string_view opt;
+    if (colon != std::string_view::npos) {
+      opt = name.substr(colon + 1);
+      name = name.substr(0, colon);
+    }
+    int error_code = 0;
+    if (name == "enospc") error_code = ENOSPC;
+    if (name == "edquot") error_code = EDQUOT;
+    if (name == "eio") error_code = EIO;
+    if (error_code != 0) {
+      if (!opt.empty()) {
+        if (opt.rfind("prob=", 0) != 0) {
+          return Status::InvalidArgument("bad failpoint error option: " +
+                                         std::string(opt));
+        }
+        const std::string p(opt.substr(5));
+        char* pend = nullptr;
+        probability = std::strtod(p.c_str(), &pend);
+        if (p.empty() || pend == nullptr || *pend != '\0' || probability < 0 ||
+            probability > 1) {
+          return Status::InvalidArgument("bad failpoint probability: " + p);
+        }
+      }
+      out->mode = Mode::kError;
+      out->error_code = error_code;
+      out->probability = probability;
+      return Status::OK();
+    }
   }
   if (spec.rfind("delay=", 0) == 0) {
     // delay=M[:prob=P] — latency injection, optionally probabilistic.
@@ -202,17 +240,24 @@ Status Failpoints::ActivateFromList(std::string_view list) {
   return ActivateFromListImpl(list);
 }
 
-bool Failpoints::ShouldFail(std::string_view site) {
+namespace {
+
+// Shared evaluation for ShouldFail / ShouldFailWith. When firing and
+// `errno_out` is non-null, writes the site's armed errno (EIO for specs
+// that carry no error code).
+bool EvalShouldFail(std::string_view site, int* errno_out) {
   LoadFromEnvOnce();
   State& state = GetState();
   if (state.active_count.load(std::memory_order_relaxed) == 0) return false;
   bool fire = false;
+  int error_code = 0;
   uint64_t delay_ms = 0;  // nonzero: latency injection, not a failure
   {
     std::lock_guard<std::mutex> lock(state.mu);
     auto it = state.sites.find(site);
     if (it == state.sites.end()) return false;
     SiteConfig& config = it->second;
+    error_code = config.error_code;
     switch (config.mode) {
       case Mode::kAlways:
         fire = true;
@@ -230,6 +275,12 @@ bool Failpoints::ShouldFail(std::string_view site) {
       case Mode::kProb: {
         std::uniform_real_distribution<double> dist(0.0, 1.0);
         fire = dist(state.rng) < config.probability;
+        break;
+      }
+      case Mode::kError: {
+        std::uniform_real_distribution<double> dist(0.0, 1.0);
+        fire = config.probability >= 1.0 ||
+               dist(state.rng) < config.probability;
         break;
       }
       case Mode::kDelay: {
@@ -252,8 +303,21 @@ bool Failpoints::ShouldFail(std::string_view site) {
   if (fire) {
     TotalCounter()->Increment();
     SiteCounter(site)->Increment();
+    if (errno_out != nullptr) {
+      *errno_out = error_code != 0 ? error_code : EIO;
+    }
   }
   return fire;
+}
+
+}  // namespace
+
+bool Failpoints::ShouldFail(std::string_view site) {
+  return EvalShouldFail(site, nullptr);
+}
+
+bool Failpoints::ShouldFailWith(std::string_view site, int* errno_out) {
+  return EvalShouldFail(site, errno_out);
 }
 
 std::vector<std::string> Failpoints::ActiveSites() {

@@ -25,6 +25,16 @@
 ///   | `after=N`         | lets N evaluations pass, fires once, then deactivates|
 ///   | `prob=P`          | fires independently with probability P in [0, 1]     |
 ///   | `delay=M[:prob=P]`| sleeps M milliseconds (with probability P, default 1)|
+///   | `enospc[:prob=P]` | fires with errno ENOSPC (disk full)                  |
+///   | `edquot[:prob=P]` | fires with errno EDQUOT (quota exhausted)            |
+///   | `eio[:prob=P]`    | fires with errno EIO (generic hard I/O error)        |
+///
+/// The errno specs make disk-full distinguishable from a generic I/O error:
+/// call sites that evaluate via `ShouldFailWith` receive the armed errno and
+/// map it through `ErrnoToStatus` (ENOSPC/EDQUOT → kResourceExhausted), which
+/// is what drives the supervision layer's persistent-failure classification
+/// (docs/ROBUSTNESS.md). Evaluating an errno-armed site through plain
+/// `ShouldFail` still fires — the code is simply not reported.
 ///
 /// A `delay` firing injects latency, not failure: `ShouldFail` sleeps and
 /// then returns false, so call sites need no special handling — arming any
@@ -63,6 +73,12 @@ class Failpoints {
   /// armed with a `delay` spec sleeps here and returns false.
   static bool ShouldFail(std::string_view site);
 
+  /// Like ShouldFail, but when the site fires also reports the errno it is
+  /// armed with: the code from an `enospc`/`edquot`/`eio` spec, or EIO for
+  /// specs that carry no error code. `*errno_out` is untouched when the
+  /// site does not fire.
+  static bool ShouldFailWith(std::string_view site, int* errno_out);
+
   /// Sites currently armed, sorted.
   static std::vector<std::string> ActiveSites();
 
@@ -76,6 +92,10 @@ class Failpoints {
 
 /// Sugar for call sites: `if (CDBS_FAILPOINT("wal.sync.crash")) ...`.
 #define CDBS_FAILPOINT(site) ::cdbs::util::Failpoints::ShouldFail(site)
+
+/// Errno-reporting variant: `int e; if (CDBS_FAILPOINT_ERRNO("x", &e)) ...`.
+#define CDBS_FAILPOINT_ERRNO(site, errno_out) \
+  ::cdbs::util::Failpoints::ShouldFailWith(site, errno_out)
 
 }  // namespace cdbs::util
 

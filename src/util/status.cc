@@ -1,5 +1,8 @@
 #include "util/status.h"
 
+#include <cerrno>
+#include <cstring>
+
 namespace cdbs {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -32,8 +35,35 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotLeader";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
+}
+
+FailureClass FailureClassOf(StatusCode code) {
+  switch (code) {
+    case StatusCode::kCorruption:
+    case StatusCode::kTruncated:
+      return FailureClass::kCorruption;
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kIoError:
+      return FailureClass::kPersistent;
+    default:
+      return FailureClass::kTransient;
+  }
+}
+
+Status ErrnoToStatus(int errno_value, std::string msg) {
+  msg += " (errno ";
+  msg += std::to_string(errno_value);
+  msg += ": ";
+  msg += std::strerror(errno_value);
+  msg += ")";
+  if (errno_value == ENOSPC || errno_value == EDQUOT) {
+    return Status::ResourceExhausted(std::move(msg));
+  }
+  return Status::IoError(std::move(msg));
 }
 
 std::string Status::ToString() const {

@@ -30,10 +30,29 @@ enum class StatusCode {
   kRetryAfter,        ///< load shed; retry after a server-suggested backoff
   kNotLeader,         ///< write sent to a replica; redirect to the primary
   kUnavailable,       ///< a shard/backend could not serve its part right now
+  kResourceExhausted,  ///< a resource ran out (ENOSPC/EDQUOT class)
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeToString(StatusCode code);
+
+/// How the supervision layer (docs/ROBUSTNESS.md) should react to a failed
+/// storage operation. Transient failures are worth an in-place retry;
+/// persistent ones (disk full, an I/O error that survived the storage
+/// layer's own retry loop) poison the writer until the shard is reopened;
+/// corruption additionally requires the WAL crash-recovery path to rebuild
+/// a consistent store.
+enum class FailureClass {
+  kTransient,
+  kPersistent,
+  kCorruption,
+};
+
+/// Classifies a status code for the supervision layer. kCorruption /
+/// kTruncated are kCorruption; kResourceExhausted and kIoError (already
+/// retried at the I/O layer — what surfaces here is not going away on its
+/// own) are kPersistent; everything else is kTransient.
+FailureClass FailureClassOf(StatusCode code);
 
 /// A success-or-error value. Cheap to copy when OK (no allocation).
 class Status {
@@ -86,6 +105,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -102,6 +124,16 @@ class Status {
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
+
+inline FailureClass FailureClassOf(const Status& status) {
+  return FailureClassOf(status.code());
+}
+
+/// Maps an `errno` from a failed I/O syscall to a Status: ENOSPC / EDQUOT
+/// become kResourceExhausted (the disk-full class the supervision layer
+/// treats as persistent), everything else kIoError. The errno name is
+/// appended to `msg`.
+Status ErrnoToStatus(int errno_value, std::string msg);
 
 /// A value-or-error union: holds a `T` on success, a `Status` on failure.
 template <typename T>

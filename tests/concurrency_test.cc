@@ -580,5 +580,164 @@ TEST(ConcurrentXmlDbTest, StatsAndMetricsReflectActivity) {
   EXPECT_EQ(writes, 1u);
 }
 
+// --------------------------------------------------------------------------
+// Persistent persist failures, writer poisoning and Reopen
+// (docs/ROBUSTNESS.md)
+
+class ConcurrentPersistFailureTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::Failpoints::Deactivate("storage.sync.error");
+    util::Failpoints::Deactivate("storage.write_page.error");
+  }
+
+  static std::string FreshPath(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::remove(path.c_str());
+    std::remove((path + ".wal").c_str());
+    return path;
+  }
+};
+
+TEST_F(ConcurrentPersistFailureTest, RepeatedFailuresRollBackEachGroup) {
+  const std::string path = FreshPath("persist_rollback.bin");
+  ConcurrentXmlDbOptions options;
+  options.db.storage_path = path;
+  options.poison_after_persist_failures = 0;  // breaker off: pure rollback
+  auto db = ConcurrentXmlDb::OpenFromXml(kSmallDoc, options);
+  ASSERT_TRUE(db.ok());
+  const NodeId b = (*db)->Query("//b").value()[0];
+  const uint64_t before = (*db)->Count("//b").value();
+
+  ASSERT_TRUE(
+      util::Failpoints::Activate("storage.sync.error", "enospc").ok());
+  for (int i = 0; i < 5; ++i) {
+    Result<NodeId> r = (*db)->SubmitInsertAfter(b, "b").get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+        << r.status().ToString();
+    // Each failed group rolled back cleanly: readers never see the node.
+    EXPECT_EQ((*db)->Count("//b").value(), before);
+  }
+  EXPECT_EQ((*db)->consecutive_persist_failures(), 5u);
+  EXPECT_FALSE((*db)->poisoned());  // threshold 0 disables the breaker
+  EXPECT_EQ((*db)->last_persist_error().code(),
+            StatusCode::kResourceExhausted);
+
+  // Fault clears: service resumes without any reopen (rollback left the
+  // store consistent) and the failure streak resets.
+  util::Failpoints::Deactivate("storage.sync.error");
+  ASSERT_TRUE((*db)->SubmitInsertAfter(b, "b").get().ok());
+  EXPECT_EQ((*db)->Count("//b").value(), before + 1);
+  EXPECT_EQ((*db)->consecutive_persist_failures(), 0u);
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST_F(ConcurrentPersistFailureTest, PersistentFailuresPoisonDeterministically) {
+  const std::string path = FreshPath("persist_poison.bin");
+  ConcurrentXmlDbOptions options;
+  options.db.storage_path = path;
+  options.poison_after_persist_failures = 3;
+  auto db = ConcurrentXmlDb::OpenFromXml(kSmallDoc, options);
+  ASSERT_TRUE(db.ok());
+  const NodeId b = (*db)->Query("//b").value()[0];
+
+  ASSERT_TRUE(
+      util::Failpoints::Activate("storage.sync.error", "enospc").ok());
+  // Sequential submits — each .get() forces its own group — so strikes
+  // accumulate deterministically: exactly 3 storage-failed groups poison.
+  for (int i = 0; i < 3; ++i) {
+    Result<NodeId> r = (*db)->SubmitInsertAfter(b, "b").get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_TRUE((*db)->poisoned());
+
+  // Poisoned: writes fast-fail with kUnavailable without touching storage,
+  // while reads keep serving the last published snapshot.
+  Result<NodeId> bounced = (*db)->SubmitInsertAfter(b, "b").get();
+  ASSERT_FALSE(bounced.ok());
+  EXPECT_EQ(bounced.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE((*db)->Count("//b").ok());
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST_F(ConcurrentPersistFailureTest, ReopenRestoresServiceLosingNoAckedWrite) {
+  const std::string path = FreshPath("persist_reopen.bin");
+  ConcurrentXmlDbOptions options;
+  options.db.storage_path = path;
+  options.poison_after_persist_failures = 2;
+  auto db = ConcurrentXmlDb::OpenFromXml(kSmallDoc, options);
+  ASSERT_TRUE(db.ok());
+  const NodeId b = (*db)->Query("//b").value()[0];
+
+  // Some acked writes before the fault.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*db)->SubmitInsertAfter(b, "pre").get().ok());
+  }
+  const uint64_t acked_pre = (*db)->Count("//pre").value();
+  ASSERT_EQ(acked_pre, 4u);
+
+  // Fault: poison the writer.
+  ASSERT_TRUE(
+      util::Failpoints::Activate("storage.sync.error", "enospc").ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_FALSE((*db)->SubmitInsertAfter(b, "lost").get().ok());
+  }
+  ASSERT_TRUE((*db)->poisoned());
+
+  // Reopen with the fault still live fails and stays poisoned.
+  EXPECT_FALSE((*db)->Reopen().ok());
+  EXPECT_TRUE((*db)->poisoned());
+
+  // Fault clears -> Reopen recovers through the WAL path and un-poisons.
+  util::Failpoints::Deactivate("storage.sync.error");
+  ASSERT_TRUE((*db)->Reopen().ok());
+  EXPECT_FALSE((*db)->poisoned());
+  EXPECT_EQ((*db)->consecutive_persist_failures(), 0u);
+  EXPECT_TRUE((*db)->last_persist_error().ok());
+
+  // Service restored: new writes commit durably.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*db)->SubmitInsertAfter(b, "post").get().ok());
+  }
+
+  // Ground truth: exactly the acked writes survive — the rolled-back
+  // "lost" inserts are gone, every acked one is present, and the reopened
+  // store matches the in-memory labels record for record.
+  EXPECT_EQ((*db)->Count("//pre").value(), 4u);
+  EXPECT_EQ((*db)->Count("//lost").value(), 0u);
+  EXPECT_EQ((*db)->Count("//post").value(), 3u);
+  (*db)->Shutdown();
+  const labeling::Labeling& lab = (*db)->underlying().labeling();
+  storage::LabelStore reopened;
+  ASSERT_TRUE(reopened.OpenExisting(path).ok());
+  ASSERT_EQ(reopened.size(), lab.num_nodes());
+  for (NodeId n = 0; n < lab.num_nodes(); ++n) {
+    std::string record;
+    ASSERT_TRUE(reopened.Read(n, &record).ok());
+    EXPECT_EQ(record, lab.SerializeLabel(n)) << "record " << n;
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST_F(ConcurrentPersistFailureTest, InMemoryDatabaseNeverPoisons) {
+  // No store, no persist path: the breaker has nothing to trip on even
+  // with the storage failpoints armed.
+  ASSERT_TRUE(
+      util::Failpoints::Activate("storage.sync.error", "enospc").ok());
+  auto db = ConcurrentXmlDb::OpenFromXml(kSmallDoc, {});
+  ASSERT_TRUE(db.ok());
+  const NodeId b = (*db)->Query("//b").value()[0];
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*db)->SubmitInsertAfter(b, "n").get().ok());
+  }
+  EXPECT_FALSE((*db)->poisoned());
+  EXPECT_EQ((*db)->consecutive_persist_failures(), 0u);
+}
+
 }  // namespace
 }  // namespace cdbs

@@ -1,6 +1,7 @@
 #include "util/failpoint.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <string>
 #include <vector>
@@ -186,6 +187,82 @@ TEST_F(FailpointTest, DelaySpecViaActivateFromList) {
   const auto sites = Failpoints::ActiveSites();
   EXPECT_EQ(std::count(sites.begin(), sites.end(), "test.list_delay"), 1);
   EXPECT_EQ(std::count(sites.begin(), sites.end(), "test.list_other"), 1);
+}
+
+TEST_F(FailpointTest, ErrnoSpecFiresWithTheArmedErrno) {
+  ASSERT_TRUE(Failpoints::Activate("test.errno_enospc", "enospc").ok());
+  ASSERT_TRUE(Failpoints::Activate("test.errno_edquot", "edquot").ok());
+  ASSERT_TRUE(Failpoints::Activate("test.errno_eio", "eio").ok());
+  int err = 0;
+  EXPECT_TRUE(Failpoints::ShouldFailWith("test.errno_enospc", &err));
+  EXPECT_EQ(err, ENOSPC);
+  EXPECT_TRUE(Failpoints::ShouldFailWith("test.errno_edquot", &err));
+  EXPECT_EQ(err, EDQUOT);
+  EXPECT_TRUE(Failpoints::ShouldFailWith("test.errno_eio", &err));
+  EXPECT_EQ(err, EIO);
+  // Errno sites stay armed (unlike oneshot) — a full disk stays full.
+  EXPECT_TRUE(Failpoints::ShouldFailWith("test.errno_enospc", &err));
+}
+
+TEST_F(FailpointTest, ErrnoSpecLeavesErrnoOutUntouchedWhenNotFiring) {
+  ASSERT_TRUE(
+      Failpoints::Activate("test.errno_never", "enospc:prob=0").ok());
+  int err = -1;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(Failpoints::ShouldFailWith("test.errno_never", &err));
+  }
+  EXPECT_EQ(err, -1);
+  EXPECT_FALSE(Failpoints::ShouldFailWith("test.errno_unarmed", &err));
+  EXPECT_EQ(err, -1);
+}
+
+TEST_F(FailpointTest, ErrnoSpecWithProbabilityFiresSometimes) {
+  ASSERT_TRUE(
+      Failpoints::Activate("test.errno_half", "enospc:prob=0.5").ok());
+  int fired = 0;
+  for (int i = 0; i < 400; ++i) {
+    int err = 0;
+    if (Failpoints::ShouldFailWith("test.errno_half", &err)) {
+      EXPECT_EQ(err, ENOSPC);
+      ++fired;
+    }
+  }
+  EXPECT_GT(fired, 100);
+  EXPECT_LT(fired, 300);
+}
+
+TEST_F(FailpointTest, ShouldFailWithReportsEioForNonErrnoSpecs) {
+  // A plain "always" site observed through ShouldFailWith still reports a
+  // usable errno: EIO, the generic I/O failure.
+  ASSERT_TRUE(Failpoints::Activate("test.errno_plain", "always").ok());
+  int err = 0;
+  EXPECT_TRUE(Failpoints::ShouldFailWith("test.errno_plain", &err));
+  EXPECT_EQ(err, EIO);
+}
+
+TEST_F(FailpointTest, MalformedErrnoSpecsAreRejected) {
+  EXPECT_EQ(Failpoints::Activate("test.errno_bad", "enoent").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Activate("test.errno_bad", "enospc:prob=").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Activate("test.errno_bad", "enospc:prob=2").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Activate("test.errno_bad", "enospc:frob=1").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(Failpoints::ShouldFail("test.errno_bad"));
+}
+
+TEST_F(FailpointTest, ErrnoSpecViaActivateFromList) {
+  // The CDBS_FAILPOINTS grammar the chaos CI job uses:
+  // `storage.sync.error=enospc:prob=0.05;...`.
+  ASSERT_TRUE(Failpoints::ActivateFromList(
+                  "test.list_errno=enospc:prob=1;test.list_errno2=eio")
+                  .ok());
+  int err = 0;
+  EXPECT_TRUE(Failpoints::ShouldFailWith("test.list_errno", &err));
+  EXPECT_EQ(err, ENOSPC);
+  EXPECT_TRUE(Failpoints::ShouldFailWith("test.list_errno2", &err));
+  EXPECT_EQ(err, EIO);
 }
 
 TEST_F(FailpointTest, TotalInjectionsAggregatesAcrossSites) {

@@ -142,6 +142,27 @@ TEST(ProtocolTest, ResponseRoundtripsResultsAndErrors) {
   stats.stats_json = "{\"metrics\":[]}";
   ASSERT_TRUE(DecodeResponse(EncodeResponse(stats), &out).ok());
   EXPECT_EQ(out.stats_json, stats.stats_json);
+
+  // A breaker bounce: kResourceExhausted is the newest wire code and
+  // kUnavailable carries a retry-after hint — both must survive the trip.
+  Response sick;
+  sick.request_id = 10;
+  sick.op = Opcode::kInsertAfter;
+  sick.code = StatusCode::kUnavailable;
+  sick.retry_after_ms = 100;
+  sick.message = "shard 1 is degraded";
+  ASSERT_TRUE(DecodeResponse(EncodeResponse(sick), &out).ok());
+  EXPECT_EQ(out.code, StatusCode::kUnavailable);
+  EXPECT_EQ(out.retry_after_ms, 100u);
+
+  Response full;
+  full.request_id = 11;
+  full.op = Opcode::kInsertAfter;
+  full.code = StatusCode::kResourceExhausted;
+  full.message = "disk full";
+  ASSERT_TRUE(DecodeResponse(EncodeResponse(full), &out).ok());
+  EXPECT_EQ(out.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(out.message, "disk full");
 }
 
 TEST(ProtocolTest, DecodersRejectTruncatedAndGarbagePayloads) {

@@ -1,5 +1,6 @@
 #include "util/status.h"
 
+#include <cerrno>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -34,6 +35,54 @@ TEST(StatusTest, AllFactoriesSetTheirCode) {
   EXPECT_EQ(Status::DeadlineExceeded("x").code(),
             StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::RetryAfter("x").code(), StatusCode::kRetryAfter);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ResourceExhaustedStringifies) {
+  EXPECT_EQ(Status::ResourceExhausted("disk full").ToString(),
+            "ResourceExhausted: disk full");
+}
+
+TEST(StatusTest, ErrnoToStatusMapsTheDiskFullClass) {
+  // ENOSPC/EDQUOT mean "a resource ran out" — retrying the syscall cannot
+  // help until an operator frees space, so they get their own code.
+  EXPECT_EQ(ErrnoToStatus(ENOSPC, "fsync").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(ErrnoToStatus(EDQUOT, "fsync").code(),
+            StatusCode::kResourceExhausted);
+  // Everything else is a generic I/O error.
+  EXPECT_EQ(ErrnoToStatus(EIO, "fsync").code(), StatusCode::kIoError);
+  EXPECT_EQ(ErrnoToStatus(EBADF, "fsync").code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, ErrnoToStatusNamesTheErrno) {
+  const Status s = ErrnoToStatus(ENOSPC, "fdatasync failed");
+  EXPECT_NE(s.message().find("fdatasync failed"), std::string::npos);
+  EXPECT_NE(s.message().find(std::to_string(ENOSPC)), std::string::npos);
+}
+
+TEST(StatusTest, FailureClassDrivesTheBreaker) {
+  // Corruption-class: poison immediately, recovery must rebuild.
+  EXPECT_EQ(FailureClassOf(StatusCode::kCorruption),
+            FailureClass::kCorruption);
+  EXPECT_EQ(FailureClassOf(StatusCode::kTruncated),
+            FailureClass::kCorruption);
+  // Persistent-class: the I/O layer already retried; repeats trip the
+  // breaker.
+  EXPECT_EQ(FailureClassOf(StatusCode::kResourceExhausted),
+            FailureClass::kPersistent);
+  EXPECT_EQ(FailureClassOf(StatusCode::kIoError), FailureClass::kPersistent);
+  // Everything else is transient (deadline pressure, shed load, ...).
+  EXPECT_EQ(FailureClassOf(StatusCode::kDeadlineExceeded),
+            FailureClass::kTransient);
+  EXPECT_EQ(FailureClassOf(StatusCode::kRetryAfter),
+            FailureClass::kTransient);
+  EXPECT_EQ(FailureClassOf(StatusCode::kOk), FailureClass::kTransient);
+  // The Status overload mirrors the code overload.
+  EXPECT_EQ(FailureClassOf(Status::ResourceExhausted("full")),
+            FailureClass::kPersistent);
 }
 
 TEST(StatusTest, OverloadCodesStringify) {
