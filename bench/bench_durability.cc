@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
 #include "storage/label_store.h"
 #include "storage/wal.h"
 #include "util/crc32c.h"
@@ -85,6 +86,54 @@ double LoggedRound(LabelStore* store, const std::vector<std::string>& recs,
   return timer.ElapsedMillis();
 }
 
+uint64_t GlobalCounter(const std::string& name) {
+  for (const cdbs::obs::MetricSnapshot& m :
+       cdbs::obs::MetricRegistry::Default().Snapshot()) {
+    if (m.name == name) return m.counter_value;
+  }
+  return 0;
+}
+
+// Measures fsynced WAL bytes per update with payload compression off vs on
+// (docs/ENCODING.md). Returns compressed/raw — the perf-smoke CI step runs
+// this binary and the ≤ 0.70 assertion at the bottom of main() is the
+// regression guard: WAL records carry page images whose slot padding and
+// zeroed tails zero-RLE must keep collapsing.
+double BenchWalBytes(const std::string& path,
+                     const std::vector<std::string>& records) {
+  const uint64_t updates = cdbs::bench::EnvKnob("CDBS_WAL_BYTES_UPDATES", 256);
+  double ms[2] = {0, 0};
+  uint64_t bytes[2] = {0, 0};
+  for (int mode = 0; mode < 2; ++mode) {
+    cdbs::storage::Wal::set_compression_enabled(mode == 1);
+    LabelStore store;
+    if (!store.Open(path).ok() || !store.BulkLoad(records, 16).ok()) {
+      std::abort();
+    }
+    cdbs::util::Random rng(11);
+    const uint64_t before = GlobalCounter("wal.bytes_written");
+    cdbs::util::Stopwatch timer;
+    for (uint64_t i = 0; i < updates; ++i) {
+      const size_t idx = rng.Uniform(records.size());
+      StoreBatch batch;
+      batch.Rewrite(idx, records[idx]);
+      batch.Append(records[i % records.size()]);
+      if (!store.ApplyBatch(batch).ok()) std::abort();
+    }
+    ms[mode] = timer.ElapsedMillis();
+    bytes[mode] = GlobalCounter("wal.bytes_written") - before;
+  }
+  cdbs::storage::Wal::set_compression_enabled(true);
+  const double raw_per_op = static_cast<double>(bytes[0]) / updates;
+  const double comp_per_op = static_cast<double>(bytes[1]) / updates;
+  const double ratio = comp_per_op / raw_per_op;
+  std::printf(
+      "  WAL bytes/update  raw: %.0f B (%.3f ms/op)   compressed: %.0f B "
+      "(%.3f ms/op)   ratio %.2fx\n",
+      raw_per_op, ms[0] / updates, comp_per_op, ms[1] / updates, ratio);
+  return ratio;
+}
+
 }  // namespace
 
 int main() {
@@ -122,6 +171,13 @@ int main() {
       per_update_unlogged, per_update_logged,
       per_update_logged / per_update_unlogged);
 
+  double wal_ratio = 1.0;
+  {
+    auto phase = cdbs::bench::Phase("durability_wal_bytes");
+    wal_ratio = BenchWalBytes(path, records);
+    phase.StopAndRecord();
+  }
+
   // Recovery: leave a batch in the WAL by crashing right after the WAL
   // sync, then time OpenExisting's replay.
   {
@@ -154,5 +210,14 @@ int main() {
   std::remove(path.c_str());
   std::remove(LabelStore::WalPath(path).c_str());
   cdbs::bench::DumpMetrics("durability");
+
+  // Self-enforcing perf-smoke: compressed WAL must stay well under raw.
+  if (wal_ratio > 0.70) {
+    std::fprintf(stderr,
+                 "FAIL: compressed WAL bytes/update is %.2fx of raw "
+                 "(budget 0.70x)\n",
+                 wal_ratio);
+    return 1;
+  }
   return 0;
 }

@@ -55,6 +55,14 @@ using cdbs::net::ServerOptions;
 
 constexpr char kDoc[] = "<root><a><b/><b/></a><c><b/></c></root>";
 
+uint64_t GlobalCounter(const std::string& name) {
+  for (const cdbs::obs::MetricSnapshot& m :
+       cdbs::obs::MetricRegistry::Default().Snapshot()) {
+    if (m.name == name) return m.counter_value;
+  }
+  return 0;
+}
+
 ClientOptions MakeClientOptions(uint16_t port, int max_attempts,
                                 uint64_t seed) {
   ClientOptions o;
@@ -276,6 +284,46 @@ int main() {
   const std::vector<NodeId> golden_raw = (*db)->Query("//b").value();
   std::vector<uint64_t> golden_b(golden_raw.begin(), golden_raw.end());
   cdbs::obs::MetricRegistry& reg = cdbs::obs::MetricRegistry::Default();
+
+  // Wire-frame phase (docs/ENCODING.md): the same query workload over a
+  // plain session and a hello-negotiated compressed one; the delta of the
+  // process-wide net.frame.tx.bytes counter is exactly the bytes that hit
+  // the wire (each frame counts once at its sender).
+  cdbs::bench::Heading("Wire frames: plain vs negotiated-compressed");
+  {
+    // Grow the //n result set so responses clear the compression floor.
+    auto seeder = CdbsClient::Connect(MakeClientOptions(port, 8, 9));
+    if (!seeder.ok()) return 1;
+    for (int i = 0; i < 200; ++i) {
+      if (!(*seeder)->InsertAfter(hot, "n").ok()) return 1;
+    }
+    const uint64_t queries = cdbs::bench::EnvKnob("CDBS_FRAME_QUERIES", 400);
+    double tx_per_op[2] = {0, 0};
+    double ms_per_op[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+      ClientOptions o = MakeClientOptions(port, 8, 17 + mode);
+      o.enable_compression = mode == 1;
+      auto client = CdbsClient::Connect(o);
+      if (!client.ok()) return 1;
+      const uint64_t tx0 = GlobalCounter("net.frame.tx.bytes");
+      cdbs::util::Stopwatch timer;
+      for (uint64_t i = 0; i < queries; ++i) {
+        if (!(*client)->Query("//n").ok()) return 1;
+      }
+      ms_per_op[mode] = timer.ElapsedMillis() / queries;
+      tx_per_op[mode] =
+          static_cast<double>(GlobalCounter("net.frame.tx.bytes") - tx0) /
+          queries;
+    }
+    std::printf(
+        "  query bytes/op (req+resp)  plain: %.0f B (%.3f ms)   "
+        "compressed: %.0f B (%.3f ms)   ratio %.2fx\n",
+        tx_per_op[0], ms_per_op[0], tx_per_op[1], ms_per_op[1],
+        tx_per_op[1] / tx_per_op[0]);
+    reg.GetGauge("bench.net.frame_bytes_ratio",
+                 "Compressed/plain wire bytes per query")
+        ->Set(tx_per_op[1] / tx_per_op[0]);
+  }
 
   // A 20 ms injected commit delay stands in for a slow disk: it pins the
   // sustainable rate low enough to overdrive deterministically.

@@ -8,6 +8,7 @@
 #include "query/evaluator.h"
 #include "query/xpath.h"
 #include "util/check.h"
+#include "util/ordered_varint.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
 
@@ -326,6 +327,33 @@ Result<std::unique_ptr<XmlDb>> XmlDb::OpenFromBootstrap(
   return db;
 }
 
+std::string XmlDb::SerializeRecord(NodeId n) const {
+  std::string rec;
+  if (store_tags_enabled_) {
+    (void)util::EncodeOrderedVarint(labeled_->tag_id(n), &rec);
+  }
+  rec += labeled_->labeling().SerializeLabel(n);
+  return rec;
+}
+
+void XmlDb::SyncTagTable(storage::LabelStore* store) {
+  const std::shared_ptr<const query::TagPool>& pool = labeled_->tag_pool();
+  if (store_tags_enabled_ && pool->size() == pushed_tags_) return;
+  std::vector<std::string> names;
+  names.reserve(pool->size());
+  for (size_t id = 0; id < pool->size(); ++id) {
+    names.push_back(pool->name(static_cast<query::TagId>(id)));
+  }
+  const bool was_enabled = store_tags_enabled_;
+  store_tags_enabled_ = store->SetTagTable(names).ok();
+  pushed_tags_ = store_tags_enabled_ ? names.size() : 0;
+  if (was_enabled && !store_tags_enabled_) {
+    // Records with tag prefixes are on disk but the header can no longer
+    // describe them; the next persist rebuilds everything bare-label.
+    store_needs_reload_ = true;
+  }
+}
+
 Status XmlDb::InitStore(const XmlDbOptions& options) {
   if (options.storage_path.empty()) return Status::OK();
   storage_path_ = options.storage_path;
@@ -334,11 +362,12 @@ Status XmlDb::InitStore(const XmlDbOptions& options) {
   store_ = std::make_unique<storage::LabelStore>();
   store_->set_failpoint_scope(failpoint_scope_);
   CDBS_RETURN_NOT_OK(store_->Open(options.storage_path));
+  SyncTagTable(store_.get());
   const labeling::Labeling& lab = labeled_->labeling();
   std::vector<std::string> records;
   records.reserve(lab.num_nodes());
   for (NodeId n = 0; n < lab.num_nodes(); ++n) {
-    records.push_back(lab.SerializeLabel(n));
+    records.push_back(SerializeRecord(n));
   }
   return store_->BulkLoad(records, options.store_headroom);
 }
@@ -363,11 +392,14 @@ Status XmlDb::ReopenStore() {
   // append was fsynced but whose page writes failed was rolled back in
   // memory, yet OpenExisting just replayed it. Memory is authoritative —
   // it holds precisely the acknowledged writes.
+  store_tags_enabled_ = false;  // re-negotiate against the fresh handle
+  pushed_tags_ = 0;
+  SyncTagTable(fresh.get());
   const labeling::Labeling& lab = labeled_->labeling();
   std::vector<std::string> records;
   records.reserve(lab.num_nodes());
   for (NodeId n = 0; n < lab.num_nodes(); ++n) {
-    records.push_back(lab.SerializeLabel(n));
+    records.push_back(SerializeRecord(n));
   }
   storage::StoreBatch reload;
   reload.Reload(std::move(records), store_headroom_);
@@ -457,15 +489,19 @@ Result<NodeId> XmlDb::ApplyInsertInMemory(NodeId target, const std::string& tag,
 
 void XmlDb::BuildPersistOps(const labeling::InsertResult& result,
                             storage::StoreBatch* out) const {
-  const labeling::Labeling& lab = labeled_->labeling();
   for (const NodeId n : result.relabeled_nodes) {
-    out->Rewrite(n, lab.SerializeLabel(n));
+    out->Rewrite(n, SerializeRecord(n));
   }
-  out->Append(lab.SerializeLabel(result.new_node));
+  out->Append(SerializeRecord(result.new_node));
 }
 
 Status XmlDb::PersistBatches(const std::vector<storage::StoreBatch>& batches) {
   if (store_ == nullptr) return Status::OK();
+  // A brand-new tag name interned by this group must reach the header's
+  // tag table in the same commit as the records referencing its id. If the
+  // grown table no longer fits, SyncTagTable flips to bare-label records
+  // and forces the reload below, which subsumes the prefixed batches.
+  SyncTagTable(store_.get());
   if (!store_needs_reload_) {
     std::vector<const storage::StoreBatch*> group;
     group.reserve(batches.size());
@@ -481,7 +517,7 @@ Status XmlDb::PersistBatches(const std::vector<storage::StoreBatch>& batches) {
   std::vector<std::string> records;
   records.reserve(lab.num_nodes());
   for (NodeId n = 0; n < lab.num_nodes(); ++n) {
-    records.push_back(lab.SerializeLabel(n));
+    records.push_back(SerializeRecord(n));
   }
   storage::StoreBatch reload;
   reload.Reload(std::move(records), 16);

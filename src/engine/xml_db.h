@@ -180,6 +180,17 @@ class XmlDb {
   // Serializes one insertion's store ops (relabel rewrites + the append).
   void BuildPersistOps(const labeling::InsertResult& result,
                        storage::StoreBatch* out) const;
+  /// One node's on-disk record: varint(interned TagId) + serialized label
+  /// when the store carries a tag table (docs/ENCODING.md), the bare label
+  /// otherwise. The engine never reads records back (memory is
+  /// authoritative), so the prefix is pure on-disk self-description.
+  std::string SerializeRecord(NodeId n) const;
+  /// Mirrors the tag pool into `store`'s header tag table when it grew (or
+  /// was never pushed). A store that cannot carry the table — legacy
+  /// format, or a pathological table bigger than the header page — drops
+  /// this database to bare-label records; when records with prefixes were
+  /// already written, the next persist rebuilds them via a Reload.
+  void SyncTagTable(storage::LabelStore* store);
   // Phase 2: group-commits the batches (one WAL fsync for all of them),
   // falling back to a full Reload when a label outgrew its slot or a prior
   // failure left the store out of sync. No-op without a store.
@@ -220,6 +231,12 @@ class XmlDb {
   // state may have diverged from the store (e.g. an overflow re-encode):
   // the next successful persist re-syncs everything with a Reload batch.
   bool store_needs_reload_ = false;
+  // Records carry an interned-TagId prefix (the store accepted a tag
+  // table). False for legacy-format or tableless stores.
+  bool store_tags_enabled_ = false;
+  // Pool size last pushed via SetTagTable; a bigger pool (a brand-new tag
+  // name was interned) re-pushes before the next persist.
+  size_t pushed_tags_ = 0;
 
   obs::MetricRegistry registry_;
   // Per-instance counters/timers and their process-wide mirrors.

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/crc32c.h"
+#include "util/label_codec.h"
 
 namespace cdbs::net {
 
@@ -86,7 +87,7 @@ class Cursor {
 
 Status ValidateOpcode(uint8_t raw, Opcode* out) {
   if (raw < static_cast<uint8_t>(Opcode::kPing) ||
-      raw > static_cast<uint8_t>(Opcode::kCount)) {
+      raw > static_cast<uint8_t>(Opcode::kHello)) {
     return Status::Corruption("bad opcode " + std::to_string(raw));
   }
   *out = static_cast<Opcode>(raw);
@@ -117,6 +118,8 @@ bool IsIdempotent(Opcode op) {
     case Opcode::kPromote:
     // Acks are pure notifications; a duplicate only re-reports progress.
     case Opcode::kReplAck:
+    // Re-negotiating yields the same answer.
+    case Opcode::kHello:
       return true;
     case Opcode::kInsertBefore:
     case Opcode::kInsertAfter:
@@ -159,6 +162,9 @@ std::string EncodeRequest(const Request& req) {
       break;
     case Opcode::kReplAck:
       AppendU64(&out, req.target);  // last applied LSN
+      break;
+    case Opcode::kHello:
+      AppendU64(&out, req.target);  // feature bits offered
       break;
     case Opcode::kReplBatch:
       break;  // server-push only; a request with this op is never encoded
@@ -210,6 +216,9 @@ Status DecodeRequest(std::string_view payload, Request* out) {
     case Opcode::kReplAck:
       CDBS_RETURN_NOT_OK(cur.ReadU64(&out->target));
       break;
+    case Opcode::kHello:
+      CDBS_RETURN_NOT_OK(cur.ReadU64(&out->target));
+      break;
   }
   out->trace_id = 0;
   out->doc_id = Request::kNoDoc;
@@ -256,6 +265,9 @@ std::string EncodeResponse(const Response& resp) {
       case Opcode::kPromote:
         AppendU64(&out, resp.id_or_count);
         AppendU64(&out, resp.epoch);
+        break;
+      case Opcode::kHello:
+        AppendU64(&out, resp.id_or_count);  // feature bits accepted
         break;
       case Opcode::kBootstrap:
       case Opcode::kReplBatch:
@@ -324,6 +336,9 @@ Status DecodeResponse(std::string_view payload, Response* out) {
         CDBS_RETURN_NOT_OK(cur.ReadU64(&out->id_or_count));
         CDBS_RETURN_NOT_OK(cur.ReadU64(&out->epoch));
         break;
+      case Opcode::kHello:
+        CDBS_RETURN_NOT_OK(cur.ReadU64(&out->id_or_count));
+        break;
       case Opcode::kBootstrap:
       case Opcode::kReplBatch:
         CDBS_RETURN_NOT_OK(cur.ReadU64(&out->id_or_count));
@@ -360,16 +375,31 @@ Status DecodeResponse(std::string_view payload, Response* out) {
   return Status::OK();
 }
 
-std::string EncodeFrame(std::string_view payload) {
+namespace {
+/// Frames below this are not worth a compression attempt: the zero-RLE
+/// framing overhead eats any savings (same threshold as the WAL's).
+constexpr size_t kFrameCompressMinBytes = 64;
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload, bool allow_compress) {
+  std::string compressed;
+  uint32_t len_field = static_cast<uint32_t>(payload.size());
+  std::string_view stored = payload;
+  if (allow_compress &&
+      util::MaybeCompressBytes(payload, kFrameCompressMinBytes,
+                               &compressed)) {
+    stored = compressed;
+    len_field = static_cast<uint32_t>(compressed.size()) | kFrameCompressedBit;
+  }
   std::string out;
-  out.reserve(kFrameHeaderBytes + payload.size());
+  out.reserve(kFrameHeaderBytes + stored.size());
   std::string len_bytes;
-  AppendU32(&len_bytes, static_cast<uint32_t>(payload.size()));
+  AppendU32(&len_bytes, len_field);
   uint32_t crc = util::Crc32c(len_bytes.data(), len_bytes.size());
-  crc = util::Crc32c(payload.data(), payload.size(), crc);
+  crc = util::Crc32c(stored.data(), stored.size(), crc);
   AppendU32(&out, crc);
   out += len_bytes;
-  out.append(payload.data(), payload.size());
+  out.append(stored.data(), stored.size());
   return out;
 }
 
@@ -383,8 +413,14 @@ uint32_t LoadU32(const char* p) {
 }
 }  // namespace
 
-Status ParseFrameHeader(const char* header, uint32_t* payload_len) {
-  const uint32_t len = LoadU32(header + 4);
+Status ParseFrameHeader(const char* header, uint32_t* payload_len,
+                        bool* compressed) {
+  const uint32_t raw = LoadU32(header + 4);
+  const bool is_compressed = (raw & kFrameCompressedBit) != 0;
+  const uint32_t len = raw & ~kFrameCompressedBit;
+  if (compressed != nullptr) {
+    *compressed = is_compressed;
+  }
   if (len > kMaxFramePayloadBytes) {
     return Status::Corruption("frame length " + std::to_string(len) +
                               " exceeds cap");

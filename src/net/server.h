@@ -130,6 +130,10 @@ class Server {
     /// when the sender stops, so Shutdown drains them in a later phase
     /// than request/response connections.
     std::atomic<bool> stream{false};
+    /// The peer negotiated kFeatureCompressedFrames via kHello; response
+    /// frames on this connection may then carry compressed payloads. Only
+    /// the serving thread touches it.
+    bool compress = false;
   };
 
   Server(engine::ConcurrentXmlDb* db, repl::Follower* follower,

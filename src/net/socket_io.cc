@@ -13,6 +13,8 @@
 #include <cstdio>
 
 #include "net/protocol.h"
+#include "obs/metrics.h"
+#include "util/label_codec.h"
 
 namespace cdbs::net {
 
@@ -20,6 +22,22 @@ namespace {
 
 Status Errno(const char* what) {
   return Status::IoError(std::string(what) + ": " + ::strerror(errno));
+}
+
+/// Wire bytes actually moved (headers + stored payloads, compressed or
+/// not) — the number the compression work is trying to shrink. Registered
+/// lazily in the process-wide registry so every transport user (server,
+/// client, replication streams) shares one pair of counters.
+obs::Counter* RxBytesCounter() {
+  static obs::Counter* c = obs::MetricRegistry::Default().GetCounter(
+      "net.frame.rx.bytes", "Frame bytes received (headers + stored payload)");
+  return c;
+}
+
+obs::Counter* TxBytesCounter() {
+  static obs::Counter* c = obs::MetricRegistry::Default().GetCounter(
+      "net.frame.tx.bytes", "Frame bytes sent (headers + stored payload)");
+  return c;
 }
 
 /// Waits for `events` on `fd` for up to `timeout_ms` (< 0: forever).
@@ -164,16 +182,33 @@ Status ReadFrame(int fd, std::string* payload, int timeout_ms,
   CDBS_RETURN_NOT_OK(
       ReadFull(fd, header, sizeof(header), timeout_ms, clean_eof));
   uint32_t len = 0;
-  CDBS_RETURN_NOT_OK(ParseFrameHeader(header, &len));
+  bool compressed = false;
+  CDBS_RETURN_NOT_OK(ParseFrameHeader(header, &len, &compressed));
   payload->resize(len);
   if (len > 0) {
     CDBS_RETURN_NOT_OK(ReadFull(fd, payload->data(), len, timeout_ms));
   }
-  return VerifyFrame(header, *payload);
+  RxBytesCounter()->Increment(kFrameHeaderBytes + len);
+  // CRC covers the *stored* bytes; only then is decompressing meaningful
+  // (a failure past a good checksum is a peer bug, not line noise).
+  CDBS_RETURN_NOT_OK(VerifyFrame(header, *payload));
+  if (compressed) {
+    std::string raw;
+    size_t pos = 0;
+    CDBS_RETURN_NOT_OK(util::DecompressBytes(*payload, &pos,
+                                             kMaxFramePayloadBytes, &raw));
+    if (pos != payload->size()) {
+      return Status::Corruption("compressed frame has trailing bytes");
+    }
+    *payload = std::move(raw);
+  }
+  return Status::OK();
 }
 
 Status WriteFrame(int fd, std::string_view frame, int timeout_ms) {
-  return WriteFull(fd, frame.data(), frame.size(), timeout_ms);
+  CDBS_RETURN_NOT_OK(WriteFull(fd, frame.data(), frame.size(), timeout_ms));
+  TxBytesCounter()->Increment(frame.size());
+  return Status::OK();
 }
 
 }  // namespace cdbs::net

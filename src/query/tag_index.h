@@ -64,6 +64,12 @@ class LabeledDocument {
   /// Interned tag id of a node (0 for text nodes).
   TagId tag_id(NodeId n) const { return tags_[n]; }
 
+  /// The interning pool behind `tag_id` (shared with every fork). Ids are
+  /// dense: names 0..size()-1 are valid, id 0 is the empty tag. The engine
+  /// mirrors this table into the label store's header so on-disk records
+  /// can carry a TagId instead of the tag string (docs/ENCODING.md).
+  const std::shared_ptr<const TagPool>& tag_pool() const { return pool_; }
+
   /// Mutable access to the labeling (used by the update engine; queries use
   /// the const accessor).
   labeling::Labeling* labeling_mutable() { return labeling_.get(); }

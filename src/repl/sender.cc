@@ -76,8 +76,14 @@ void ReplicationSender::OnCommit(const ReplRecord& record) {
   QueuedRecord item;
   item.lsn = record.lsn;
   item.committed_at = std::chrono::steady_clock::now();
-  item.frame = std::make_shared<const std::string>(
-      net::EncodeFrame(net::EncodeResponse(resp)));
+  const std::string payload = net::EncodeResponse(resp);
+  item.frame = std::make_shared<const std::string>(net::EncodeFrame(payload));
+  if (compressed_followers_.load(std::memory_order_acquire) > 0) {
+    // A second shared encoding for compressed streams; plain followers
+    // keep the raw one, so mixed fleets cost two encodes, not N.
+    item.cframe = std::make_shared<const std::string>(
+        net::EncodeFrame(payload, /*allow_compress=*/true));
+  }
 
   std::unique_lock<std::mutex> lock(mu_);
   for (const std::shared_ptr<FollowerState>& f : followers_) {
@@ -189,7 +195,8 @@ void ReplicationSender::UpdateLagMetrics() {
   lag_bytes_.Set(static_cast<double>(max_backlog) * 64);
 }
 
-void ReplicationSender::RunFollowerStream(int fd, const net::Request& req) {
+void ReplicationSender::RunFollowerStream(int fd, const net::Request& req,
+                                          bool compress) {
   ReplicationLog* log = db_->replication_log();
   net::Response hello;
   hello.request_id = req.request_id;
@@ -198,7 +205,7 @@ void ReplicationSender::RunFollowerStream(int fd, const net::Request& req) {
     hello.code = StatusCode::kInvalidArgument;
     hello.message = "replication is not enabled on this server";
     static_cast<void>(net::WriteFrame(
-        fd, net::EncodeFrame(net::EncodeResponse(hello)),
+        fd, net::EncodeFrame(net::EncodeResponse(hello), compress),
         options_.write_timeout_ms));
     return;
   }
@@ -209,7 +216,7 @@ void ReplicationSender::RunFollowerStream(int fd, const net::Request& req) {
     hello.code = StatusCode::kOutOfRange;
     hello.message = "epoch mismatch; bootstrap required";
     static_cast<void>(net::WriteFrame(
-        fd, net::EncodeFrame(net::EncodeResponse(hello)),
+        fd, net::EncodeFrame(net::EncodeResponse(hello), compress),
         options_.write_timeout_ms));
     return;
   }
@@ -217,8 +224,8 @@ void ReplicationSender::RunFollowerStream(int fd, const net::Request& req) {
   // Register FIRST, then read the log: a record committed between the two
   // steps lands in the queue AND in the catch-up read. Duplicates are fine
   // (the follower dedups by LSN); a gap would not be.
-  auto follower =
-      std::make_shared<FollowerState>(options_.follower_buffer_records);
+  auto follower = std::make_shared<FollowerState>(
+      options_.follower_buffer_records, compress);
   follower->fd.store(fd, std::memory_order_release);
   const uint64_t from_lsn = std::max<uint64_t>(req.target, 1);
   follower->acked_lsn.store(from_lsn - 1, std::memory_order_release);
@@ -226,6 +233,9 @@ void ReplicationSender::RunFollowerStream(int fd, const net::Request& req) {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_.load(std::memory_order_acquire)) return;
     followers_.push_back(follower);
+    if (compress) {
+      compressed_followers_.fetch_add(1, std::memory_order_acq_rel);
+    }
     followers_gauge_.Set(static_cast<double>(followers_.size()));
   }
 
@@ -261,7 +271,7 @@ void ReplicationSender::RunFollowerStream(int fd, const net::Request& req) {
     net::Response batch =
         MakeBatchResponse(rec.lsn, log->epoch(), EncodeReplOps(rec.ops));
     const std::string frame =
-        net::EncodeFrame(net::EncodeResponse(batch));
+        net::EncodeFrame(net::EncodeResponse(batch), compress);
     if (!net::WriteFrame(fd, frame, options_.write_timeout_ms).ok()) {
       healthy = false;
       break;
@@ -286,7 +296,8 @@ void ReplicationSender::RunFollowerStream(int fd, const net::Request& req) {
       // follower can measure its own staleness.
       net::Response hb = MakeBatchResponse(db_->commit_lsn(), log->epoch(),
                                            std::string());
-      const std::string frame = net::EncodeFrame(net::EncodeResponse(hb));
+      const std::string frame =
+          net::EncodeFrame(net::EncodeResponse(hb), compress);
       if (!net::WriteFrame(fd, frame, options_.write_timeout_ms).ok()) break;
       heartbeats_.Increment();
     }
@@ -302,7 +313,10 @@ void ReplicationSender::RunFollowerStream(int fd, const net::Request& req) {
         healthy = false;
         break;
       }
-      std::string frame = *rec.frame;
+      // Prefer the shared compressed encoding; a record queued before this
+      // follower subscribed may lack one, in which case raw is still valid.
+      std::string frame =
+          (compress && rec.cframe != nullptr) ? *rec.cframe : *rec.frame;
       if (CDBS_FAILPOINT("net.frame.corrupt") && !frame.empty()) {
         frame[frame.size() / 2] =
             static_cast<char>(frame[frame.size() / 2] ^ 0x40);
@@ -329,6 +343,9 @@ void ReplicationSender::RunFollowerStream(int fd, const net::Request& req) {
     followers_.erase(
         std::remove(followers_.begin(), followers_.end(), follower),
         followers_.end());
+    if (compress) {
+      compressed_followers_.fetch_sub(1, std::memory_order_acq_rel);
+    }
     followers_gauge_.Set(static_cast<double>(followers_.size()));
   }
   UpdateLagMetrics();

@@ -74,8 +74,11 @@ class ReplicationSender {
   /// or kOutOfRange when the follower must bootstrap (epoch mismatch or
   /// LSNs below the retention floor) — then pushes kReplBatch frames and
   /// heartbeats until the follower disconnects, falls too far behind, or
-  /// the sender stops. Does not close `fd` (the server owns it).
-  void RunFollowerStream(int fd, const net::Request& req);
+  /// the sender stops. Does not close `fd` (the server owns it). With
+  /// `compress` (the connection negotiated kFeatureCompressedFrames) every
+  /// pushed frame may carry a compressed payload.
+  void RunFollowerStream(int fd, const net::Request& req,
+                         bool compress = false);
 
   /// Detaches the commit sink, wakes sync-commit waiters, and tears down
   /// every follower stream (their RunFollowerStream calls return).
@@ -88,19 +91,26 @@ class ReplicationSender {
   uint64_t min_acked_lsn() const;
 
  private:
-  /// One record as fanned out: the wire frame is encoded once and shared.
+  /// One record as fanned out: each wire encoding is built once and
+  /// shared by every follower that speaks it. `cframe` (the compressed
+  /// encoding) is only built when at least one subscribed follower
+  /// negotiated compressed frames; plain followers keep reading `frame`.
   struct QueuedRecord {
     uint64_t lsn = 0;
     std::chrono::steady_clock::time_point committed_at;
     std::shared_ptr<const std::string> frame;
+    std::shared_ptr<const std::string> cframe;
   };
 
   struct FollowerState {
-    explicit FollowerState(size_t cap) : queue(cap) {}
+    FollowerState(size_t cap, bool compress_frames)
+        : queue(cap), compress(compress_frames) {}
     concurrency::BoundedQueue<QueuedRecord> queue;
     std::atomic<uint64_t> acked_lsn{0};
     std::atomic<int> fd{-1};
     std::atomic<bool> dropped{false};
+    /// The stream's connection negotiated kFeatureCompressedFrames.
+    const bool compress;
   };
 
   void OnCommit(const ReplRecord& record);
@@ -119,6 +129,9 @@ class ReplicationSender {
   mutable std::mutex mu_;                 // guards followers_
   std::condition_variable ack_cv_;        // sync mode: signalled on each ack
   std::vector<std::shared_ptr<FollowerState>> followers_;
+  /// Live followers whose stream negotiated compressed frames; lets
+  /// OnCommit skip building the compressed encoding when nobody wants it.
+  std::atomic<size_t> compressed_followers_{0};
 
   // repl.* metrics, in the engine's registry (kIntrospect/Prometheus) and
   // mirrored into MetricRegistry::Default().

@@ -15,14 +15,21 @@
 #include "util/check.h"
 #include "util/crc32c.h"
 #include "util/failpoint.h"
+#include "util/label_codec.h"
+#include "util/ordered_varint.h"
 
 namespace cdbs::storage {
 
 namespace {
 constexpr size_t kSlotHeader = 2;  // record length, little-endian
 constexpr uint32_t kMagic = 0x43444253;  // "CDBS"
-// Bumped when the page layout changes: v2 added the per-page CRC32C tail.
-constexpr uint32_t kFormatVersion = 2;
+// Compact (v3) data pages lead with a u16 record count.
+constexpr size_t kPageCountBytes = 2;
+// Header page layout: magic(4) version(4) slot(8) count(8), then — compact
+// format only — a u32 tag-table length at 24 and the table itself at 28.
+constexpr size_t kHeaderTagOffset = 24;
+constexpr size_t kMaxTagBlobBytes =
+    LabelStore::kPageDataSize - kHeaderTagOffset - 4;
 
 void PutU32(char* dst, uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
 uint32_t GetU32(const char* src) {
@@ -42,6 +49,18 @@ void EncodeSlot(char* slot, size_t slot_size, const std::string& record) {
   slot[0] = static_cast<char>(record.size() & 0xFF);
   slot[1] = static_cast<char>((record.size() >> 8) & 0xFF);
   std::memcpy(slot + kSlotHeader, record.data(), record.size());
+}
+
+/// Decodes every record of a compact (v3) page image: u16 count followed by
+/// the front-coded run. A zeroed page decodes as zero records.
+Status DecodeCompactPage(const std::vector<char>& page,
+                         std::vector<std::string>* records) {
+  const size_t n = static_cast<uint8_t>(page[0]) |
+                   (static_cast<size_t>(static_cast<uint8_t>(page[1])) << 8);
+  size_t pos = 0;
+  const std::string_view body(page.data() + kPageCountBytes,
+                              LabelStore::kPageDataSize - kPageCountBytes);
+  return util::DecodeFrontCodedRun(body, &pos, n, records);
 }
 }  // namespace
 
@@ -67,6 +86,9 @@ LabelStore::LabelStore() {
                                       "Pages written to the label store file");
   bytes_written_ = registry_.GetCounter("storage.bytes_written",
                                         "Bytes written to the label store file");
+  page_payload_bytes_ = registry_.GetCounter(
+      "storage.page.payload_bytes",
+      "Encoded record payload bytes staged into page images (pre-padding)");
   checksum_failures_ = registry_.GetCounter(
       "storage.checksum_failures", "Pages that failed CRC32C verification");
   io_retries_ = registry_.GetCounter(
@@ -86,6 +108,9 @@ LabelStore::LabelStore() {
       "storage.page_writes", "Pages written across all label stores");
   global_bytes_written_ = global.GetCounter(
       "storage.bytes_written", "Bytes written across all label stores");
+  global_page_payload_bytes_ = global.GetCounter(
+      "storage.page.payload_bytes",
+      "Encoded page payload bytes staged, all label stores");
   global_checksum_failures_ = global.GetCounter(
       "storage.checksum_failures", "Page CRC failures, all label stores");
   global_io_retries_ = global.GetCounter(
@@ -106,13 +131,109 @@ IoStats LabelStore::io_stats() const {
   return stats;
 }
 
+size_t LabelStore::SlotsPerPageFor(uint64_t slot_size) const {
+  if (slot_size == 0) return 0;
+  if (format_ == kFormatLegacy) {
+    return slot_size > kPageDataSize ? 0 : kPageDataSize / slot_size;
+  }
+  // Compact pages reserve the worst-case front-coded size per record so a
+  // page can always hold its full complement, whatever the records share.
+  const size_t max_record = slot_size > kSlotHeader ? slot_size - kSlotHeader
+                                                    : 0;
+  const size_t bound = util::MaxFrontCodedRecordSize(max_record);
+  return (kPageDataSize - kPageCountBytes) / bound;
+}
+
 uint64_t LabelStore::PagesFor(uint64_t record_count, size_t slot_size) const {
   if (record_count == 0 || slot_size == 0) return 1;  // header only
-  const uint64_t per_page = kPageDataSize / slot_size;
+  const uint64_t per_page = SlotsPerPageFor(slot_size);
+  if (per_page == 0) return 1;
   return 1 + (record_count + per_page - 1) / per_page;
 }
 
+Status LabelStore::BuildPageImage(const std::string* records, size_t n,
+                                  uint64_t slot_size,
+                                  std::vector<char>* page) {
+  page->assign(kPageSize, 0);
+  size_t used = 0;
+  if (format_ == kFormatLegacy) {
+    for (size_t i = 0; i < n; ++i) {
+      EncodeSlot(page->data() + i * slot_size, slot_size, records[i]);
+    }
+    used = n * slot_size;
+  } else {
+    std::string body;
+    std::string_view prev;
+    for (size_t i = 0; i < n; ++i) {
+      CDBS_RETURN_NOT_OK(util::AppendFrontCodedRecord(prev, records[i],
+                                                      &body));
+      prev = records[i];
+    }
+    if (kPageCountBytes + body.size() > kPageDataSize) {
+      return Status::Internal("compact page overflow");
+    }
+    (*page)[0] = static_cast<char>(n & 0xFF);
+    (*page)[1] = static_cast<char>((n >> 8) & 0xFF);
+    std::memcpy(page->data() + kPageCountBytes, body.data(), body.size());
+    used = kPageCountBytes + body.size();
+  }
+  page_payload_bytes_->Increment(used);
+  global_page_payload_bytes_->Increment(used);
+  return Status::OK();
+}
+
+Status LabelStore::SetPageRecord(std::vector<char>* page, size_t slot_index,
+                                 uint64_t slot_size,
+                                 const std::string& record) {
+  if (format_ == kFormatLegacy) {
+    EncodeSlot(page->data() + slot_index * slot_size, slot_size, record);
+    page_payload_bytes_->Increment(slot_size);
+    global_page_payload_bytes_->Increment(slot_size);
+    return Status::OK();
+  }
+  std::vector<std::string> records;
+  CDBS_RETURN_NOT_OK(DecodeCompactPage(*page, &records));
+  if (slot_index < records.size()) {
+    records[slot_index] = record;
+  } else if (slot_index == records.size()) {
+    records.push_back(record);
+  } else {
+    return Status::Internal("compact page record gap");
+  }
+  return BuildPageImage(records.data(), records.size(), slot_size, page);
+}
+
+Status LabelStore::GetPageRecord(const std::vector<char>& page,
+                                 size_t slot_index, uint64_t slot_size,
+                                 std::string* record) const {
+  if (format_ == kFormatLegacy) {
+    const char* slot = page.data() + slot_index * slot_size;
+    const size_t len =
+        static_cast<uint8_t>(slot[0]) |
+        (static_cast<size_t>(static_cast<uint8_t>(slot[1])) << 8);
+    if (len + kSlotHeader > slot_size) {
+      return Status::Corruption("slot length out of bounds");
+    }
+    record->assign(slot + kSlotHeader, len);
+    return Status::OK();
+  }
+  std::vector<std::string> records;
+  CDBS_RETURN_NOT_OK(DecodeCompactPage(page, &records));
+  if (slot_index >= records.size()) {
+    return Status::Corruption("compact page record index out of bounds");
+  }
+  *record = std::move(records[slot_index]);
+  return Status::OK();
+}
+
 Status LabelStore::Open(const std::string& path) {
+  return OpenWithFormat(path, kFormatCompact);
+}
+
+Status LabelStore::OpenWithFormat(const std::string& path, uint32_t format) {
+  if (format != kFormatLegacy && format != kFormatCompact) {
+    return Status::InvalidArgument("unknown label store format");
+  }
   if (fd_ >= 0) ::close(fd_);
   crashed_ = false;
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
@@ -120,6 +241,9 @@ Status LabelStore::Open(const std::string& path) {
   path_ = path;
   record_count_ = 0;
   slot_size_ = 0;
+  format_ = format;
+  tag_names_.clear();
+  tag_blob_.clear();
   registry_.ResetAll();
   if (wal_ == nullptr) wal_ = std::make_unique<Wal>(&registry_);
   CDBS_RETURN_NOT_OK(wal_->Open(WalPath(path)));
@@ -136,6 +260,8 @@ Status LabelStore::OpenExisting(const std::string& path) {
   fd_ = ::open(path.c_str(), O_RDWR, 0644);
   if (fd_ < 0) return Status::IoError("cannot open " + path);
   path_ = path;
+  tag_names_.clear();
+  tag_blob_.clear();
   registry_.ResetAll();
   if (wal_ == nullptr) wal_ = std::make_unique<Wal>(&registry_);
   CDBS_RETURN_NOT_OK(wal_->Open(WalPath(path)));
@@ -166,7 +292,8 @@ Status LabelStore::OpenExisting(const std::string& path) {
   if (GetU32(header.data()) != kMagic) {
     return Status::Corruption(path + " is not a label store");
   }
-  if (GetU32(header.data() + 4) != kFormatVersion) {
+  const uint32_t version = GetU32(header.data() + 4);
+  if (version != kFormatLegacy && version != kFormatCompact) {
     return Status::Corruption(path + ": unsupported label store version");
   }
   const uint32_t stored_crc = GetU32(header.data() + kPageDataSize);
@@ -175,10 +302,35 @@ Status LabelStore::OpenExisting(const std::string& path) {
     global_checksum_failures_->Increment();
     return Status::Corruption(path + ": header checksum mismatch");
   }
+  format_ = version;
   slot_size_ = static_cast<size_t>(GetU64(header.data() + 8));
   record_count_ = static_cast<size_t>(GetU64(header.data() + 16));
-  if (slot_size_ > kPageDataSize || (slot_size_ == 0 && record_count_ != 0)) {
+  if (slot_size_ > kPageDataSize || (slot_size_ == 0 && record_count_ != 0) ||
+      (record_count_ != 0 && SlotsPerPageFor(slot_size_) == 0)) {
     return Status::Corruption("label store header has a bad slot size");
+  }
+  tag_names_.clear();
+  tag_blob_.clear();
+  if (format_ == kFormatCompact) {
+    const uint32_t blob_len = GetU32(header.data() + kHeaderTagOffset);
+    if (blob_len > kMaxTagBlobBytes) {
+      return Status::Corruption("label store tag table overruns the header");
+    }
+    tag_blob_.assign(header.data() + kHeaderTagOffset + 4, blob_len);
+    size_t pos = 0;
+    uint64_t ntags = 0;
+    if (blob_len > 0) {
+      CDBS_RETURN_NOT_OK(util::DecodeOrderedVarint(tag_blob_, &pos, &ntags));
+      for (uint64_t i = 0; i < ntags; ++i) {
+        uint64_t len = 0;
+        CDBS_RETURN_NOT_OK(util::DecodeOrderedVarint(tag_blob_, &pos, &len));
+        if (len > tag_blob_.size() - pos) {
+          return Status::Corruption("label store tag table is truncated");
+        }
+        tag_names_.emplace_back(tag_blob_.data() + pos, len);
+        pos += len;
+      }
+    }
   }
   const uint64_t expected_pages = PagesFor(record_count_, slot_size_);
   if (static_cast<uint64_t>(st.st_size) < expected_pages * kPageSize) {
@@ -190,10 +342,39 @@ Status LabelStore::OpenExisting(const std::string& path) {
 Status LabelStore::WriteHeaderWith(uint64_t slot_size, uint64_t record_count) {
   std::vector<char> header(kPageSize, 0);
   PutU32(header.data(), kMagic);
-  PutU32(header.data() + 4, kFormatVersion);
+  PutU32(header.data() + 4, format_);
   PutU64(header.data() + 8, slot_size);
   PutU64(header.data() + 16, record_count);
+  if (format_ == kFormatCompact) {
+    CDBS_CHECK(tag_blob_.size() <= kMaxTagBlobBytes);
+    PutU32(header.data() + kHeaderTagOffset,
+           static_cast<uint32_t>(tag_blob_.size()));
+    std::memcpy(header.data() + kHeaderTagOffset + 4, tag_blob_.data(),
+                tag_blob_.size());
+  }
   return WritePage(0, &header);
+}
+
+Status LabelStore::SetTagTable(const std::vector<std::string>& names) {
+  if (format_ != kFormatCompact) {
+    return Status::InvalidArgument(
+        "legacy-format store cannot carry a tag table");
+  }
+  std::string blob;
+  CDBS_RETURN_NOT_OK(util::EncodeOrderedVarint(names.size(), &blob));
+  for (const std::string& name : names) {
+    CDBS_RETURN_NOT_OK(util::EncodeOrderedVarint(name.size(), &blob));
+    blob.append(name);
+    if (blob.size() > kMaxTagBlobBytes) {
+      return Status::InvalidArgument("tag table does not fit the header page");
+    }
+  }
+  if (blob.size() > kMaxTagBlobBytes) {
+    return Status::InvalidArgument("tag table does not fit the header page");
+  }
+  tag_names_ = names;
+  tag_blob_ = std::move(blob);
+  return Status::OK();
 }
 
 Status LabelStore::WriteHeader() {
@@ -208,26 +389,19 @@ Status LabelStore::BulkLoad(const std::vector<std::string>& records,
     max_record = std::max(max_record, r.size());
   }
   slot_size_ = max_record + kSlotHeader + headroom;
-  if (slot_size_ > kPageDataSize) {
+  const size_t per_page = SlotsPerPage();
+  if (per_page == 0) {
     return Status::InvalidArgument("record larger than a page");
   }
   if (::ftruncate(fd_, 0) != 0) return Status::IoError("truncate failed");
 
-  const size_t per_page = SlotsPerPage();
   std::vector<char> page(kPageSize, 0);
-  uint64_t page_index = 1;  // page 0 is the header
-  size_t in_page = 0;
-  for (const std::string& r : records) {
-    if (in_page == per_page) {
-      CDBS_RETURN_NOT_OK(WritePage(page_index, &page));
-      std::fill(page.begin(), page.end(), 0);
-      ++page_index;
-      in_page = 0;
-    }
-    EncodeSlot(page.data() + in_page * slot_size_, slot_size_, r);
-    ++in_page;
+  for (size_t start = 0; start < records.size(); start += per_page) {
+    const size_t n = std::min(per_page, records.size() - start);
+    CDBS_RETURN_NOT_OK(
+        BuildPageImage(records.data() + start, n, slot_size_, &page));
+    CDBS_RETURN_NOT_OK(WritePage(1 + start / per_page, &page));
   }
-  if (in_page > 0) CDBS_RETURN_NOT_OK(WritePage(page_index, &page));
   record_count_ = records.size();
   CDBS_RETURN_NOT_OK(WriteHeader());
   CDBS_RETURN_NOT_OK(SyncFile());
@@ -249,7 +423,8 @@ Status LabelStore::StageBatch(const StoreBatch& batch, uint64_t* count,
       max_record = std::max(max_record, r.size());
     }
     const uint64_t new_slot = max_record + kSlotHeader + batch.reload_headroom_;
-    if (new_slot > kPageDataSize) {
+    const size_t per_page = SlotsPerPageFor(new_slot);
+    if (per_page == 0) {
       return Status::InvalidArgument("record larger than a page");
     }
     // A reload supersedes everything staged so far: every surviving page
@@ -258,19 +433,21 @@ Status LabelStore::StageBatch(const StoreBatch& batch, uint64_t* count,
     touched->clear();
     *slot = new_slot;
     *count = batch.reload_records_.size();
-    const size_t per_page = kPageDataSize / new_slot;
-    for (uint64_t i = 0; i < *count; ++i) {
-      const uint64_t page_index = 1 + i / per_page;
+    for (size_t start = 0; start < batch.reload_records_.size();
+         start += per_page) {
+      const size_t n = std::min(per_page, batch.reload_records_.size() - start);
+      const uint64_t page_index = 1 + start / per_page;
       auto [it, inserted] = dirty->try_emplace(page_index, kPageSize, '\0');
-      EncodeSlot(it->second.data() + (i % per_page) * new_slot, new_slot,
-                 batch.reload_records_[i]);
+      CDBS_RETURN_NOT_OK(BuildPageImage(batch.reload_records_.data() + start,
+                                        n, new_slot, &it->second));
       touched->insert(page_index);
     }
     return Status::OK();
   }
 
   if (*slot == 0) return Status::Internal("batch before bulk load");
-  const size_t per_page = kPageDataSize / *slot;
+  const size_t per_page = SlotsPerPageFor(*slot);
+  if (per_page == 0) return Status::Internal("staged slot size is invalid");
   for (const StoreBatch::Op& op : batch.ops_) {
     if (op.record.size() + kSlotHeader > *slot) {
       return Status::OutOfRange("record does not fit a slot");
@@ -293,8 +470,8 @@ Status LabelStore::StageBatch(const StoreBatch& batch, uint64_t* count,
       }
       it = dirty->emplace(page_index, std::move(page)).first;
     }
-    EncodeSlot(it->second.data() + (index % per_page) * *slot, *slot,
-               op.record);
+    CDBS_RETURN_NOT_OK(
+        SetPageRecord(&it->second, index % per_page, *slot, op.record));
     touched->insert(page_index);
   }
   return Status::OK();
@@ -303,11 +480,17 @@ Status LabelStore::StageBatch(const StoreBatch& batch, uint64_t* count,
 std::string LabelStore::EncodeWalPayload(
     uint64_t new_count, uint64_t new_slot, uint64_t total_pages,
     const std::map<uint64_t, std::vector<char>>& dirty,
-    const std::set<uint64_t>& touched) {
-  // Record layout (see docs/DURABILITY.md):
+    const std::set<uint64_t>& touched) const {
+  // Record layout (see docs/DURABILITY.md, docs/ENCODING.md):
   //   [u64 new_count][u64 new_slot][u64 total_pages][u32 npages]
   //   npages x ([u64 page_index][kPageDataSize image bytes])
-  std::string payload(8 * 3 + 4 + touched.size() * (8 + kPageDataSize), '\0');
+  //   [u32 format][u32 tag_blob_len][tag blob]
+  // The trailing format/tag-table extension lets replay rebuild the header
+  // on a fresh handle; records written before the extension existed are
+  // exactly the base size and imply the legacy format.
+  std::string payload(
+      8 * 3 + 4 + touched.size() * (8 + kPageDataSize) + 8 + tag_blob_.size(),
+      '\0');
   char* out = payload.data();
   PutU64(out, new_count);
   PutU64(out + 8, new_slot);
@@ -319,6 +502,9 @@ std::string LabelStore::EncodeWalPayload(
     std::memcpy(out + 8, dirty.at(page_index).data(), kPageDataSize);
     out += 8 + kPageDataSize;
   }
+  PutU32(out, format_);
+  PutU32(out + 4, static_cast<uint32_t>(tag_blob_.size()));
+  std::memcpy(out + 8, tag_blob_.data(), tag_blob_.size());
   return payload;
 }
 
@@ -391,8 +577,9 @@ Status LabelStore::ReplayWalRecord(const std::string& payload) {
   const uint64_t new_slot = GetU64(in + 8);
   const uint64_t total_pages = GetU64(in + 16);
   const uint32_t npages = GetU32(in + 24);
-  if (payload.size() != 28 + static_cast<size_t>(npages) *
-                                 (8 + kPageDataSize)) {
+  const size_t base =
+      28 + static_cast<size_t>(npages) * (8 + kPageDataSize);
+  if (payload.size() < base) {
     return Status::Corruption("bad WAL record length");
   }
   in += 28;
@@ -404,6 +591,43 @@ Status LabelStore::ReplayWalRecord(const std::string& payload) {
     pages.emplace(page_index, std::move(page));
     in += 8 + kPageDataSize;
   }
+  // Format/tag-table extension. Replay may run on a fresh handle before
+  // the (possibly torn) header was ever read, and the header rewritten by
+  // ApplyPageImages below is format-dependent — so restore the format and
+  // table first. A record with no extension predates it: legacy format.
+  if (payload.size() == base) {
+    format_ = kFormatLegacy;
+    tag_names_.clear();
+    tag_blob_.clear();
+  } else {
+    if (payload.size() < base + 8) {
+      return Status::Corruption("bad WAL record extension");
+    }
+    const uint32_t format = GetU32(in);
+    const uint32_t blob_len = GetU32(in + 4);
+    if ((format != kFormatLegacy && format != kFormatCompact) ||
+        blob_len > kMaxTagBlobBytes ||
+        payload.size() != base + 8 + blob_len) {
+      return Status::Corruption("bad WAL record extension");
+    }
+    format_ = format;
+    tag_blob_.assign(in + 8, blob_len);
+    tag_names_.clear();
+    size_t pos = 0;
+    if (blob_len > 0) {
+      uint64_t ntags = 0;
+      CDBS_RETURN_NOT_OK(util::DecodeOrderedVarint(tag_blob_, &pos, &ntags));
+      for (uint64_t t = 0; t < ntags; ++t) {
+        uint64_t len = 0;
+        CDBS_RETURN_NOT_OK(util::DecodeOrderedVarint(tag_blob_, &pos, &len));
+        if (len > tag_blob_.size() - pos) {
+          return Status::Corruption("bad WAL record tag table");
+        }
+        tag_names_.emplace_back(tag_blob_.data() + pos, len);
+        pos += len;
+      }
+    }
+  }
   return ApplyPageImages(new_count, new_slot, total_pages, pages);
 }
 
@@ -412,14 +636,7 @@ Status LabelStore::Read(size_t index, std::string* record) {
   const size_t per_page = SlotsPerPage();
   std::vector<char> page;
   CDBS_RETURN_NOT_OK(ReadPage(1 + index / per_page, &page));
-  const char* slot = page.data() + (index % per_page) * slot_size_;
-  const size_t len = static_cast<uint8_t>(slot[0]) |
-                     (static_cast<size_t>(static_cast<uint8_t>(slot[1])) << 8);
-  if (len + kSlotHeader > slot_size_) {
-    return Status::Corruption("slot length out of bounds");
-  }
-  record->assign(slot + kSlotHeader, len);
-  return Status::OK();
+  return GetPageRecord(page, index % per_page, slot_size_, record);
 }
 
 Status LabelStore::Rewrite(size_t index, const std::string& record) {
@@ -430,8 +647,8 @@ Status LabelStore::Rewrite(size_t index, const std::string& record) {
   const size_t per_page = SlotsPerPage();
   std::vector<char> page;
   CDBS_RETURN_NOT_OK(ReadPage(1 + index / per_page, &page));
-  EncodeSlot(page.data() + (index % per_page) * slot_size_, slot_size_,
-             record);
+  CDBS_RETURN_NOT_OK(
+      SetPageRecord(&page, index % per_page, slot_size_, record));
   return WritePage(1 + index / per_page, &page);
 }
 
@@ -452,8 +669,8 @@ Status LabelStore::Append(const std::string& record) {
   } else {
     CDBS_RETURN_NOT_OK(ReadPage(page_index, &page));
   }
-  EncodeSlot(page.data() + (index % per_page) * slot_size_, slot_size_,
-             record);
+  CDBS_RETURN_NOT_OK(
+      SetPageRecord(&page, index % per_page, slot_size_, record));
   CDBS_RETURN_NOT_OK(WritePage(page_index, &page));
   ++record_count_;
   return WriteHeader();

@@ -90,6 +90,14 @@ class LabelStore {
   /// Slot-usable bytes per page.
   static constexpr size_t kPageDataSize = kPageSize - kPageCrcBytes;
 
+  /// On-disk format versions (header offset 4). `kFormatLegacy` is the
+  /// fixed-slot layout older stores were written with; `kFormatCompact`
+  /// front-codes each page's records and carries a per-store interned tag
+  /// table in the header (docs/ENCODING.md). Both open read/write; fresh
+  /// stores are written compact.
+  static constexpr uint32_t kFormatLegacy = 2;
+  static constexpr uint32_t kFormatCompact = 3;
+
   LabelStore();
   ~LabelStore();
 
@@ -97,8 +105,13 @@ class LabelStore {
   LabelStore& operator=(const LabelStore&) = delete;
 
   /// Creates (truncates) the store file, writes and syncs an empty header,
-  /// and resets the sibling WAL.
+  /// and resets the sibling WAL. Writes the current (compact) format.
   Status Open(const std::string& path);
+
+  /// Open, but writing `format` (kFormatLegacy or kFormatCompact): the
+  /// escape hatch compatibility tests and the format-comparison benches
+  /// use to produce a legacy-layout store with the current code.
+  Status OpenWithFormat(const std::string& path, uint32_t format);
 
   /// Opens an existing store file: replays any pending WAL batch (redo),
   /// truncates a torn WAL tail, then loads and checksums the header.
@@ -166,6 +179,21 @@ class LabelStore {
   /// Slot size chosen at bulk load.
   size_t slot_size() const { return slot_size_; }
 
+  /// On-disk format this store is using (sticky across reopen).
+  uint32_t format() const { return format_; }
+
+  /// Installs the per-store interned tag table: `names[id]` is the tag
+  /// string record payloads refer to by varint TagId. Persisted in the
+  /// header page from the next header write (every batch rewrites the
+  /// header, so the table lands with the batch that first references its
+  /// new ids). Returns InvalidArgument when the store is legacy-format or
+  /// the encoded table does not fit the header page — callers fall back to
+  /// tag-free records.
+  Status SetTagTable(const std::vector<std::string>& names);
+
+  /// The installed tag table (empty when records carry no tag ids).
+  const std::vector<std::string>& tag_table() const { return tag_names_; }
+
   /// Scopes errno-injection failpoints to this store instance: when set to
   /// e.g. "shard-1", the store also evaluates `storage.shard-1.sync.error`
   /// and `storage.shard-1.write_page.error` next to the global
@@ -175,8 +203,24 @@ class LabelStore {
   void set_failpoint_scope(std::string_view scope);
 
  private:
-  size_t SlotsPerPage() const { return kPageDataSize / slot_size_; }
+  /// Records per data page for `slot_size` under the current format: the
+  /// legacy layout packs fixed slots; the compact layout reserves the
+  /// worst-case front-coded size per record so index→page addressing stays
+  /// pure arithmetic even though encoded records vary in length.
+  size_t SlotsPerPageFor(uint64_t slot_size) const;
+  size_t SlotsPerPage() const { return SlotsPerPageFor(slot_size_); }
   uint64_t PagesFor(uint64_t record_count, size_t slot_size) const;
+
+  /// Builds one full page image holding `n` records (format-aware).
+  Status BuildPageImage(const std::string* records, size_t n,
+                        uint64_t slot_size, std::vector<char>* page);
+  /// Replaces (or appends, when `slot_index` equals the page's record
+  /// count) one record inside an existing page image.
+  Status SetPageRecord(std::vector<char>* page, size_t slot_index,
+                       uint64_t slot_size, const std::string& record);
+  /// Extracts one record from a page image.
+  Status GetPageRecord(const std::vector<char>& page, size_t slot_index,
+                       uint64_t slot_size, std::string* record) const;
 
   Status ReadPageRaw(uint64_t page_index, std::vector<char>* page);
   Status ReadPage(uint64_t page_index, std::vector<char>* page);
@@ -199,11 +243,13 @@ class LabelStore {
                     std::map<uint64_t, std::vector<char>>* dirty,
                     std::set<uint64_t>* touched);
 
-  /// Encodes one batch's WAL record from the staged page images.
-  static std::string EncodeWalPayload(
+  /// Encodes one batch's WAL record from the staged page images. The
+  /// record carries the store format and tag table so replay onto a fresh
+  /// handle (whose header may be torn) rebuilds both.
+  std::string EncodeWalPayload(
       uint64_t new_count, uint64_t new_slot, uint64_t total_pages,
       const std::map<uint64_t, std::vector<char>>& dirty,
-      const std::set<uint64_t>& touched);
+      const std::set<uint64_t>& touched) const;
 
   /// Decodes one recovered WAL payload and re-applies it (idempotent).
   Status ReplayWalRecord(const std::string& payload);
@@ -212,6 +258,9 @@ class LabelStore {
   std::string path_;
   size_t slot_size_ = 0;
   size_t record_count_ = 0;
+  uint32_t format_ = kFormatCompact;
+  std::vector<std::string> tag_names_;  // interned tag table (may be empty)
+  std::string tag_blob_;                // its encoded header form
   bool crashed_ = false;  // poisoned by an injected crash failpoint
   // Precomputed scoped errno-injection site names (empty: disabled).
   std::string scoped_sync_error_;
@@ -223,6 +272,7 @@ class LabelStore {
   obs::Counter* page_reads_;
   obs::Counter* page_writes_;
   obs::Counter* bytes_written_;
+  obs::Counter* page_payload_bytes_;
   obs::Counter* checksum_failures_;
   obs::Counter* io_retries_;
   obs::Counter* recoveries_;
@@ -232,6 +282,7 @@ class LabelStore {
   obs::Counter* global_page_reads_;
   obs::Counter* global_page_writes_;
   obs::Counter* global_bytes_written_;
+  obs::Counter* global_page_payload_bytes_;
   obs::Counter* global_checksum_failures_;
   obs::Counter* global_io_retries_;
   obs::Counter* global_recoveries_;

@@ -5,19 +5,41 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "obs/trace.h"
 #include "storage/io_retry.h"
 #include "util/crc32c.h"
 #include "util/failpoint.h"
+#include "util/label_codec.h"
 
 namespace cdbs::storage {
 
 namespace {
 
 constexpr size_t kRecordHeader = 16;  // u32 crc32c + u32 len + u64 lsn
+
+// High bit of the record's len field: the payload is stored zero-RLE
+// compressed. Legacy records never set it (a WAL payload is far below
+// 2 GiB), so the flag is unambiguous across versions.
+constexpr uint32_t kCompressedLenBit = 0x80000000u;
+constexpr uint32_t kLenMask = 0x7FFFFFFFu;
+// Payloads below this size are never worth the token overhead.
+constexpr size_t kCompressMinBytes = 64;
+
+// -1: consult the env knob; 0/1: programmatic override (benches).
+std::atomic<int> g_compression_override{-1};
+
+bool EnvCompressionEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("CDBS_WAL_COMPRESS");
+    return v == nullptr || std::string_view(v) != "0";
+  }();
+  return enabled;
+}
 
 void PutU32(char* dst, uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
 void PutU64(char* dst, uint64_t v) { std::memcpy(dst, &v, sizeof(v)); }
@@ -34,10 +56,22 @@ uint64_t GetU64(const char* src) {
 
 }  // namespace
 
+void Wal::set_compression_enabled(bool enabled) {
+  g_compression_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool Wal::compression_enabled() {
+  const int o = g_compression_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  return EnvCompressionEnabled();
+}
+
 Wal::Wal(obs::MetricRegistry* registry) {
   appends_ = registry->GetCounter("wal.appends", "Records appended to the WAL");
   bytes_written_ =
       registry->GetCounter("wal.bytes_written", "Bytes appended to the WAL");
+  logical_bytes_ = registry->GetCounter(
+      "wal.logical_bytes", "Pre-compression bytes handed to WAL appends");
   syncs_ = registry->GetCounter("wal.syncs", "WAL fsyncs");
   replayed_records_ = registry->GetCounter(
       "wal.replayed_records", "Intact records replayed during recovery");
@@ -50,6 +84,10 @@ Wal::Wal(obs::MetricRegistry* registry) {
   obs::MetricRegistry& global = obs::MetricRegistry::Default();
   global_appends_ =
       global.GetCounter("wal.appends", "Records appended, all WALs");
+  global_bytes_written_ =
+      global.GetCounter("wal.bytes_written", "Bytes appended, all WALs");
+  global_logical_bytes_ = global.GetCounter(
+      "wal.logical_bytes", "Pre-compression WAL bytes, all WALs");
   global_replayed_ = global.GetCounter("wal.replayed_records",
                                        "Records replayed, all WALs");
   global_checksum_failures_ = global.GetCounter(
@@ -105,15 +143,32 @@ Status Wal::AppendBatch(const std::vector<std::string_view>& payloads) {
   // Traced when the caller's thread carries a scope (the group-commit
   // writer); free otherwise.
   obs::TraceSpan span(obs::SpanName::kWalAppend);
+  // Compress each payload that shrinks; the stored length carries the
+  // compressed-bit flag so the CRC (computed over the stored bytes) stays
+  // self-consistent for readers of either form.
+  const bool compress = compression_enabled();
+  size_t logical = 0;
+  std::vector<std::string> compressed(payloads.size());
+  std::vector<std::string_view> stored(payloads.size());
+  std::vector<bool> is_compressed(payloads.size(), false);
   size_t total = 0;
-  for (const std::string_view payload : payloads) {
-    total += kRecordHeader + payload.size();
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    logical += kRecordHeader + payloads[i].size();
+    stored[i] = payloads[i];
+    if (compress && util::MaybeCompressBytes(payloads[i], kCompressMinBytes,
+                                             &compressed[i])) {
+      stored[i] = compressed[i];
+      is_compressed[i] = true;
+    }
+    total += kRecordHeader + stored[i].size();
   }
   std::string buf(total, '\0');
   char* out = buf.data();
   uint64_t lsn = next_lsn_;
-  for (const std::string_view payload : payloads) {
-    const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    const std::string_view payload = stored[i];
+    const uint32_t len = static_cast<uint32_t>(payload.size()) |
+                         (is_compressed[i] ? kCompressedLenBit : 0);
     PutU32(out + 4, len);
     PutU64(out + 8, lsn++);
     std::memcpy(out + kRecordHeader, payload.data(), payload.size());
@@ -136,6 +191,9 @@ Status Wal::AppendBatch(const std::vector<std::string_view>& payloads) {
   appends_->Increment(payloads.size());
   global_appends_->Increment(payloads.size());
   bytes_written_->Increment(buf.size());
+  global_bytes_written_->Increment(buf.size());
+  logical_bytes_->Increment(logical);
+  global_logical_bytes_->Increment(logical);
   return Status::OK();
 }
 
@@ -176,7 +234,9 @@ Status Wal::Recover(std::vector<std::string>* payloads) {
       return Status::IoError("pread failed on WAL header");
     }
     const uint32_t crc = GetU32(header);
-    const uint32_t len = GetU32(header + 4);
+    const uint32_t len_field = GetU32(header + 4);
+    const bool compressed = (len_field & kCompressedLenBit) != 0;
+    const uint32_t len = len_field & kLenMask;
     const uint64_t lsn = GetU64(header + 8);
     if (offset + kRecordHeader + len > size) {
       torn = true;  // length runs past the tail: torn append
@@ -197,6 +257,16 @@ Status Wal::Recover(std::vector<std::string>* payloads) {
       global_checksum_failures_->Increment();
       torn = true;
       break;
+    }
+    if (compressed) {
+      // The CRC verified, so the stored bytes are exactly what the writer
+      // produced; a decompression failure here is real corruption, not a
+      // torn tail — surface it instead of silently truncating.
+      std::string raw;
+      size_t pos = 0;
+      CDBS_RETURN_NOT_OK(
+          util::DecompressBytes(payload, &pos, kLenMask, &raw));
+      payload = std::move(raw);
     }
     payloads->push_back(std::move(payload));
     if (lsn + 1 > next_lsn_) next_lsn_ = lsn + 1;
@@ -232,7 +302,9 @@ Status Wal::ReadFrom(uint64_t lsn, std::vector<WalRecord>* out) const {
       return Status::IoError("pread failed on WAL header");
     }
     const uint32_t crc = GetU32(header);
-    const uint32_t len = GetU32(header + 4);
+    const uint32_t len_field = GetU32(header + 4);
+    const bool compressed = (len_field & kCompressedLenBit) != 0;
+    const uint32_t len = len_field & kLenMask;
     const uint64_t record_lsn = GetU64(header + 8);
     if (offset + kRecordHeader + len > size) break;  // torn tail: stop
     std::string payload(len, '\0');
@@ -246,6 +318,13 @@ Status Wal::ReadFrom(uint64_t lsn, std::vector<WalRecord>* out) const {
     actual = util::Crc32c(payload.data(), payload.size(), actual);
     if (actual != crc) break;  // checksum-failing tail: stop, no truncate
     if (record_lsn >= lsn) {
+      if (compressed) {
+        std::string raw;
+        size_t pos = 0;
+        CDBS_RETURN_NOT_OK(
+            util::DecompressBytes(payload, &pos, kLenMask, &raw));
+        payload = std::move(raw);
+      }
       out->push_back(WalRecord{record_lsn, std::move(payload)});
     }
     offset += kRecordHeader + len;

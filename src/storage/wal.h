@@ -21,6 +21,13 @@
 /// payload — a record whose length or LSN was torn mid-write fails its
 /// checksum instead of misparsing the tail.
 ///
+/// The high bit of the `len` field marks a zero-RLE-compressed payload
+/// (util/label_codec.h): `len` then counts the *stored* (compressed)
+/// bytes, and readers decompress after the checksum verifies. Records
+/// written before compression existed never set the bit (lengths are far
+/// below 2^31), so old logs replay unchanged; payloads that would not
+/// shrink are stored raw with the bit clear. See docs/ENCODING.md.
+///
 /// Every record carries a monotonically increasing log sequence number
 /// (LSN), assigned at append time and persisted in the header. LSNs let a
 /// reader resume from where it left off (`ReadFrom`) — the cursor the
@@ -103,6 +110,13 @@ class Wal {
 
   const std::string& path() const { return path_; }
 
+  /// Process-wide switch for transparent payload compression on append.
+  /// Defaults from the CDBS_WAL_COMPRESS env knob (on unless "0"); benches
+  /// flip it to measure raw vs compressed bytes/op in one process. Readers
+  /// always understand both forms regardless of this switch.
+  static void set_compression_enabled(bool enabled);
+  static bool compression_enabled();
+
  private:
   Status WriteAt(uint64_t offset, const char* data, size_t n);
 
@@ -115,12 +129,15 @@ class Wal {
   // Private counters and their process-wide mirrors.
   obs::Counter* appends_;
   obs::Counter* bytes_written_;
+  obs::Counter* logical_bytes_;
   obs::Counter* syncs_;
   obs::Counter* replayed_records_;
   obs::Counter* checksum_failures_;
   obs::Counter* truncated_bytes_;
   obs::Counter* io_retries_;
   obs::Counter* global_appends_;
+  obs::Counter* global_bytes_written_;
+  obs::Counter* global_logical_bytes_;
   obs::Counter* global_replayed_;
   obs::Counter* global_checksum_failures_;
   obs::Counter* global_io_retries_;

@@ -1,0 +1,144 @@
+#include "util/label_codec.h"
+
+#include <algorithm>
+
+#include "util/ordered_varint.h"
+
+namespace cdbs::util {
+
+namespace {
+
+/// Longest run one zero/literal token may describe. Keeps every token value
+/// comfortably inside the ordered-varint range and bounds the memory a
+/// single corrupt token can demand.
+constexpr size_t kMaxRun = size_t{1} << 24;
+
+size_t SharedPrefix(std::string_view a, std::string_view b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+Status AppendFrontCodedRecord(std::string_view prev, std::string_view record,
+                              std::string* out) {
+  const size_t shared = SharedPrefix(prev, record);
+  CDBS_RETURN_NOT_OK(EncodeOrderedVarint(shared, out));
+  CDBS_RETURN_NOT_OK(EncodeOrderedVarint(record.size() - shared, out));
+  out->append(record.data() + shared, record.size() - shared);
+  return Status::OK();
+}
+
+Status EncodeFrontCodedRun(const std::vector<std::string>& records,
+                           std::string* out) {
+  std::string_view prev;
+  for (const std::string& record : records) {
+    CDBS_RETURN_NOT_OK(AppendFrontCodedRecord(prev, record, out));
+    prev = record;
+  }
+  return Status::OK();
+}
+
+Status DecodeFrontCodedRun(std::string_view data, size_t* pos, size_t count,
+                           std::vector<std::string>* out) {
+  std::string prev;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t shared = 0;
+    uint64_t suffix = 0;
+    CDBS_RETURN_NOT_OK(DecodeOrderedVarint(data, pos, &shared));
+    CDBS_RETURN_NOT_OK(DecodeOrderedVarint(data, pos, &suffix));
+    if (shared > prev.size()) {
+      return Status::Corruption("front-coded run: shared prefix too long");
+    }
+    if (suffix > data.size() - *pos) {
+      return Status::Corruption("front-coded run: truncated suffix");
+    }
+    std::string record = prev.substr(0, shared);
+    record.append(data.data() + *pos, suffix);
+    *pos += suffix;
+    out->push_back(record);
+    prev = std::move(record);
+  }
+  return Status::OK();
+}
+
+size_t MaxFrontCodedRecordSize(size_t record_size) {
+  // shared-prefix varint + suffix-length varint + the full record as the
+  // suffix (a record sharing nothing with its predecessor).
+  return OrderedVarintLength(record_size) + OrderedVarintLength(record_size) +
+         record_size;
+}
+
+void CompressBytes(std::string_view in, std::string* out) {
+  // Stream: [varint original_size] then tokens until original_size bytes
+  // are accounted for. Token `t`: odd ⇒ a zero run of t>>1 bytes; even ⇒ a
+  // literal run of t>>1 bytes, which follow verbatim.
+  (void)EncodeOrderedVarint(in.size(), out);
+  size_t i = 0;
+  while (i < in.size()) {
+    if (in[i] == '\0') {
+      size_t run = 0;
+      while (i + run < in.size() && run < kMaxRun && in[i + run] == '\0') {
+        ++run;
+      }
+      (void)EncodeOrderedVarint((run << 1) | 1, out);
+      i += run;
+    } else {
+      size_t run = 0;
+      // A literal run ends at the next zero PAIR: a lone zero inside
+      // otherwise-literal bytes costs more as its own token than inline.
+      while (i + run < in.size() && run < kMaxRun &&
+             (in[i + run] != '\0' ||
+              (i + run + 1 < in.size() && in[i + run + 1] != '\0'))) {
+        ++run;
+      }
+      (void)EncodeOrderedVarint(run << 1, out);
+      out->append(in.data() + i, run);
+      i += run;
+    }
+  }
+}
+
+Status DecompressBytes(std::string_view data, size_t* pos, size_t max_out,
+                       std::string* out) {
+  uint64_t original = 0;
+  CDBS_RETURN_NOT_OK(DecodeOrderedVarint(data, pos, &original));
+  if (original > max_out) {
+    return Status::Corruption("compressed stream: original size too large");
+  }
+  size_t produced = 0;
+  while (produced < original) {
+    uint64_t token = 0;
+    CDBS_RETURN_NOT_OK(DecodeOrderedVarint(data, pos, &token));
+    const size_t run = static_cast<size_t>(token >> 1);
+    if (run == 0 || run > original - produced) {
+      return Status::Corruption("compressed stream: bad run length");
+    }
+    if (token & 1) {
+      out->append(run, '\0');
+    } else {
+      if (run > data.size() - *pos) {
+        return Status::Corruption("compressed stream: truncated literal run");
+      }
+      out->append(data.data() + *pos, run);
+      *pos += run;
+    }
+    produced += run;
+  }
+  return Status::OK();
+}
+
+bool MaybeCompressBytes(std::string_view in, size_t min_size,
+                        std::string* out) {
+  if (in.size() < min_size || in.size() > kMaxOrderedVarint) return false;
+  std::string compressed;
+  compressed.reserve(in.size() / 2);
+  CompressBytes(in, &compressed);
+  if (compressed.size() >= in.size()) return false;
+  *out = std::move(compressed);
+  return true;
+}
+
+}  // namespace cdbs::util

@@ -47,7 +47,7 @@ Status EncodeOrderedVarint(uint64_t value, std::string* out) {
   return Status::OK();
 }
 
-Status DecodeOrderedVarint(const std::string& data, size_t* pos,
+Status DecodeOrderedVarint(std::string_view data, size_t* pos,
                            uint64_t* value) {
   if (*pos >= data.size()) {
     return Status::Corruption("ordered varint: empty input");

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "util/status.h"
 
@@ -42,8 +43,12 @@ Status EncodeOrderedVarint(uint64_t value, std::string* out);
 /// Decodes one varint starting at `data[pos]`; on success stores the value in
 /// `*value` and advances `*pos` past it. Returns Corruption on truncated or
 /// malformed input.
-Status DecodeOrderedVarint(const std::string& data, size_t* pos,
+Status DecodeOrderedVarint(std::string_view data, size_t* pos,
                            uint64_t* value);
+inline Status DecodeOrderedVarint(const std::string& data, size_t* pos,
+                                  uint64_t* value) {
+  return DecodeOrderedVarint(std::string_view(data), pos, value);
+}
 
 }  // namespace cdbs::util
 

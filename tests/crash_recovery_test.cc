@@ -7,6 +7,7 @@
 #include "engine/xml_db.h"
 #include "storage/label_store.h"
 #include "util/failpoint.h"
+#include "util/ordered_varint.h"
 #include "util/random.h"
 
 /// \file
@@ -28,13 +29,25 @@ const char* const kCrashSites[] = {
     "storage.sync.crash",
 };
 
+// Engine-written records carry a varint TagId prefix when the store's
+// header holds a tag table (docs/ENCODING.md); strip (and sanity-check)
+// it so comparisons see the bare serialized label.
+std::string BareLabel(const LabelStore& store, const std::string& record) {
+  if (store.tag_table().empty()) return record;
+  size_t pos = 0;
+  uint64_t tag_id = 0;
+  EXPECT_TRUE(util::DecodeOrderedVarint(record, &pos, &tag_id).ok());
+  EXPECT_LT(tag_id, store.tag_table().size());
+  return record.substr(pos);
+}
+
 std::vector<std::string> ReadAll(LabelStore* store) {
   std::vector<std::string> records;
   records.reserve(store->size());
   for (size_t i = 0; i < store->size(); ++i) {
     std::string record;
     EXPECT_TRUE(store->Read(i, &record).ok()) << "record " << i;
-    records.push_back(std::move(record));
+    records.push_back(BareLabel(*store, record));
   }
   return records;
 }
